@@ -1,0 +1,50 @@
+//! §4 scalability claim: "The complexity of verifier formulation is fixed
+//! across iterations … The verifier typically takes ≈0.5s to compute a
+//! counterexample." This bench measures one verifier call in its three
+//! regimes: certify (unsat), refute (sat), and refute-with-WCE (binary
+//! search).
+
+use ccac_model::{NetConfig, Thresholds};
+use ccmatic::known;
+use ccmatic::verifier::{CcaVerifier, VerifyConfig};
+use ccmatic_num::{rat, Rat};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn cfg(worst_case: bool) -> VerifyConfig {
+    VerifyConfig {
+        net: NetConfig { horizon: 6, history: 5, link_rate: Rat::one(), jitter: 1, buffer: None },
+        thresholds: Thresholds::default(),
+        worst_case,
+        wce_precision: rat(1, 2),
+    }
+}
+
+fn bench_verifier(c: &mut Criterion) {
+    let mut group = c.benchmark_group("verifier");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(20));
+
+    group.bench_function("certify_rocc", |b| {
+        b.iter(|| {
+            let mut v = CcaVerifier::new(cfg(false));
+            assert!(v.verify(&known::rocc()).is_ok());
+        })
+    });
+    group.bench_function("refute_const_cwnd", |b| {
+        b.iter(|| {
+            let mut v = CcaVerifier::new(cfg(false));
+            assert!(v.verify(&known::const_cwnd(Rat::zero())).is_err());
+        })
+    });
+    group.bench_function("refute_with_wce", |b| {
+        b.iter(|| {
+            let mut v = CcaVerifier::new(cfg(true));
+            assert!(v.verify(&known::const_cwnd(Rat::zero())).is_err());
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_verifier);
+criterion_main!(benches);

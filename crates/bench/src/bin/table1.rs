@@ -1,0 +1,71 @@
+//! Regenerate Table 1: time and iterations to synthesize the first
+//! solution, per search space × optimization method.
+//!
+//! ```sh
+//! cargo run --release -p ccmatic-bench --bin table1 -- [--scale ci|paper] [--budget-secs N] [--stats]
+//! ```
+//!
+//! Default: CI scale with a 120 s per-cell budget. At `--scale paper` the
+//! grid matches the paper's (3⁵ … 9⁹); expect the Baseline column to DNF,
+//! exactly as the paper reports ("did not finish within a week" — our
+//! budget substitutes for the week).
+
+use ccmatic::synth::OptMode;
+use ccmatic_bench::{fmt_duration, run_cell, table1_rows, render_table1, Scale};
+use std::time::Duration;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = if args.iter().any(|a| a == "paper") || args.windows(2).any(|w| w[0] == "--scale" && w[1] == "paper") {
+        Scale::Paper
+    } else {
+        Scale::Ci
+    };
+    let budget_secs: u64 = args
+        .windows(2)
+        .find(|w| w[0] == "--budget-secs")
+        .and_then(|w| w[1].parse().ok())
+        .unwrap_or(120);
+    let show_stats = args.iter().any(|a| a == "--stats");
+    let budget = Duration::from_secs(budget_secs);
+
+    println!("# Table 1 — time to synthesize first solution ({scale:?} scale, {budget_secs}s/cell budget)\n");
+    println!("Paper reference (Xeon 6226R, Z3 4.8.17, 1 core):");
+    println!("  No-cwnd/Small : Baseline 100 itr / 3m  → RP 30/30s → RP+WCE 7/3s");
+    println!("  No-cwnd/Large : Baseline DNF           → RP 60/1m  → RP+WCE 50/1m");
+    println!("  cwnd/Small    : Baseline DNF           → RP 100/9m → RP+WCE 50/30s");
+    println!("  cwnd/Large    : Baseline DNF           → RP 360/32h→ RP+WCE 80/45m\n");
+
+    let rows = table1_rows(scale);
+    let mut results = Vec::new();
+    for row in rows {
+        let mut cells = Vec::new();
+        for mode in [OptMode::Baseline, OptMode::RangePruning, OptMode::RangePruningWce] {
+            eprintln!(
+                "running {} / {} / {} …",
+                row.params,
+                row.domain_label,
+                mode.label()
+            );
+            let cell = run_cell(&row, mode, budget);
+            eprintln!(
+                "  → {} in {} ({} iterations, {} verifier probes)",
+                if cell.solved { "solved" } else { "DNF" },
+                fmt_duration(cell.wall, true),
+                cell.iterations,
+                cell.verifier_probes,
+            );
+            if show_stats {
+                eprintln!(
+                    "  stats: {:.2} probes/iteration",
+                    cell.verifier_probes as f64 / cell.iterations.max(1) as f64
+                );
+            }
+            cells.push(cell);
+        }
+        results.push((row, cells));
+    }
+
+    println!("{}", render_table1(&results));
+    println!("\nDNF = no solution within the per-cell budget (the paper's analogue: one week).");
+}

@@ -1,0 +1,59 @@
+//! Regenerate §4's threshold observations (E3/E4): solution counts as the
+//! utilization and delay targets move.
+//!
+//! ```sh
+//! cargo run --release -p ccmatic-bench --bin threshold_sweep -- [--scale ci|paper] [--budget-secs N]
+//! ```
+
+use ccac_model::Thresholds;
+use ccmatic::sweep::{render_table, sweep_delay, sweep_utilization};
+use ccmatic::synth::{OptMode, SynthOptions};
+use ccmatic_bench::{table1_rows, Scale};
+use ccmatic_cegis::Budget;
+use ccmatic_num::{int, rat};
+use std::time::Duration;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = if args.iter().any(|a| a == "paper") {
+        Scale::Paper
+    } else {
+        Scale::Ci
+    };
+    let budget_secs: u64 = args
+        .windows(2)
+        .find(|w| w[0] == "--budget-secs")
+        .and_then(|w| w[1].parse().ok())
+        .unwrap_or(600);
+
+    // The paper sweeps the No-cwnd/Large space; at ci scale we sweep the
+    // Small row so the full sweep fits in minutes.
+    let rows = table1_rows(scale);
+    let row = match scale {
+        Scale::Paper => &rows[1],
+        Scale::Ci => &rows[0],
+    };
+    let base = SynthOptions {
+        shape: row.shape.clone(),
+        net: row.net.clone(),
+        thresholds: Thresholds::default(),
+        mode: OptMode::RangePruningWce,
+        budget: Budget {
+            max_iterations: 1_000_000,
+            max_wall: Duration::from_secs(budget_secs),
+        },
+        wce_precision: rat(1, 2),
+    };
+
+    println!("# Threshold sweeps over {} / {}\n", row.params, row.domain_label);
+
+    println!("## E4: delay sweep at util ≥ 1/2");
+    println!("paper: 245 @ ≤8×RTT · 12 @ ≤4 · 9 @ ≤3.6 · 0 @ ≤3\n");
+    let rows = sweep_delay(&base, &[int(8), int(4), rat(18, 5), int(3)]);
+    println!("{}", render_table(&rows));
+
+    println!("## E3: utilization sweep at delay ≤ 4×RTT");
+    println!("paper: 12 @ ≥50% · 2 @ ≥65% · 1 @ ≥70% (Eq. iii)\n");
+    let rows = sweep_utilization(&base, &[rat(1, 2), rat(13, 20), rat(7, 10)]);
+    println!("{}", render_table(&rows));
+}

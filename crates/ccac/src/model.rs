@@ -1,0 +1,433 @@
+//! Variables and constraints of the network model.
+
+use ccmatic_num::Rat;
+use ccmatic_smt::{Context, LinExpr, RealVar, Term};
+
+/// Static parameters of the modeled path.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NetConfig {
+    /// Trace length `T`: the CCA rule is enforced on `t ∈ [0, T]`.
+    pub horizon: usize,
+    /// History depth: variables exist for `t ∈ [−history, T]`, letting the
+    /// solver pick arbitrary initial conditions. Must cover the CCA
+    /// template's look-back plus one (the deepest `ack(t−i) = S(t−i−1)`
+    /// sample the rule reads at `t = 0`).
+    pub history: usize,
+    /// Link rate `C` in BDP per Rm (1 after normalization).
+    pub link_rate: Rat,
+    /// Bound `D` (in Rm units) on non-congestive delay: the link may lag
+    /// the token line by at most this much. The paper's experiments use 1.
+    pub jitter: usize,
+    /// Bottleneck buffer in BDP units. `None` (the paper's §4 scope:
+    /// "lossless networks with infinite buffers") pins the loss process to
+    /// zero; `Some(B)` enables CCAC's loss rule — packets are dropped only
+    /// when the queue would exceed the token line by more than `B`.
+    pub buffer: Option<Rat>,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            horizon: 9,
+            history: 5,
+            link_rate: Rat::one(),
+            jitter: 1,
+            buffer: None,
+        }
+    }
+}
+
+impl NetConfig {
+    /// Total number of time indices (`t ∈ [−h, T]`).
+    pub fn num_steps(&self) -> usize {
+        self.horizon + self.history + 1
+    }
+
+    /// First modeled time index.
+    pub fn t_min(&self) -> i64 {
+        -(self.history as i64)
+    }
+
+    /// Last modeled time index.
+    pub fn t_max(&self) -> i64 {
+        self.horizon as i64
+    }
+}
+
+/// Per-timestep SMT variables of one flow over one link.
+#[derive(Clone, Debug)]
+pub struct NetVars {
+    cfg: NetConfig,
+    a: Vec<RealVar>,
+    s: Vec<RealVar>,
+    w: Vec<RealVar>,
+    l: Vec<RealVar>,
+    cwnd: Vec<RealVar>,
+}
+
+impl NetVars {
+    /// The configuration these variables were allocated for.
+    pub fn cfg(&self) -> &NetConfig {
+        &self.cfg
+    }
+
+    fn idx(&self, t: i64) -> usize {
+        let i = t - self.cfg.t_min();
+        debug_assert!(
+            (0..self.cfg.num_steps() as i64).contains(&i),
+            "time index {t} out of range [{}, {}]",
+            self.cfg.t_min(),
+            self.cfg.t_max()
+        );
+        i as usize
+    }
+
+    /// Cumulative arrivals `A(t)`.
+    pub fn a(&self, t: i64) -> RealVar {
+        self.a[self.idx(t)]
+    }
+
+    /// Cumulative service `S(t)`.
+    pub fn s(&self, t: i64) -> RealVar {
+        self.s[self.idx(t)]
+    }
+
+    /// Cumulative wasted tokens `W(t)`.
+    pub fn w(&self, t: i64) -> RealVar {
+        self.w[self.idx(t)]
+    }
+
+    /// Cumulative lost bytes `L(t)` (identically zero in the default
+    /// lossless configuration).
+    pub fn l(&self, t: i64) -> RealVar {
+        self.l[self.idx(t)]
+    }
+
+    /// Congestion window `cwnd(t)`.
+    pub fn cwnd(&self, t: i64) -> RealVar {
+        self.cwnd[self.idx(t)]
+    }
+
+    /// The sender's cumulative-ACK signal at time `t`: `ack(t) = S(t−1)`
+    /// (ACKs take one propagation unit to come back).
+    pub fn ack(&self, t: i64) -> LinExpr {
+        LinExpr::var(self.s(t - 1))
+    }
+
+    /// Tokens accumulated by time `t`, net of waste:
+    /// `C·(t+h) − W(t)` (token arrival measured from trace start).
+    pub fn tokens(&self, t: i64) -> LinExpr {
+        let elapsed = Rat::from(t + self.cfg.history as i64);
+        LinExpr::constant(&self.cfg.link_rate * &elapsed) - LinExpr::var(self.w(t))
+    }
+
+    /// Standing queue `A(t) − L(t) − S(t)` in BDP units (the lost bytes
+    /// never occupy the queue).
+    pub fn queue(&self, t: i64) -> LinExpr {
+        LinExpr::var(self.a(t)) - LinExpr::var(self.l(t)) - LinExpr::var(self.s(t))
+    }
+}
+
+/// Allocate fresh variables for a trace of shape `cfg`.
+pub fn alloc_net_vars(ctx: &mut Context, cfg: &NetConfig) -> NetVars {
+    let n = cfg.num_steps();
+    let t0 = cfg.t_min();
+    let mut a = Vec::with_capacity(n);
+    let mut s = Vec::with_capacity(n);
+    let mut w = Vec::with_capacity(n);
+    let mut l = Vec::with_capacity(n);
+    let mut cwnd = Vec::with_capacity(n);
+    for i in 0..n {
+        let t = t0 + i as i64;
+        a.push(ctx.real_var(format!("A[{t}]")));
+        s.push(ctx.real_var(format!("S[{t}]")));
+        w.push(ctx.real_var(format!("W[{t}]")));
+        l.push(ctx.real_var(format!("L[{t}]")));
+        cwnd.push(ctx.real_var(format!("cwnd[{t}]")));
+    }
+    NetVars { cfg: cfg.clone(), a, s, w, l, cwnd }
+}
+
+/// The conjunction of all *network* feasibility constraints (everything the
+/// adversarial link may do), excluding the CCA/sender behaviour.
+pub fn network_constraints(ctx: &mut Context, nv: &NetVars) -> Term {
+    let cfg = nv.cfg().clone();
+    let mut cs: Vec<Term> = Vec::new();
+    let t0 = cfg.t_min();
+    let t_end = cfg.t_max();
+
+    // Anchors: service and waste both zero at trace start; the initial
+    // backlog A(−h) ≥ 0 is the adversary's choice.
+    let s0_zero = ctx.eq(LinExpr::var(nv.s(t0)), LinExpr::zero());
+    let w0_zero = ctx.eq(LinExpr::var(nv.w(t0)), LinExpr::zero());
+    let a0_nonneg = ctx.ge(LinExpr::var(nv.a(t0)), LinExpr::zero());
+    cs.push(s0_zero);
+    cs.push(w0_zero);
+    cs.push(a0_nonneg);
+
+    for t in t0..=t_end {
+        // Monotone cumulatives.
+        if t > t0 {
+            let am = ctx.ge(LinExpr::var(nv.a(t)), LinExpr::var(nv.a(t - 1)));
+            let sm = ctx.ge(LinExpr::var(nv.s(t)), LinExpr::var(nv.s(t - 1)));
+            let wm = ctx.ge(LinExpr::var(nv.w(t)), LinExpr::var(nv.w(t - 1)));
+            cs.push(am);
+            cs.push(sm);
+            cs.push(wm);
+        }
+        // Can't serve unsent (or lost) data.
+        let delivered_cap = LinExpr::var(nv.a(t)) - LinExpr::var(nv.l(t));
+        let no_phantom = ctx.le(LinExpr::var(nv.s(t)), delivered_cap);
+        cs.push(no_phantom);
+        // Token bucket cap.
+        let cap = ctx.le(LinExpr::var(nv.s(t)), nv.tokens(t));
+        cs.push(cap);
+        // Bounded non-congestive delay: the link may lag the token line by
+        // at most D steps.
+        let lag = t - cfg.jitter as i64;
+        if lag >= t0 {
+            let elapsed = Rat::from(lag + cfg.history as i64);
+            let floor = LinExpr::constant(&cfg.link_rate * &elapsed) - LinExpr::var(nv.w(lag));
+            let min_service = ctx.ge(LinExpr::var(nv.s(t)), floor);
+            cs.push(min_service);
+        }
+        // Waste only while idle.
+        if t > t0 {
+            let wasted = ctx.gt(LinExpr::var(nv.w(t)), LinExpr::var(nv.w(t - 1)));
+            let backlog = LinExpr::var(nv.a(t)) - LinExpr::var(nv.l(t));
+            let idle = ctx.le(backlog, nv.tokens(t));
+            let guard = ctx.implies(wasted, idle);
+            cs.push(guard);
+        }
+        // Loss process.
+        match &cfg.buffer {
+            None => {
+                // Lossless scope (§4): the loss process is pinned to zero.
+                cs.push(ctx.eq(LinExpr::var(nv.l(t)), LinExpr::zero()));
+            }
+            Some(buffer) => {
+                if t == t0 {
+                    cs.push(ctx.eq(LinExpr::var(nv.l(t)), LinExpr::zero()));
+                } else {
+                    // Monotone, and never exceeding what was sent.
+                    cs.push(ctx.ge(LinExpr::var(nv.l(t)), LinExpr::var(nv.l(t - 1))));
+                    cs.push(ctx.le(LinExpr::var(nv.l(t)), LinExpr::var(nv.a(t))));
+                    // Buffer cap: undropped data may exceed the token line
+                    // by at most the buffer (CCAC's loss rule).
+                    let backlog = LinExpr::var(nv.a(t)) - LinExpr::var(nv.l(t));
+                    let cap = nv.tokens(t) + LinExpr::constant(buffer.clone());
+                    cs.push(ctx.le(backlog, cap.clone()));
+                    // Drops only on a full buffer: if L grows, the backlog
+                    // must sit exactly at the cap.
+                    let dropped = ctx.gt(LinExpr::var(nv.l(t)), LinExpr::var(nv.l(t - 1)));
+                    let backlog2 = LinExpr::var(nv.a(t)) - LinExpr::var(nv.l(t));
+                    let full = ctx.ge(backlog2, cap);
+                    let guard = ctx.implies(dropped, full);
+                    cs.push(guard);
+                }
+            }
+        }
+    }
+    ctx.and(cs)
+}
+
+/// The aggressive cwnd-limited sender rule, enforced on `t ∈ [0, T]`:
+/// `A(t) = max(A(t−1), S(t−1) + cwnd(t))`.
+pub fn sender_constraints(ctx: &mut Context, nv: &NetVars) -> Term {
+    let mut cs: Vec<Term> = Vec::new();
+    for t in 0..=nv.cfg().t_max() {
+        let prev_a = LinExpr::var(nv.a(t - 1));
+        let window = LinExpr::var(nv.s(t - 1)) + LinExpr::var(nv.cwnd(t));
+        let at = LinExpr::var(nv.a(t));
+        let ge1 = ctx.ge(at.clone(), prev_a.clone());
+        let ge2 = ctx.ge(at.clone(), window.clone());
+        let le1 = ctx.le(at.clone(), prev_a);
+        let le2 = ctx.le(at, window);
+        let tight = ctx.or(vec![le1, le2]);
+        cs.push(ge1);
+        cs.push(ge2);
+        cs.push(tight);
+    }
+    ctx.and(cs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccmatic_num::{int, rat};
+    use ccmatic_smt::{SatResult, Solver};
+
+    fn tiny_cfg() -> NetConfig {
+        NetConfig { horizon: 4, history: 2, link_rate: Rat::one(), jitter: 1, buffer: None }
+    }
+
+    #[test]
+    fn config_index_ranges() {
+        let cfg = NetConfig::default();
+        assert_eq!(cfg.t_min(), -5);
+        assert_eq!(cfg.t_max(), 9);
+        assert_eq!(cfg.num_steps(), 15);
+    }
+
+    #[test]
+    fn network_alone_is_satisfiable() {
+        let mut ctx = Context::new();
+        let cfg = tiny_cfg();
+        let nv = alloc_net_vars(&mut ctx, &cfg);
+        let net = network_constraints(&mut ctx, &nv);
+        let mut s = Solver::new();
+        s.assert(&ctx, net);
+        assert_eq!(s.check(&ctx), SatResult::Sat);
+    }
+
+    #[test]
+    fn service_cannot_exceed_tokens() {
+        let mut ctx = Context::new();
+        let cfg = tiny_cfg();
+        let nv = alloc_net_vars(&mut ctx, &cfg);
+        let net = network_constraints(&mut ctx, &nv);
+        // Try to force S(T) above C·(T+h): must be unsat.
+        let too_much = ctx.gt(
+            LinExpr::var(nv.s(cfg.t_max())),
+            LinExpr::constant(int((cfg.t_max() + cfg.history as i64) as i64)),
+        );
+        let mut s = Solver::new();
+        s.assert(&ctx, net);
+        s.assert(&ctx, too_much);
+        assert_eq!(s.check(&ctx), SatResult::Unsat);
+    }
+
+    #[test]
+    fn service_floor_holds_when_backlogged() {
+        // With a large standing backlog (A huge) and no waste possible
+        // (backlog keeps the queue nonempty), service at T must be at least
+        // C·(T+h−D) − W, and W cannot grow; so S(T) ≥ C·(T+h−D) − W(−h) = C·(T+h−1).
+        let mut ctx = Context::new();
+        let cfg = tiny_cfg();
+        let nv = alloc_net_vars(&mut ctx, &cfg);
+        let net = network_constraints(&mut ctx, &nv);
+        let backlog = ctx.ge(LinExpr::var(nv.a(cfg.t_min())), LinExpr::constant(int(1000)));
+        let total = (cfg.t_max() + cfg.history as i64 - cfg.jitter as i64) as i64;
+        let starved = ctx.lt(LinExpr::var(nv.s(cfg.t_max())), LinExpr::constant(int(total)));
+        let mut s = Solver::new();
+        s.assert(&ctx, net);
+        s.assert(&ctx, backlog);
+        s.assert(&ctx, starved);
+        assert_eq!(s.check(&ctx), SatResult::Unsat, "link must serve a backlogged sender");
+    }
+
+    #[test]
+    fn waste_requires_idle() {
+        // Demand that waste grows while the sender has a standing queue
+        // above the token line: must be unsat.
+        let mut ctx = Context::new();
+        let cfg = tiny_cfg();
+        let nv = alloc_net_vars(&mut ctx, &cfg);
+        let net = network_constraints(&mut ctx, &nv);
+        let t = 1i64;
+        let wasted = ctx.gt(LinExpr::var(nv.w(t)), LinExpr::var(nv.w(t - 1)));
+        let busy = ctx.gt(LinExpr::var(nv.a(t)), nv.tokens(t));
+        let mut s = Solver::new();
+        s.assert(&ctx, net);
+        s.assert(&ctx, wasted);
+        s.assert(&ctx, busy);
+        assert_eq!(s.check(&ctx), SatResult::Unsat);
+    }
+
+    #[test]
+    fn lossless_scope_pins_losses_to_zero() {
+        let mut ctx = Context::new();
+        let cfg = tiny_cfg(); // buffer: None
+        let nv = alloc_net_vars(&mut ctx, &cfg);
+        let net = network_constraints(&mut ctx, &nv);
+        let lossy = ctx.gt(LinExpr::var(nv.l(1)), LinExpr::zero());
+        let mut s = Solver::new();
+        s.assert(&ctx, net);
+        s.assert(&ctx, lossy);
+        assert_eq!(s.check(&ctx), SatResult::Unsat, "L must be 0 in the lossless scope");
+    }
+
+    #[test]
+    fn finite_buffer_bounds_backlog() {
+        // With a 2-BDP buffer, the undropped backlog can never exceed the
+        // token line by more than 2.
+        let mut ctx = Context::new();
+        let cfg = NetConfig { buffer: Some(int(2)), ..tiny_cfg() };
+        let nv = alloc_net_vars(&mut ctx, &cfg);
+        let net = network_constraints(&mut ctx, &nv);
+        let t = 2i64;
+        let backlog = LinExpr::var(nv.a(t)) - LinExpr::var(nv.l(t));
+        let over = ctx.gt(backlog, nv.tokens(t) + LinExpr::constant(int(2)));
+        let mut s = Solver::new();
+        s.assert(&ctx, net);
+        s.assert(&ctx, over);
+        assert_eq!(s.check(&ctx), SatResult::Unsat);
+    }
+
+    #[test]
+    fn finite_buffer_admits_loss_traces() {
+        // An aggressive enough sender can be made to lose data: a trace
+        // with L(T) > 0 exists once A outruns tokens + buffer.
+        let mut ctx = Context::new();
+        let cfg = NetConfig { buffer: Some(int(1)), ..tiny_cfg() };
+        let nv = alloc_net_vars(&mut ctx, &cfg);
+        let net = network_constraints(&mut ctx, &nv);
+        let lossy = ctx.gt(LinExpr::var(nv.l(cfg.t_max())), LinExpr::zero());
+        let mut s = Solver::new();
+        s.assert(&ctx, net);
+        s.assert(&ctx, lossy);
+        assert_eq!(s.check(&ctx), SatResult::Sat, "losses must be expressible");
+        // And the witness respects the drop-only-when-full rule.
+        let m = s.model().unwrap();
+        let trace = crate::trace::Trace::from_model(m, &nv);
+        for t in (cfg.t_min() + 1)..=cfg.t_max() {
+            if trace.l_at(t) > trace.l_at(t - 1) {
+                let tokens = &(&cfg.link_rate * &Rat::from(t + cfg.history as i64)) - trace.w_at(t);
+                let backlog = trace.a_at(t) - trace.l_at(t);
+                assert!(
+                    backlog >= &tokens + &int(1),
+                    "drop at t={t} without a full buffer"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sender_rule_fills_window() {
+        // With cwnd pinned to 2 and an otherwise free network, the sender
+        // must keep inflight = A(t) − S(t−1) exactly 2 whenever it sends.
+        let mut ctx = Context::new();
+        let cfg = tiny_cfg();
+        let nv = alloc_net_vars(&mut ctx, &cfg);
+        let net = network_constraints(&mut ctx, &nv);
+        let snd = sender_constraints(&mut ctx, &nv);
+        let mut cwnd_cs = Vec::new();
+        for t in 0..=cfg.t_max() {
+            cwnd_cs.push(ctx.eq(LinExpr::var(nv.cwnd(t)), LinExpr::constant(int(2))));
+        }
+        let cwnd_fixed = ctx.and(cwnd_cs);
+        // Pin the whole (adversary-chosen) history to zero arrivals so the
+        // induction over the enforced window starts from a clean state.
+        let mut history_pins = Vec::new();
+        for t in cfg.t_min()..0 {
+            history_pins.push(ctx.eq(LinExpr::var(nv.a(t)), LinExpr::zero()));
+        }
+        let no_backlog = ctx.and(history_pins);
+        // Inflight above the window is impossible.
+        let t_probe = 2i64;
+        let overfull = ctx.gt(
+            LinExpr::var(nv.a(t_probe)),
+            LinExpr::var(nv.s(t_probe - 1)) + LinExpr::constant(rat(21, 10)),
+        );
+        let mut s = Solver::new();
+        s.assert(&ctx, net);
+        s.assert(&ctx, snd);
+        s.assert(&ctx, cwnd_fixed);
+        s.assert(&ctx, no_backlog);
+        s.assert(&ctx, overfull);
+        // A(t) = max(A(t−1), S(t−1)+2) and A never exceeded the window in
+        // history (A(−h)=0), so inflight can exceed 2 only via A(t−1), which
+        // inductively is bounded by S(t−2)+2 ≤ S(t−1)+2.
+        assert_eq!(s.check(&ctx), SatResult::Unsat);
+    }
+}

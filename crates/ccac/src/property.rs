@@ -1,0 +1,158 @@
+//! The desired-property encoding (the paper's §3.1.1 relaxation).
+
+use crate::model::NetVars;
+use ccmatic_num::Rat;
+use ccmatic_smt::{Context, LinExpr, Term};
+
+/// Performance targets for the synthesized CCA.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Thresholds {
+    /// Minimum fraction of link capacity the CCA must use in steady state
+    /// (`thresh_U`; the paper starts at 0.5).
+    pub util: Rat,
+    /// Maximum standing queue in BDP units ≡ queueing delay in RTTs at
+    /// `C = 1` (`thresh_D`; the paper starts at 4).
+    pub delay: Rat,
+}
+
+impl Default for Thresholds {
+    fn default() -> Self {
+        Thresholds { util: Rat::new(1i64.into(), 2i64.into()), delay: Rat::from(4i64) }
+    }
+}
+
+/// The individual disjuncts of the desired property, exposed so tools can
+/// report *which* clause a counterexample violates.
+#[derive(Clone, Copy, Debug)]
+pub struct DesiredParts {
+    /// `S(T) − S(0) ≥ thresh_U · C · T`.
+    pub util_ok: Term,
+    /// `cwnd(T) > cwnd(0)` — the CCA is ramping up.
+    pub cwnd_up: Term,
+    /// `∀ t ∈ [0,T]. queue(t) ≤ thresh_D`.
+    pub queue_ok: Term,
+    /// `queue(T) < queue(0)` — the backlog is draining.
+    pub queue_down: Term,
+    /// `cwnd(T) < cwnd(0)` — the CCA is backing off.
+    pub cwnd_down: Term,
+    /// The full property:
+    /// `(util_ok ∨ cwnd_up) ∧ (queue_ok ∨ queue_down ∨ cwnd_down)`.
+    pub desired: Term,
+}
+
+/// Encode the relaxed steady-state property over a trace.
+///
+/// The relaxation follows the paper: on a finite window with arbitrary
+/// initial conditions, the best any CCA can do is either meet the target or
+/// move toward it; mathematical induction over consecutive windows then
+/// yields the steady-state guarantee (see the paper's §3.1.1 and DESIGN.md
+/// for the induction argument specialized to this encoding).
+pub fn desired_property(ctx: &mut Context, nv: &NetVars, th: &Thresholds) -> DesiredParts {
+    let cfg = nv.cfg().clone();
+    let t_end = cfg.t_max();
+
+    // Utilization over the enforced window.
+    let work = LinExpr::var(nv.s(t_end)) - LinExpr::var(nv.s(0));
+    let target = &(&th.util * &cfg.link_rate) * &Rat::from(t_end);
+    let util_ok = ctx.ge(work, LinExpr::constant(target));
+
+    let cwnd_up = ctx.gt(LinExpr::var(nv.cwnd(t_end)), LinExpr::var(nv.cwnd(0)));
+    let cwnd_down = ctx.lt(LinExpr::var(nv.cwnd(t_end)), LinExpr::var(nv.cwnd(0)));
+
+    let mut queue_cs = Vec::new();
+    for t in 0..=t_end {
+        queue_cs.push(ctx.le(nv.queue(t), LinExpr::constant(th.delay.clone())));
+    }
+    let queue_ok = ctx.and(queue_cs);
+    let queue_down = ctx.lt(nv.queue(t_end), nv.queue(0));
+
+    let rampup_or_util = ctx.or(vec![util_ok, cwnd_up]);
+    let bounded_or_draining = ctx.or(vec![queue_ok, queue_down, cwnd_down]);
+    let desired = ctx.and(vec![rampup_or_util, bounded_or_draining]);
+
+    DesiredParts { util_ok, cwnd_up, queue_ok, queue_down, cwnd_down, desired }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{alloc_net_vars, network_constraints, sender_constraints, NetConfig};
+    use ccmatic_num::int;
+    use ccmatic_smt::{SatResult, Solver};
+
+    #[test]
+    fn ideal_full_rate_trace_satisfies_property() {
+        // Pin an ideal trace: no waste, service at line rate, cwnd = 2,
+        // no initial backlog. The property must hold (so ¬desired is unsat
+        // together with the pinned trace).
+        let cfg = NetConfig { horizon: 6, history: 2, link_rate: Rat::one(), jitter: 1, buffer: None };
+        let mut ctx = Context::new();
+        let nv = alloc_net_vars(&mut ctx, &cfg);
+        let net = network_constraints(&mut ctx, &nv);
+        let snd = sender_constraints(&mut ctx, &nv);
+        let mut pins = Vec::new();
+        for t in cfg.t_min()..=cfg.t_max() {
+            // S(t) = t + h (full rate), W(t) = 0.
+            pins.push(ctx.eq(
+                LinExpr::var(nv.s(t)),
+                LinExpr::constant(int(t + cfg.history as i64)),
+            ));
+            pins.push(ctx.eq(LinExpr::var(nv.w(t)), LinExpr::zero()));
+            pins.push(ctx.eq(LinExpr::var(nv.cwnd(t)), LinExpr::constant(int(2))));
+        }
+        // History arrivals consistent with the window: A(t) = S(t−1) + 2 for
+        // history steps too (t−1 ≥ t_min).
+        for t in (cfg.t_min() + 1)..0 {
+            pins.push(ctx.eq(
+                LinExpr::var(nv.a(t)),
+                LinExpr::var(nv.s(t - 1)) + LinExpr::constant(int(2)),
+            ));
+        }
+        pins.push(ctx.eq(LinExpr::var(nv.a(cfg.t_min())), LinExpr::constant(int(2))));
+        let pinned = ctx.and(pins);
+        let parts = desired_property(&mut ctx, &nv, &Thresholds::default());
+        let not_desired = ctx.not(parts.desired);
+        let mut s = Solver::new();
+        s.assert(&ctx, net);
+        s.assert(&ctx, snd);
+        s.assert(&ctx, pinned);
+        s.assert(&ctx, not_desired);
+        assert_eq!(
+            s.check(&ctx),
+            SatResult::Unsat,
+            "ideal full-rate trace must satisfy the desired property"
+        );
+    }
+
+    #[test]
+    fn starved_flat_cwnd_trace_violates_property() {
+        // cwnd pinned to 0.1 with zero initial backlog: utilization ~10% and
+        // cwnd flat → property violated, so ¬desired ∧ trace is SAT.
+        let cfg = NetConfig { horizon: 6, history: 2, link_rate: Rat::one(), jitter: 1, buffer: None };
+        let mut ctx = Context::new();
+        let nv = alloc_net_vars(&mut ctx, &cfg);
+        let net = network_constraints(&mut ctx, &nv);
+        let snd = sender_constraints(&mut ctx, &nv);
+        let mut pins = Vec::new();
+        for t in cfg.t_min()..=cfg.t_max() {
+            pins.push(ctx.eq(
+                LinExpr::var(nv.cwnd(t)),
+                LinExpr::constant(Rat::new(1i64.into(), 10i64.into())),
+            ));
+        }
+        pins.push(ctx.eq(LinExpr::var(nv.a(cfg.t_min())), LinExpr::zero()));
+        let pinned = ctx.and(pins);
+        let parts = desired_property(&mut ctx, &nv, &Thresholds::default());
+        let not_desired = ctx.not(parts.desired);
+        let mut s = Solver::new();
+        s.assert(&ctx, net);
+        s.assert(&ctx, snd);
+        s.assert(&ctx, pinned);
+        s.assert(&ctx, not_desired);
+        assert_eq!(
+            s.check(&ctx),
+            SatResult::Sat,
+            "a starving constant-cwnd trace must violate the desired property"
+        );
+    }
+}

@@ -1,0 +1,227 @@
+//! The `ccmatic` command-line tool: synthesis, verification, enumeration,
+//! assumption identification, and differential comparison from one binary.
+//!
+//! ```text
+//! ccmatic synth   [--space no-cwnd-small|no-cwnd-large|cwnd-small|cwnd-large]
+//!                 [--mode baseline|rp|rp-wce] [--util F] [--delay F]
+//!                 [--budget-secs N] [--horizon N] [--lookback N]
+//! ccmatic verify  --cca "b1,b2,b3,b4,g"   (β taps then γ; rationals like 3/2)
+//! ccmatic enumerate [same space/threshold flags]
+//! ccmatic assume  --cca "…"
+//! ccmatic diff    --cca "…" --cca-b "…"
+//! ```
+//!
+//! Flags use simple `--key value` parsing (no external argument-parser
+//! dependency, per the workspace dependency policy).
+
+use ccac_model::{NetConfig, Thresholds};
+use ccmatic::assumptions::describe;
+use ccmatic::differential::{compare, separating_environment};
+use ccmatic::enumerate::enumerate_all;
+use ccmatic::synth::{synthesize, OptMode, SynthOptions};
+use ccmatic::template::{CcaSpec, CoeffDomain, TemplateShape};
+use ccmatic::verifier::{CcaVerifier, VerifyConfig};
+use ccmatic_cegis::{Budget, Outcome};
+use ccmatic_num::{rat, Rat};
+use std::process::ExitCode;
+use std::time::Duration;
+
+struct Args(Vec<String>);
+
+impl Args {
+    fn get(&self, key: &str) -> Option<&str> {
+        self.0
+            .windows(2)
+            .find(|w| w[0] == key)
+            .map(|w| w[1].as_str())
+    }
+
+    fn rat(&self, key: &str) -> Option<Rat> {
+        self.get(key).and_then(Rat::from_decimal_str)
+    }
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: ccmatic <synth|verify|enumerate|assume|diff> [flags]\n\
+         flags: --space no-cwnd-small|no-cwnd-large|cwnd-small|cwnd-large\n\
+         \x20      --mode baseline|rp|rp-wce   --util F --delay F\n\
+         \x20      --budget-secs N --horizon N --lookback N --jitter N\n\
+         \x20      --cca \"b1,b2,…,g\"  --cca-b \"…\"  (β taps then γ)"
+    );
+    ExitCode::FAILURE
+}
+
+fn parse_spec(s: &str) -> Option<CcaSpec> {
+    let parts: Vec<Rat> = s
+        .split(',')
+        .map(|p| Rat::from_decimal_str(p.trim()))
+        .collect::<Option<Vec<_>>>()?;
+    if parts.len() < 2 {
+        return None;
+    }
+    let (beta, gamma) = parts.split_at(parts.len() - 1);
+    Some(CcaSpec { alpha: Vec::new(), beta: beta.to_vec(), gamma: gamma[0].clone() })
+}
+
+fn shape_from(args: &Args) -> TemplateShape {
+    let mut shape = match args.get("--space").unwrap_or("no-cwnd-small") {
+        "no-cwnd-large" => TemplateShape::no_cwnd_large(),
+        "cwnd-small" => TemplateShape::cwnd_small(),
+        "cwnd-large" => TemplateShape::cwnd_large(),
+        _ => TemplateShape::no_cwnd_small(),
+    };
+    if let Some(lb) = args.get("--lookback").and_then(|v| v.parse().ok()) {
+        shape.lookback = lb;
+    }
+    shape
+}
+
+fn net_from(args: &Args, lookback: usize) -> NetConfig {
+    let mut net = NetConfig::default();
+    if let Some(h) = args.get("--horizon").and_then(|v| v.parse().ok()) {
+        net.horizon = h;
+    }
+    if let Some(j) = args.get("--jitter").and_then(|v| v.parse().ok()) {
+        net.jitter = j;
+    }
+    net.history = lookback + 1;
+    net
+}
+
+fn thresholds_from(args: &Args) -> Thresholds {
+    let mut th = Thresholds::default();
+    if let Some(u) = args.rat("--util") {
+        th.util = u;
+    }
+    if let Some(d) = args.rat("--delay") {
+        th.delay = d;
+    }
+    th
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = argv.first().cloned() else {
+        return usage();
+    };
+    let args = Args(argv);
+    let shape = shape_from(&args);
+    let net = net_from(&args, shape.lookback);
+    let th = thresholds_from(&args);
+    let budget_secs: u64 = args
+        .get("--budget-secs")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(300);
+    let mode = match args.get("--mode").unwrap_or("rp-wce") {
+        "baseline" => OptMode::Baseline,
+        "rp" => OptMode::RangePruning,
+        _ => OptMode::RangePruningWce,
+    };
+    let opts = SynthOptions {
+        shape: shape.clone(),
+        net: net.clone(),
+        thresholds: th.clone(),
+        mode,
+        budget: Budget {
+            max_iterations: 1_000_000,
+            max_wall: Duration::from_secs(budget_secs),
+        },
+        wce_precision: rat(1, 2),
+    };
+
+    match cmd.as_str() {
+        "synth" => {
+            eprintln!(
+                "synthesizing over {} candidates ({} mode, util ≥ {}, delay ≤ {})…",
+                shape.search_space_size(),
+                mode.label(),
+                th.util,
+                th.delay
+            );
+            let r = synthesize(&opts);
+            match r.outcome {
+                Outcome::Solution(spec) => {
+                    println!("SOLUTION  {spec}");
+                    println!(
+                        "iterations {} · verifier probes {} · {:.1}s",
+                        r.stats.iterations,
+                        r.verifier_probes,
+                        r.stats.wall.as_secs_f64()
+                    );
+                    ExitCode::SUCCESS
+                }
+                Outcome::NoSolution => {
+                    println!("NO SOLUTION in the search space (proven)");
+                    ExitCode::SUCCESS
+                }
+                Outcome::BudgetExhausted => {
+                    println!("DNF within {budget_secs}s ({} iterations)", r.stats.iterations);
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        "verify" => {
+            let Some(spec) = args.get("--cca").and_then(parse_spec) else {
+                return usage();
+            };
+            let mut net = net;
+            net.history = spec.beta.len() + 1;
+            let mut v = CcaVerifier::new(VerifyConfig {
+                net,
+                thresholds: th,
+                worst_case: false,
+                wce_precision: rat(1, 2),
+            });
+            match v.verify(&spec) {
+                Ok(()) => {
+                    println!("VERIFIED  {spec}");
+                    ExitCode::SUCCESS
+                }
+                Err(cex) => {
+                    println!("REFUTED   {spec}\ncounterexample:\n{cex}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        "enumerate" => {
+            let r = enumerate_all(&opts);
+            println!(
+                "{} solution(s), exhaustive: {}, {} iterations",
+                r.solutions.len(),
+                r.complete,
+                r.stats.iterations
+            );
+            for s in &r.solutions {
+                println!("  {s}");
+            }
+            ExitCode::SUCCESS
+        }
+        "assume" => {
+            let Some(spec) = args.get("--cca").and_then(parse_spec) else {
+                return usage();
+            };
+            let mut net = net;
+            net.history = spec.beta.len().max(3) + 1;
+            print!("{}", describe(&spec, &net, &th, &rat(1, 8)));
+            ExitCode::SUCCESS
+        }
+        "diff" => {
+            let (Some(a), Some(b)) = (
+                args.get("--cca").and_then(parse_spec),
+                args.get("--cca-b").and_then(parse_spec),
+            ) else {
+                return usage();
+            };
+            let mut net = net;
+            net.history = a.beta.len().max(b.beta.len()).max(3) + 1;
+            println!("{}", compare(&a, &b, &net, &th, &rat(1, 8)));
+            match separating_environment(&a, &b, &net, &th) {
+                Some(tr) => println!("\nseparating environment (breaks B, A proven safe):\n{tr}"),
+                None => println!("\nno separating environment (A unsafe, or B as robust as A)"),
+            }
+            ExitCode::SUCCESS
+        }
+        _ => usage(),
+    }
+}

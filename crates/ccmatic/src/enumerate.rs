@@ -1,0 +1,107 @@
+//! Exhaustive solution enumeration (§4 "Extensions": "we ask CCmatic to
+//! produce all possible solutions, implying that there are no other
+//! solutions in our search space").
+//!
+//! After each certified solution the exact coefficient assignment is
+//! blocked in the generator and the CEGIS loop continues; when the
+//! generator reports unsat, the collected set is provably exhaustive.
+
+use crate::synth::{build_loop, SynthOptions};
+use crate::template::CcaSpec;
+use ccmatic_cegis::{run, Budget, Outcome, Stats};
+
+/// Result of [`enumerate_all`].
+#[derive(Debug)]
+pub struct EnumerateResult {
+    /// Every CCA in the search space satisfying the property (exhaustive
+    /// iff `complete`).
+    pub solutions: Vec<CcaSpec>,
+    /// True when the space was provably exhausted; false when a budget ran
+    /// out first.
+    pub complete: bool,
+    /// Accumulated loop statistics across all solutions.
+    pub stats: Stats,
+}
+
+/// Enumerate every solution in the search space.
+pub fn enumerate_all(opts: &SynthOptions) -> EnumerateResult {
+    let (mut generator, mut verifier) = build_loop(opts);
+    let mut solutions = Vec::new();
+    let mut stats = Stats::default();
+    let mut remaining = opts.budget.max_iterations;
+    let deadline = std::time::Instant::now() + opts.budget.max_wall;
+    loop {
+        let budget = Budget {
+            max_iterations: remaining,
+            max_wall: deadline.saturating_duration_since(std::time::Instant::now()),
+        };
+        if budget.max_iterations == 0 || budget.max_wall.is_zero() {
+            return EnumerateResult { solutions, complete: false, stats };
+        }
+        let result = run(&mut generator, &mut verifier, &budget);
+        stats.iterations += result.stats.iterations;
+        stats.generator_time += result.stats.generator_time;
+        stats.verifier_time += result.stats.verifier_time;
+        stats.verifier_calls += result.stats.verifier_calls;
+        stats.wall += result.stats.wall;
+        remaining = remaining.saturating_sub(result.stats.iterations);
+        match result.outcome {
+            Outcome::Solution(spec) => {
+                generator.0.block(&spec);
+                solutions.push(spec);
+            }
+            Outcome::NoSolution => {
+                return EnumerateResult { solutions, complete: true, stats };
+            }
+            Outcome::BudgetExhausted => {
+                return EnumerateResult { solutions, complete: false, stats };
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::OptMode;
+    use crate::template::{CoeffDomain, TemplateShape};
+    use crate::verifier::{CcaVerifier, VerifyConfig};
+    use ccac_model::{NetConfig, Thresholds};
+    use ccmatic_num::Rat;
+    use std::time::Duration;
+
+    #[test]
+    fn enumeration_is_sound_and_terminates_on_tiny_space() {
+        // Tiny space: lookback 2, domain {−1,0,1} → 27 candidates. Every
+        // returned solution must re-verify; completeness must be reported.
+        let opts = SynthOptions {
+            shape: TemplateShape { lookback: 2, use_cwnd: false, domain: CoeffDomain::Small },
+            net: NetConfig { horizon: 5, history: 3, link_rate: Rat::one(), jitter: 1, buffer: None },
+            thresholds: Thresholds::default(),
+            mode: OptMode::RangePruningWce,
+            budget: ccmatic_cegis::Budget {
+                max_iterations: 600,
+                max_wall: Duration::from_secs(240),
+            },
+            wce_precision: Rat::new(1i64.into(), 2i64.into()),
+        };
+        let result = enumerate_all(&opts);
+        assert!(result.complete, "tiny space must be exhausted within budget");
+        assert!(result.solutions.len() <= 27);
+        let mut v = CcaVerifier::new(VerifyConfig {
+            net: opts.net.clone(),
+            thresholds: opts.thresholds.clone(),
+            worst_case: false,
+            wce_precision: opts.wce_precision.clone(),
+        });
+        for s in &result.solutions {
+            assert!(v.verify(s).is_ok(), "enumerated non-solution {s}");
+        }
+        // No duplicates.
+        for (i, a) in result.solutions.iter().enumerate() {
+            for b in &result.solutions[i + 1..] {
+                assert_ne!(a, b, "duplicate solution");
+            }
+        }
+    }
+}

@@ -1,0 +1,456 @@
+//! The generator: proposes candidate CCAs consistent with all
+//! counterexamples seen so far.
+//!
+//! The generator maintains one incremental SMT solver. Coefficients are
+//! encoded with *selector booleans* over the discrete domain — the paper's
+//! `ite` linearization (§3.1.2): a product `αᵢ·cwnd(t−i)` between a
+//! coefficient variable and a trace-dependent variable becomes the family
+//! of linear implications `(αᵢ = a) ⟹ product = a·cwnd(t−i)`, one per
+//! domain value `a`.
+//!
+//! Each learned counterexample τ adds the constraint `σ(A, τ)`, i.e.
+//! `feasible(A, τ) ⟹ desired(A, τ)`, where the feasibility encoding is the
+//! crux of the paper's *range pruning*:
+//!
+//! * [`FeasibilityMode::Baseline`] — the trace eliminates exactly the CCA
+//!   behaviours whose cumulative sends match the trace byte-for-byte
+//!   (`∀t. A(t) = A_τ(t)`). Trivially evaded: the generator tweaks a
+//!   coefficient so that `A` differs anywhere, forcing a fresh verifier
+//!   call per tweak — the paper's observed pathology.
+//! * [`FeasibilityMode::RangePruning`] — the trace eliminates the *range*
+//!   of behaviours compatible with its service/waste schedule:
+//!   `∀t. S_τ(t) ≤ A(t)  ∧  (W_τ(t) > W_τ(t−1) ⟹ A(t) ≤ C·(t+h) − W_τ(t))`
+//!   (the paper's `[Sₜ, ∞]` / `[Sₜ, Cₜ−Wₜ]` intervals, derived by algebraic
+//!   manipulation of the CCAC constraints).
+
+use crate::template::{CcaSpec, TemplateShape};
+use ccac_model::{NetConfig, Thresholds, Trace};
+use ccmatic_num::Rat;
+use ccmatic_smt::{Context, LinExpr, RealVar, SatResult, Solver, Term};
+
+/// How much of the candidate space each counterexample eliminates.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FeasibilityMode {
+    /// Exact-trace matching (one behaviour per counterexample).
+    Baseline,
+    /// Interval feasibility (the §3.1.2 "range pruning" optimization).
+    RangePruning,
+}
+
+/// One coefficient: its value variable plus the selector literal per
+/// domain value.
+struct Coeff {
+    value: RealVar,
+    selectors: Vec<(Rat, Term)>,
+}
+
+/// The SMT-backed generator.
+pub struct SmtGenerator {
+    ctx: Context,
+    solver: Solver,
+    shape: TemplateShape,
+    net: NetConfig,
+    thresholds: Thresholds,
+    mode: FeasibilityMode,
+    /// alphas (if any) then betas then gamma.
+    coeffs: Vec<Coeff>,
+    /// Counterexamples learned (kept for reporting).
+    pub num_learned: u64,
+}
+
+impl SmtGenerator {
+    /// Create a generator over the given search space.
+    pub fn new(
+        shape: TemplateShape,
+        net: NetConfig,
+        thresholds: Thresholds,
+        mode: FeasibilityMode,
+    ) -> Self {
+        assert!(
+            net.history >= shape.lookback + 1,
+            "network history {} must exceed template lookback {}",
+            net.history,
+            shape.lookback
+        );
+        let mut ctx = Context::new();
+        let mut solver = Solver::new();
+        let mut coeffs = Vec::new();
+        let domain = shape.domain.values();
+        let names: Vec<String> = Self::coeff_names(&shape);
+        for name in &names {
+            let value = ctx.real_var(name.clone());
+            let mut selectors = Vec::with_capacity(domain.len());
+            for a in &domain {
+                let b = ctx.bool_var(format!("{name}={a}"));
+                // Selector fixes the value.
+                let eq = ctx.eq(LinExpr::var(value), LinExpr::constant(a.clone()));
+                let bind = ctx.implies(b, eq);
+                solver.assert(&ctx, bind);
+                selectors.push((a.clone(), b));
+            }
+            // Exactly one selector: at least one…
+            let at_least = ctx.or(selectors.iter().map(|(_, b)| *b).collect());
+            solver.assert(&ctx, at_least);
+            // …and pairwise exclusion.
+            for i in 0..selectors.len() {
+                for j in (i + 1)..selectors.len() {
+                    let ni = ctx.not(selectors[i].1);
+                    let nj = ctx.not(selectors[j].1);
+                    let excl = ctx.or(vec![ni, nj]);
+                    solver.assert(&ctx, excl);
+                }
+            }
+            coeffs.push(Coeff { value, selectors });
+        }
+        SmtGenerator { ctx, solver, shape, net, thresholds, mode, coeffs, num_learned: 0 }
+    }
+
+    fn coeff_names(shape: &TemplateShape) -> Vec<String> {
+        let mut names = Vec::new();
+        if shape.use_cwnd {
+            for i in 1..=shape.lookback {
+                names.push(format!("α{i}"));
+            }
+        }
+        for i in 1..=shape.lookback {
+            names.push(format!("β{i}"));
+        }
+        names.push("γ".into());
+        names
+    }
+
+    fn alpha(&self, i: usize) -> Option<&Coeff> {
+        if self.shape.use_cwnd {
+            Some(&self.coeffs[i])
+        } else {
+            None
+        }
+    }
+
+    fn beta(&self, i: usize) -> &Coeff {
+        let off = if self.shape.use_cwnd { self.shape.lookback } else { 0 };
+        &self.coeffs[off + i]
+    }
+
+    fn gamma(&self) -> &Coeff {
+        self.coeffs.last().unwrap()
+    }
+
+    /// Ask the solver for a coefficient assignment consistent with every
+    /// learned counterexample. `None` means the space is exhausted.
+    pub fn propose(&mut self) -> Option<CcaSpec> {
+        match self.solver.check(&self.ctx) {
+            SatResult::Sat => {
+                let model = self.solver.model().unwrap();
+                let read = |c: &Coeff| model.real(c.value);
+                let alpha = if self.shape.use_cwnd {
+                    (0..self.shape.lookback).map(|i| read(self.alpha(i).unwrap())).collect()
+                } else {
+                    Vec::new()
+                };
+                let beta = (0..self.shape.lookback).map(|i| read(self.beta(i))).collect();
+                let gamma = read(self.gamma());
+                Some(CcaSpec { alpha, beta, gamma })
+            }
+            SatResult::Unsat => None,
+            // `None` from propose is a *completeness claim* ("no candidate
+            // exists"), so a budget-limited Unknown must never be mapped to
+            // it. The generator never sets a conflict budget, making this
+            // unreachable by construction.
+            SatResult::Unknown => {
+                unreachable!("generator solver runs without a conflict budget")
+            }
+        }
+    }
+
+    /// Exclude one exact coefficient assignment (used between solutions when
+    /// enumerating the full solution set).
+    pub fn block(&mut self, spec: &CcaSpec) {
+        let flat = spec.flat();
+        debug_assert_eq!(flat.len(), self.coeffs.len());
+        let mut lits = Vec::with_capacity(flat.len());
+        for (coeff, v) in self.coeffs.iter().zip(&flat) {
+            let sel = coeff
+                .selectors
+                .iter()
+                .find(|(a, _)| a == v)
+                .expect("blocked value must be in the domain")
+                .1;
+            lits.push(sel);
+        }
+        let nots: Vec<Term> = lits.iter().map(|&l| self.ctx.not(l)).collect();
+        let clause = self.ctx.or(nots);
+        self.solver.assert(&self.ctx, clause);
+    }
+
+    /// Learn a counterexample trace: assert `feasible(A, τ) ⟹ desired(A, τ)`
+    /// over fresh response variables for this trace.
+    pub fn learn(&mut self, cex: &Trace) {
+        self.num_learned += 1;
+        let n = self.num_learned;
+        let t_end = self.net.t_max();
+        let history = self.net.history as i64;
+        let link_rate = self.net.link_rate.clone();
+
+        // Fresh response variables for t ∈ [0, T].
+        let cwnd: Vec<RealVar> =
+            (0..=t_end).map(|t| self.ctx.real_var(format!("g{n}.cwnd[{t}]"))).collect();
+        let a: Vec<RealVar> =
+            (0..=t_end).map(|t| self.ctx.real_var(format!("g{n}.A[{t}]"))).collect();
+        let cw = |t: i64| -> LinExpr {
+            if t >= 0 {
+                LinExpr::var(cwnd[t as usize])
+            } else {
+                LinExpr::constant(cex.cwnd_at(t).clone())
+            }
+        };
+        let av = |t: i64| -> LinExpr {
+            if t >= 0 {
+                LinExpr::var(a[t as usize])
+            } else {
+                LinExpr::constant(cex.a_at(t).clone())
+            }
+        };
+
+        let mut cs: Vec<Term> = Vec::new();
+
+        // Template: cwnd(t) = Σ αᵢ·cwnd(t−i) + Σ βᵢ·S_τ(t−1−i) + γ.
+        for t in 0..=t_end {
+            let mut rhs = LinExpr::var(self.gamma().value);
+            for i in 0..self.shape.lookback {
+                // β tap is linear: the ack sample is a trace constant.
+                let ack_sample = cex.s_at(t - i as i64 - 2).clone();
+                rhs = rhs + LinExpr::term(self.beta(i).value, ack_sample);
+            }
+            if self.shape.use_cwnd {
+                for i in 0..self.shape.lookback {
+                    let back = t - i as i64 - 1;
+                    if back < 0 {
+                        // Historical cwnd is a trace constant: linear tap.
+                        rhs = rhs
+                            + LinExpr::term(self.alpha(i).unwrap().value, cex.cwnd_at(back).clone());
+                    } else {
+                        // Product of two variables: ite-linearize through
+                        // the selector booleans (§3.1.2).
+                        let p = self.ctx.real_var(format!("g{n}.p{i}[{t}]"));
+                        let selectors = self.alpha(i).unwrap().selectors.clone();
+                        for (value, sel) in selectors {
+                            let prod =
+                                LinExpr::term(cwnd[back as usize], value.clone());
+                            let eq = self.ctx.eq(LinExpr::var(p), prod);
+                            let bind = self.ctx.implies(sel, eq);
+                            cs.push(bind);
+                        }
+                        rhs = rhs + LinExpr::var(p);
+                    }
+                }
+            }
+            cs.push(self.ctx.eq(LinExpr::var(cwnd[t as usize]), rhs));
+        }
+
+        // Sender rule: A(t) = max(A(t−1), S_τ(t−1) + cwnd(t)).
+        for t in 0..=t_end {
+            let prev = av(t - 1);
+            let window = LinExpr::constant(cex.s_at(t - 1).clone()) + cw(t);
+            let at = av(t);
+            let ge1 = self.ctx.ge(at.clone(), prev.clone());
+            let ge2 = self.ctx.ge(at.clone(), window.clone());
+            let le1 = self.ctx.le(at.clone(), prev);
+            let le2 = self.ctx.le(at, window);
+            let tight = self.ctx.or(vec![le1, le2]);
+            cs.push(ge1);
+            cs.push(ge2);
+            cs.push(tight);
+        }
+
+        // Feasibility of the trace against this candidate's behaviour.
+        let mut feas = Vec::new();
+        match self.mode {
+            FeasibilityMode::Baseline => {
+                for t in 0..=t_end {
+                    feas.push(
+                        self.ctx.eq(av(t), LinExpr::constant(cex.a_at(t).clone())),
+                    );
+                }
+            }
+            FeasibilityMode::RangePruning => {
+                for t in 0..=t_end {
+                    // S_τ(t) ≤ A(t): the link never served data the CCA
+                    // had not sent.
+                    feas.push(self.ctx.ge(av(t), LinExpr::constant(cex.s_at(t).clone())));
+                    // When the trace wasted tokens, the queue must have been
+                    // at or below the token line.
+                    if cex.waste_increased(t) {
+                        let tokens =
+                            &(&link_rate * &Rat::from(t + history)) - cex.w_at(t);
+                        feas.push(self.ctx.le(av(t), LinExpr::constant(tokens)));
+                    }
+                }
+            }
+        }
+        let feasible = self.ctx.and(feas);
+
+        // Desired property with trace-constant S and candidate-dependent
+        // A/cwnd. Constant comparisons fold inside the context.
+        let th = self.thresholds.clone();
+        let work = cex.s_at(t_end) - cex.s_at(0);
+        let target = &(&th.util * &link_rate) * &Rat::from(t_end);
+        let util_ok = if work >= target { self.ctx.tru() } else { self.ctx.fls() };
+        let cwnd_up = self.ctx.gt(cw(t_end), cw(0));
+        let cwnd_down = self.ctx.lt(cw(t_end), cw(0));
+        let mut queue_cs = Vec::new();
+        for t in 0..=t_end {
+            let queue = av(t) - LinExpr::constant(cex.s_at(t).clone());
+            queue_cs.push(self.ctx.le(queue, LinExpr::constant(th.delay.clone())));
+        }
+        let queue_ok = self.ctx.and(queue_cs);
+        let q_end = av(t_end) - LinExpr::constant(cex.s_at(t_end).clone());
+        let q_start = av(0) - LinExpr::constant(cex.s_at(0).clone());
+        let queue_down = self.ctx.lt(q_end, q_start);
+        let c1 = self.ctx.or(vec![util_ok, cwnd_up]);
+        let c2 = self.ctx.or(vec![queue_ok, queue_down, cwnd_down]);
+        let desired = self.ctx.and(vec![c1, c2]);
+
+        let sigma = self.ctx.implies(feasible, desired);
+        cs.push(sigma);
+        let all = self.ctx.and(cs);
+        self.solver.assert(&self.ctx, all);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verifier::{CcaVerifier, VerifyConfig};
+    use crate::{known, template::TemplateShape};
+    use ccmatic_num::int;
+
+    fn small_net() -> NetConfig {
+        NetConfig { horizon: 6, history: 5, link_rate: Rat::one(), jitter: 1, buffer: None }
+    }
+
+    #[test]
+    fn fresh_generator_proposes_something() {
+        let mut g = SmtGenerator::new(
+            TemplateShape::no_cwnd_small(),
+            small_net(),
+            Thresholds::default(),
+            FeasibilityMode::RangePruning,
+        );
+        let spec = g.propose().expect("unconstrained space must have a candidate");
+        // All coefficients must come from the domain.
+        for c in spec.flat() {
+            assert!(
+                [int(-1), int(0), int(1)].contains(&c),
+                "coefficient {c} outside the small domain"
+            );
+        }
+    }
+
+    #[test]
+    fn blocking_excludes_exact_assignment() {
+        let mut g = SmtGenerator::new(
+            TemplateShape::no_cwnd_small(),
+            small_net(),
+            Thresholds::default(),
+            FeasibilityMode::RangePruning,
+        );
+        let first = g.propose().unwrap();
+        g.block(&first);
+        let second = g.propose().unwrap();
+        assert_ne!(first, second);
+    }
+
+    #[test]
+    fn blocking_everything_exhausts_space() {
+        // Tiny custom domain {0,1}, lookback 1, no cwnd → 4 candidates.
+        let shape = TemplateShape {
+            lookback: 1,
+            use_cwnd: false,
+            domain: crate::template::CoeffDomain::Custom(vec![int(0), int(1)]),
+        };
+        let net = NetConfig { horizon: 3, history: 2, link_rate: Rat::one(), jitter: 1, buffer: None };
+        let mut g =
+            SmtGenerator::new(shape, net, Thresholds::default(), FeasibilityMode::RangePruning);
+        let mut seen = Vec::new();
+        while let Some(spec) = g.propose() {
+            assert!(!seen.contains(&spec), "proposed a blocked candidate");
+            g.block(&spec);
+            seen.push(spec);
+            assert!(seen.len() <= 4, "more proposals than the space size");
+        }
+        assert_eq!(seen.len(), 4);
+    }
+
+    #[test]
+    fn learning_a_counterexample_rules_out_the_broken_candidate() {
+        let net = small_net();
+        let shape = TemplateShape::no_cwnd_small();
+        let mut verifier = CcaVerifier::new(VerifyConfig {
+            net: net.clone(),
+            thresholds: Thresholds::default(),
+            worst_case: false,
+            wce_precision: Rat::new(1i64.into(), 4i64.into()),
+        });
+        let mut g = SmtGenerator::new(
+            shape,
+            net,
+            Thresholds::default(),
+            FeasibilityMode::RangePruning,
+        );
+        // The all-zero candidate is broken; its counterexample must stop the
+        // generator from proposing all-zero again.
+        let zero = known::const_cwnd(Rat::zero());
+        let cex = verifier.verify(&zero).expect_err("zero cwnd must be refuted");
+        g.learn(&cex);
+        for _ in 0..8 {
+            let Some(next) = g.propose() else {
+                return; // exhausted — fine for this property
+            };
+            assert_ne!(next, zero, "generator re-proposed a refuted candidate");
+            g.block(&next);
+        }
+    }
+
+    #[test]
+    fn range_pruning_learns_faster_than_baseline() {
+        // Count how many distinct candidates each mode can still propose
+        // after learning the same counterexample. Range pruning must prune
+        // at least as many as baseline.
+        let net = NetConfig { horizon: 4, history: 3, link_rate: Rat::one(), jitter: 1, buffer: None };
+        let shape = TemplateShape {
+            lookback: 2,
+            use_cwnd: false,
+            domain: crate::template::CoeffDomain::Small,
+        };
+        let mut verifier = CcaVerifier::new(VerifyConfig {
+            net: net.clone(),
+            thresholds: Thresholds::default(),
+            worst_case: true,
+            wce_precision: Rat::new(1i64.into(), 2i64.into()),
+        });
+        let broken = CcaSpec { alpha: vec![], beta: vec![int(0), int(0)], gamma: int(0) };
+        let cex = verifier.verify(&broken).expect_err("refuted");
+        let count_remaining = |mode: FeasibilityMode| {
+            let mut g = SmtGenerator::new(
+                shape.clone(),
+                net.clone(),
+                Thresholds::default(),
+                mode,
+            );
+            g.learn(&cex);
+            let mut n = 0;
+            while let Some(spec) = g.propose() {
+                g.block(&spec);
+                n += 1;
+                if n > 27 {
+                    break;
+                }
+            }
+            n
+        };
+        let base = count_remaining(FeasibilityMode::Baseline);
+        let rp = count_remaining(FeasibilityMode::RangePruning);
+        assert!(rp <= base, "range pruning ({rp}) must not keep more candidates than baseline ({base})");
+    }
+}

@@ -1,0 +1,109 @@
+//! Threshold sweeps over the solution space (§4: how the solution count
+//! moves as the utilization and delay targets change).
+
+use crate::enumerate::{enumerate_all, EnumerateResult};
+use crate::synth::SynthOptions;
+use ccac_model::Thresholds;
+use ccmatic_num::Rat;
+
+/// One row of a sweep report.
+#[derive(Debug)]
+pub struct SweepRow {
+    /// The thresholds used.
+    pub thresholds: Thresholds,
+    /// The enumeration outcome at those thresholds.
+    pub result: EnumerateResult,
+}
+
+/// Enumerate the solution space at each utilization threshold (delay held
+/// fixed). The paper's §4: at ≤4×RTT delay, ≥65 % utilization leaves 2
+/// CCAs and ≥70 % leaves only Equation (iii).
+pub fn sweep_utilization(base: &SynthOptions, utils: &[Rat]) -> Vec<SweepRow> {
+    utils
+        .iter()
+        .map(|u| {
+            let mut opts = base.clone();
+            opts.thresholds.util = u.clone();
+            SweepRow { thresholds: opts.thresholds.clone(), result: enumerate_all(&opts) }
+        })
+        .collect()
+}
+
+/// Enumerate the solution space at each delay threshold (utilization held
+/// fixed). The paper's §4: at ≥50 % utilization there are 245 solutions at
+/// ≤8×RTT, 9 at ≤3.6×RTT, and none at ≤3×RTT.
+pub fn sweep_delay(base: &SynthOptions, delays: &[Rat]) -> Vec<SweepRow> {
+    delays
+        .iter()
+        .map(|d| {
+            let mut opts = base.clone();
+            opts.thresholds.delay = d.clone();
+            SweepRow { thresholds: opts.thresholds.clone(), result: enumerate_all(&opts) }
+        })
+        .collect()
+}
+
+/// Render sweep rows as a Markdown table (used by the bench binaries and
+/// EXPERIMENTS.md).
+pub fn render_table(rows: &[SweepRow]) -> String {
+    let mut out = String::from("| util ≥ | delay ≤ | solutions | complete |\n|---|---|---|---|\n");
+    for row in rows {
+        out.push_str(&format!(
+            "| {} | {} | {} | {} |\n",
+            row.thresholds.util,
+            row.thresholds.delay,
+            row.result.solutions.len(),
+            if row.result.complete { "yes" } else { "budget" },
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::OptMode;
+    use crate::template::{CoeffDomain, TemplateShape};
+    use ccac_model::NetConfig;
+    use ccmatic_num::{int, rat};
+    use std::time::Duration;
+
+    fn tiny_base() -> SynthOptions {
+        SynthOptions {
+            shape: TemplateShape { lookback: 2, use_cwnd: false, domain: CoeffDomain::Small },
+            net: NetConfig { horizon: 5, history: 3, link_rate: ccmatic_num::Rat::one(), jitter: 1, buffer: None },
+            thresholds: Thresholds::default(),
+            mode: OptMode::RangePruningWce,
+            budget: ccmatic_cegis::Budget {
+                max_iterations: 600,
+                max_wall: Duration::from_secs(300),
+            },
+            wce_precision: rat(1, 2),
+        }
+    }
+
+    #[test]
+    fn tighter_delay_never_adds_solutions() {
+        let base = tiny_base();
+        let rows = sweep_delay(&base, &[int(8), int(4), int(2)]);
+        assert_eq!(rows.len(), 3);
+        for w in rows.windows(2) {
+            assert!(
+                w[0].result.solutions.len() >= w[1].result.solutions.len(),
+                "solution count must shrink as the delay bound tightens"
+            );
+        }
+        let table = render_table(&rows);
+        assert!(table.contains("| solutions |") || table.contains("solutions"));
+    }
+
+    #[test]
+    fn tighter_utilization_never_adds_solutions() {
+        let base = tiny_base();
+        let rows = sweep_utilization(&base, &[rat(1, 2), rat(7, 10)]);
+        assert!(
+            rows[0].result.solutions.len() >= rows[1].result.solutions.len(),
+            "solution count must shrink as the utilization target rises"
+        );
+    }
+}

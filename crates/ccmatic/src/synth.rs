@@ -1,0 +1,206 @@
+//! End-to-end synthesis: wire the generator and verifier into the CEGIS
+//! engine (the paper's Table-1 experiment, "time to synthesize first
+//! solution").
+
+use crate::generator::{FeasibilityMode, SmtGenerator};
+use crate::template::{CcaSpec, TemplateShape};
+use crate::verifier::{CcaVerifier, VerifyConfig};
+use ccac_model::{NetConfig, Thresholds, Trace};
+use ccmatic_cegis::{Budget, Generator, Outcome, Stats, Verifier};
+use ccmatic_num::Rat;
+
+/// Which of the paper's §3.1.2 optimizations to enable — the three columns
+/// of Table 1.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OptMode {
+    /// No optimizations: exact-trace feasibility, first counterexample.
+    Baseline,
+    /// Range pruning (RP).
+    RangePruning,
+    /// Range pruning + worst-case counterexamples (RP+WCE).
+    RangePruningWce,
+}
+
+impl OptMode {
+    /// The feasibility encoding this mode uses.
+    pub fn feasibility(self) -> FeasibilityMode {
+        match self {
+            OptMode::Baseline => FeasibilityMode::Baseline,
+            _ => FeasibilityMode::RangePruning,
+        }
+    }
+
+    /// Whether the verifier maximizes counterexample ranges.
+    pub fn worst_case(self) -> bool {
+        matches!(self, OptMode::RangePruningWce)
+    }
+
+    /// Table-1 column label.
+    pub fn label(self) -> &'static str {
+        match self {
+            OptMode::Baseline => "Baseline",
+            OptMode::RangePruning => "RP",
+            OptMode::RangePruningWce => "RP+WCE",
+        }
+    }
+}
+
+/// All knobs of one synthesis run.
+#[derive(Clone, Debug)]
+pub struct SynthOptions {
+    /// The search space (Table 1's `Params`/`Domain` columns).
+    pub shape: TemplateShape,
+    /// Network model shape.
+    pub net: NetConfig,
+    /// Performance targets.
+    pub thresholds: Thresholds,
+    /// Optimization level (Table 1's method columns).
+    pub mode: OptMode,
+    /// Loop budget.
+    pub budget: Budget,
+    /// WCE binary-search precision.
+    pub wce_precision: Rat,
+}
+
+impl Default for SynthOptions {
+    fn default() -> Self {
+        SynthOptions {
+            shape: TemplateShape::no_cwnd_small(),
+            net: NetConfig::default(),
+            thresholds: Thresholds::default(),
+            mode: OptMode::RangePruningWce,
+            budget: Budget::default(),
+            wce_precision: Rat::new(1i64.into(), 4i64.into()),
+        }
+    }
+}
+
+/// Outcome of [`synthesize`].
+#[derive(Debug)]
+pub struct SynthResult {
+    /// Solution / no-solution / budget.
+    pub outcome: Outcome<CcaSpec>,
+    /// Loop statistics (iterations, generator/verifier split — the columns
+    /// of Table 1).
+    pub stats: Stats,
+    /// Underlying verifier probes (exceeds verifier calls when WCE
+    /// binary-searches).
+    pub verifier_probes: u64,
+}
+
+/// Adapter: [`SmtGenerator`] as a [`ccmatic_cegis::Generator`].
+pub struct GenAdapter(pub SmtGenerator);
+
+impl Generator for GenAdapter {
+    type Candidate = CcaSpec;
+    type CounterExample = Trace;
+
+    fn propose(&mut self) -> Option<CcaSpec> {
+        self.0.propose()
+    }
+
+    fn learn(&mut self, _candidate: &CcaSpec, cex: &Trace) {
+        self.0.learn(cex);
+    }
+}
+
+/// Adapter: [`CcaVerifier`] as a [`ccmatic_cegis::Verifier`].
+pub struct VerAdapter(pub CcaVerifier);
+
+impl Verifier for VerAdapter {
+    type Candidate = CcaSpec;
+    type CounterExample = Trace;
+
+    fn verify(&mut self, candidate: &CcaSpec) -> Result<(), Trace> {
+        self.0.verify(candidate)
+    }
+}
+
+/// Build the generator/verifier pair for `opts`.
+pub fn build_loop(opts: &SynthOptions) -> (GenAdapter, VerAdapter) {
+    let generator = SmtGenerator::new(
+        opts.shape.clone(),
+        opts.net.clone(),
+        opts.thresholds.clone(),
+        opts.mode.feasibility(),
+    );
+    let verifier = CcaVerifier::new(VerifyConfig {
+        net: opts.net.clone(),
+        thresholds: opts.thresholds.clone(),
+        worst_case: opts.mode.worst_case(),
+        wce_precision: opts.wce_precision.clone(),
+    });
+    (GenAdapter(generator), VerAdapter(verifier))
+}
+
+/// Run CEGIS until the first solution (or exhaustion/budget).
+pub fn synthesize(opts: &SynthOptions) -> SynthResult {
+    let (mut generator, mut verifier) = build_loop(opts);
+    let run = ccmatic_cegis::run(&mut generator, &mut verifier, &opts.budget);
+    SynthResult {
+        outcome: run.outcome,
+        stats: run.stats,
+        verifier_probes: verifier.0.solver_probes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::template::CoeffDomain;
+    use ccmatic_num::int;
+    use std::time::Duration;
+
+    /// A reduced configuration that keeps unit-test times low: shorter
+    /// horizon and lookback 3 (RoCC needs taps at t−1 and t−3, so lookback
+    /// 3 still contains it: 3³·... candidates).
+    fn quick_opts(mode: OptMode) -> SynthOptions {
+        SynthOptions {
+            shape: TemplateShape { lookback: 3, use_cwnd: false, domain: CoeffDomain::Small },
+            net: NetConfig { horizon: 6, history: 4, link_rate: Rat::one(), jitter: 1, buffer: None },
+            thresholds: Thresholds::default(),
+            mode,
+            budget: Budget { max_iterations: 400, max_wall: Duration::from_secs(240) },
+            wce_precision: Rat::new(1i64.into(), 2i64.into()),
+        }
+    }
+
+    #[test]
+    fn synthesis_finds_a_working_cca_with_rp_wce() {
+        let opts = quick_opts(OptMode::RangePruningWce);
+        let result = synthesize(&opts);
+        match result.outcome {
+            Outcome::Solution(spec) => {
+                // Sound by construction, but double-check with a fresh
+                // verifier.
+                let mut v = CcaVerifier::new(VerifyConfig {
+                    net: opts.net.clone(),
+                    thresholds: opts.thresholds.clone(),
+                    worst_case: false,
+                    wce_precision: opts.wce_precision.clone(),
+                });
+                assert!(v.verify(&spec).is_ok(), "synthesized CCA failed re-verification: {spec}");
+            }
+            other => panic!("expected a solution, got {other:?}"),
+        }
+        assert!(result.stats.iterations >= 1);
+    }
+
+    #[test]
+    fn synthesized_solution_resembles_rocc() {
+        // In the small no-cwnd space the survivors are RoCC-like: rate
+        // taps that sum to ~0 with a positive additive term, i.e. cwnd ≈
+        // bytes delivered over a recent window + constant.
+        let opts = quick_opts(OptMode::RangePruningWce);
+        let result = synthesize(&opts);
+        let Outcome::Solution(spec) = result.outcome else {
+            panic!("no solution")
+        };
+        let tap_sum = spec.beta.iter().fold(Rat::zero(), |acc, b| &acc + b);
+        assert!(
+            tap_sum.is_zero(),
+            "rate taps should cancel (rate-proportional rule), got {spec}"
+        );
+        assert!(spec.gamma > int(0), "needs a positive additive term, got {spec}");
+    }
+}

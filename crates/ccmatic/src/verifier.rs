@@ -1,0 +1,217 @@
+//! The verifier: checks one concrete CCA against *all* network traces.
+//!
+//! Implements the paper's verifier role (CCAC): the query
+//! `∃ τ. feasible(A*, τ) ∧ ¬desired(A*, τ)` for a concrete candidate `A*`.
+//! With [`VerifyConfig::worst_case`] enabled it additionally asks for the
+//! *worst-case counterexample* (§3.1.2): among all violating traces, one
+//! maximizing the minimum width of the CCA-behaviour band
+//! `minₜ (tokens(t) − S(t))`, found by binary search over solver calls —
+//! each such trace prunes the largest possible range of candidate CCAs in
+//! the generator.
+
+use crate::template::CcaSpec;
+use ccac_model::{
+    alloc_net_vars, desired_property, network_constraints, sender_constraints, NetConfig,
+    NetVars, Thresholds, Trace,
+};
+use ccmatic_num::Rat;
+use ccmatic_smt::{maximize, Context, LinExpr, MaximizeOutcome, MaximizeParams, SatResult, Solver, Term};
+
+/// Verification parameters.
+#[derive(Clone, Debug)]
+pub struct VerifyConfig {
+    /// The network model shape.
+    pub net: NetConfig,
+    /// Performance targets.
+    pub thresholds: Thresholds,
+    /// Enable worst-case counterexample search (§3.1.2 "WCE").
+    pub worst_case: bool,
+    /// Bracket precision for the WCE binary search.
+    pub wce_precision: Rat,
+}
+
+impl Default for VerifyConfig {
+    fn default() -> Self {
+        VerifyConfig {
+            net: NetConfig::default(),
+            thresholds: Thresholds::default(),
+            worst_case: false,
+            wce_precision: Rat::new(1i64.into(), 4i64.into()),
+        }
+    }
+}
+
+/// The verifier oracle. Counts its own solver probes so the Table-1 harness
+/// can report verifier-call statistics (§4: "verifier calls are typically
+/// fast").
+pub struct CcaVerifier {
+    /// Configuration used for every query.
+    pub cfg: VerifyConfig,
+    /// Total verify() invocations.
+    pub calls: u64,
+    /// Total underlying solver probes (> calls when WCE binary search runs).
+    pub solver_probes: u64,
+}
+
+impl CcaVerifier {
+    /// Build a verifier.
+    pub fn new(cfg: VerifyConfig) -> Self {
+        CcaVerifier { cfg, calls: 0, solver_probes: 0 }
+    }
+
+    /// Encode the template rule with *concrete* coefficients over the trace
+    /// variables: for `t ∈ [0, T]`,
+    /// `cwnd(t) = Σ αᵢ·cwnd(t−i) + Σ βᵢ·S(t−1−i) + γ`.
+    fn template_constraints(ctx: &mut Context, nv: &NetVars, spec: &CcaSpec) -> Term {
+        let mut cs = Vec::new();
+        for t in 0..=nv.cfg().t_max() {
+            let mut rhs = LinExpr::constant(spec.gamma.clone());
+            for (i, a) in spec.alpha.iter().enumerate() {
+                rhs = rhs + LinExpr::term(nv.cwnd(t - (i as i64 + 1)), a.clone());
+            }
+            for (i, b) in spec.beta.iter().enumerate() {
+                // ack(t−i−1) = S(t−i−2)
+                rhs = rhs + LinExpr::term(nv.s(t - (i as i64 + 2)), b.clone());
+            }
+            cs.push(ctx.eq(LinExpr::var(nv.cwnd(t)), rhs));
+        }
+        ctx.and(cs)
+    }
+
+    /// Build the violation query `feasible ∧ ¬desired` and return it with
+    /// the trace variables.
+    fn violation_query(&self, ctx: &mut Context, spec: &CcaSpec) -> (NetVars, Term) {
+        let nv = alloc_net_vars(ctx, &self.cfg.net);
+        let net = network_constraints(ctx, &nv);
+        let snd = sender_constraints(ctx, &nv);
+        let tmpl = Self::template_constraints(ctx, &nv, spec);
+        let parts = desired_property(ctx, &nv, &self.cfg.thresholds);
+        let bad = ctx.not(parts.desired);
+        let q = ctx.and(vec![net, snd, tmpl, bad]);
+        (nv, q)
+    }
+
+    /// Check the candidate. `Ok(())` certifies it against every admitted
+    /// trace; `Err(trace)` is a concrete counterexample.
+    pub fn verify(&mut self, spec: &CcaSpec) -> Result<(), Trace> {
+        self.calls += 1;
+        // The template needs S(t−1−lookback) for t = 0; the caller must
+        // allocate enough history.
+        debug_assert!(
+            self.cfg.net.history >= spec.beta.len() + 1,
+            "history {} too shallow for lookback {}",
+            self.cfg.net.history,
+            spec.beta.len()
+        );
+        let mut ctx = Context::new();
+        let (nv, query) = self.violation_query(&mut ctx, spec);
+        if self.cfg.worst_case {
+            // Maximize the minimum band width minₜ (tokens(t) − S(t)) over
+            // the enforced window, so the returned trace pins down the
+            // widest possible range of CCA behaviours.
+            let m = ctx.real_var("band");
+            let mut cs = vec![query];
+            for t in 0..=self.cfg.net.t_max() {
+                let band = nv.tokens(t) - LinExpr::var(nv.s(t));
+                cs.push(ctx.le(LinExpr::var(m), band));
+            }
+            let base = ctx.and(cs);
+            let hi = Rat::from((self.cfg.net.t_max() + self.cfg.net.history as i64).max(1));
+            let params = MaximizeParams {
+                lo: Rat::zero(),
+                hi,
+                precision: self.cfg.wce_precision.clone(),
+                conflict_budget: None,
+            };
+            match maximize(&mut ctx, base, &LinExpr::var(m), &params) {
+                MaximizeOutcome::Infeasible => {
+                    self.solver_probes += 1;
+                    Ok(())
+                }
+                MaximizeOutcome::Feasible { model, probes, .. } => {
+                    self.solver_probes += probes as u64;
+                    Err(Trace::from_model(&model, &nv))
+                }
+            }
+        } else {
+            self.solver_probes += 1;
+            let mut solver = Solver::new();
+            solver.assert(&ctx, query);
+            match solver.check(&ctx) {
+                SatResult::Unsat => Ok(()),
+                SatResult::Sat => Err(Trace::from_model(solver.model().unwrap(), &nv)),
+                SatResult::Unknown => {
+                    unreachable!("verifier runs without a conflict budget")
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::known;
+    use ccmatic_num::int;
+
+    fn small_cfg() -> VerifyConfig {
+        VerifyConfig {
+            net: NetConfig { horizon: 6, history: 5, link_rate: Rat::one(), jitter: 1, buffer: None },
+            thresholds: Thresholds::default(),
+            worst_case: false,
+            wce_precision: Rat::new(1i64.into(), 4i64.into()),
+        }
+    }
+
+    #[test]
+    fn rocc_verifies() {
+        let mut v = CcaVerifier::new(small_cfg());
+        assert!(v.verify(&known::rocc()).is_ok(), "RoCC must satisfy the property");
+        assert_eq!(v.calls, 1);
+    }
+
+    #[test]
+    fn zero_cwnd_refuted() {
+        let mut v = CcaVerifier::new(small_cfg());
+        let cex = v.verify(&known::const_cwnd(Rat::zero()));
+        let trace = cex.expect_err("cwnd = 0 can never achieve utilization");
+        // The counterexample must show low utilization with non-increasing cwnd.
+        assert!(trace.utilization() < Rat::new(1i64.into(), 2i64.into()));
+    }
+
+    #[test]
+    fn large_const_cwnd_refuted_by_queue() {
+        let mut v = CcaVerifier::new(small_cfg());
+        let cex = v.verify(&known::const_cwnd(int(20)));
+        assert!(cex.is_err(), "cwnd = 20 must violate the delay bound");
+    }
+
+    #[test]
+    fn copy_cwnd_refuted() {
+        let mut v = CcaVerifier::new(small_cfg());
+        assert!(
+            v.verify(&known::copy_cwnd()).is_err(),
+            "cwnd(t)=cwnd(t−1) is broken by adversarial initial windows"
+        );
+    }
+
+    #[test]
+    fn worst_case_counterexample_widens_band() {
+        let mut plain = CcaVerifier::new(small_cfg());
+        let mut wce = CcaVerifier::new(VerifyConfig { worst_case: true, ..small_cfg() });
+        let spec = known::const_cwnd(Rat::zero());
+        let t1 = plain.verify(&spec).expect_err("refuted");
+        let t2 = wce.verify(&spec).expect_err("refuted");
+        let band = |tr: &Trace| {
+            (0..=tr.t_max)
+                .map(|t| {
+                    let tokens = &int(t + (-tr.t_min)) - tr.w_at(t);
+                    &tokens - tr.s_at(t)
+                })
+                .min()
+                .unwrap()
+        };
+        assert!(band(&t2) >= band(&t1), "WCE trace must have at least as wide a band");
+        assert!(wce.solver_probes > 1, "WCE uses binary-search probes");
+    }
+}

@@ -1,0 +1,680 @@
+//! Sign-magnitude arbitrary-precision integers.
+//!
+//! Limbs are `u64`, least significant first. The invariant maintained by
+//! every constructor and operation is: no trailing zero limbs, and
+//! `sign == 0` iff the magnitude is empty.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Rem, Sub, SubAssign};
+
+/// An arbitrary-precision signed integer.
+///
+/// ```
+/// use ccmatic_num::BigInt;
+/// let a = BigInt::from(1_000_000_007i64);
+/// let b = &a * &a;
+/// assert_eq!(b.to_string(), "1000000014000000049");
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct BigInt {
+    /// -1, 0, or 1. Zero iff `mag` is empty.
+    sign: i8,
+    /// Magnitude limbs, little-endian, no trailing zeros.
+    mag: Vec<u64>,
+}
+
+impl BigInt {
+    /// The integer 0.
+    pub fn zero() -> Self {
+        BigInt { sign: 0, mag: Vec::new() }
+    }
+
+    /// The integer 1.
+    pub fn one() -> Self {
+        BigInt { sign: 1, mag: vec![1] }
+    }
+
+    /// True iff `self == 0`.
+    pub fn is_zero(&self) -> bool {
+        self.sign == 0
+    }
+
+    /// True iff `self > 0`.
+    pub fn is_positive(&self) -> bool {
+        self.sign > 0
+    }
+
+    /// True iff `self < 0`.
+    pub fn is_negative(&self) -> bool {
+        self.sign < 0
+    }
+
+    /// Sign of the value: -1, 0, or 1.
+    pub fn signum(&self) -> i8 {
+        self.sign
+    }
+
+    /// Absolute value.
+    pub fn abs(&self) -> Self {
+        BigInt { sign: self.sign.abs(), mag: self.mag.clone() }
+    }
+
+    /// Construct from raw parts, normalizing trailing zeros and sign.
+    fn from_parts(sign: i8, mut mag: Vec<u64>) -> Self {
+        while mag.last() == Some(&0) {
+            mag.pop();
+        }
+        if mag.is_empty() {
+            BigInt::zero()
+        } else {
+            debug_assert!(sign == 1 || sign == -1);
+            BigInt { sign, mag }
+        }
+    }
+
+    /// Compare magnitudes, ignoring sign.
+    fn cmp_mag(a: &[u64], b: &[u64]) -> Ordering {
+        if a.len() != b.len() {
+            return a.len().cmp(&b.len());
+        }
+        for i in (0..a.len()).rev() {
+            if a[i] != b[i] {
+                return a[i].cmp(&b[i]);
+            }
+        }
+        Ordering::Equal
+    }
+
+    /// Magnitude addition: `a + b`.
+    fn add_mag(a: &[u64], b: &[u64]) -> Vec<u64> {
+        let (long, short) = if a.len() >= b.len() { (a, b) } else { (b, a) };
+        let mut out = Vec::with_capacity(long.len() + 1);
+        let mut carry = 0u64;
+        for i in 0..long.len() {
+            let s = short.get(i).copied().unwrap_or(0);
+            let (x, c1) = long[i].overflowing_add(s);
+            let (x, c2) = x.overflowing_add(carry);
+            carry = (c1 as u64) + (c2 as u64);
+            out.push(x);
+        }
+        if carry != 0 {
+            out.push(carry);
+        }
+        out
+    }
+
+    /// Magnitude subtraction: `a - b`, requires `a >= b`.
+    fn sub_mag(a: &[u64], b: &[u64]) -> Vec<u64> {
+        debug_assert!(Self::cmp_mag(a, b) != Ordering::Less);
+        let mut out = Vec::with_capacity(a.len());
+        let mut borrow = 0u64;
+        for i in 0..a.len() {
+            let s = b.get(i).copied().unwrap_or(0);
+            let (x, b1) = a[i].overflowing_sub(s);
+            let (x, b2) = x.overflowing_sub(borrow);
+            borrow = (b1 as u64) + (b2 as u64);
+            out.push(x);
+        }
+        debug_assert_eq!(borrow, 0);
+        while out.last() == Some(&0) {
+            out.pop();
+        }
+        out
+    }
+
+    /// Magnitude schoolbook multiplication.
+    fn mul_mag(a: &[u64], b: &[u64]) -> Vec<u64> {
+        if a.is_empty() || b.is_empty() {
+            return Vec::new();
+        }
+        let mut out = vec![0u64; a.len() + b.len()];
+        for (i, &ai) in a.iter().enumerate() {
+            if ai == 0 {
+                continue;
+            }
+            let mut carry = 0u128;
+            for (j, &bj) in b.iter().enumerate() {
+                let cur = out[i + j] as u128 + (ai as u128) * (bj as u128) + carry;
+                out[i + j] = cur as u64;
+                carry = cur >> 64;
+            }
+            let mut k = i + b.len();
+            while carry != 0 {
+                let cur = out[k] as u128 + carry;
+                out[k] = cur as u64;
+                carry = cur >> 64;
+                k += 1;
+            }
+        }
+        while out.last() == Some(&0) {
+            out.pop();
+        }
+        out
+    }
+
+    /// Magnitude division by a single limb. Returns (quotient, remainder).
+    fn divmod_small(a: &[u64], d: u64) -> (Vec<u64>, u64) {
+        debug_assert!(d != 0);
+        let mut q = vec![0u64; a.len()];
+        let mut rem = 0u128;
+        for i in (0..a.len()).rev() {
+            let cur = (rem << 64) | a[i] as u128;
+            q[i] = (cur / d as u128) as u64;
+            rem = cur % d as u128;
+        }
+        while q.last() == Some(&0) {
+            q.pop();
+        }
+        (q, rem as u64)
+    }
+
+    /// Magnitude long division: `a / b`, `a % b`. Requires `b != 0`.
+    ///
+    /// Uses simple shift-and-subtract on bits for the multi-limb case; the
+    /// operand sizes in this workspace make the O(n·bits) cost irrelevant,
+    /// and the algorithm is trivially auditable.
+    fn divmod_mag(a: &[u64], b: &[u64]) -> (Vec<u64>, Vec<u64>) {
+        debug_assert!(!b.is_empty());
+        match Self::cmp_mag(a, b) {
+            Ordering::Less => return (Vec::new(), a.to_vec()),
+            Ordering::Equal => return (vec![1], Vec::new()),
+            Ordering::Greater => {}
+        }
+        if b.len() == 1 {
+            let (q, r) = Self::divmod_small(a, b[0]);
+            return (q, if r == 0 { Vec::new() } else { vec![r] });
+        }
+        // Bitwise long division.
+        let total_bits = a.len() * 64;
+        let mut quot = vec![0u64; a.len()];
+        let mut rem: Vec<u64> = Vec::new();
+        for bit in (0..total_bits).rev() {
+            // rem = rem << 1 | bit(a, bit)
+            Self::shl1_in_place(&mut rem);
+            let abit = (a[bit / 64] >> (bit % 64)) & 1;
+            if abit == 1 {
+                if rem.is_empty() {
+                    rem.push(1);
+                } else {
+                    rem[0] |= 1;
+                }
+            }
+            if Self::cmp_mag(&rem, b) != Ordering::Less {
+                rem = Self::sub_mag(&rem, b);
+                quot[bit / 64] |= 1 << (bit % 64);
+            }
+        }
+        while quot.last() == Some(&0) {
+            quot.pop();
+        }
+        (quot, rem)
+    }
+
+    /// In-place magnitude left shift by one bit.
+    fn shl1_in_place(v: &mut Vec<u64>) {
+        let mut carry = 0u64;
+        for limb in v.iter_mut() {
+            let new_carry = *limb >> 63;
+            *limb = (*limb << 1) | carry;
+            carry = new_carry;
+        }
+        if carry != 0 {
+            v.push(carry);
+        }
+    }
+
+    /// Truncated division and remainder (round toward zero, like Rust's `/`
+    /// and `%` on primitives). The remainder has the sign of `self`.
+    ///
+    /// # Panics
+    /// Panics if `other` is zero.
+    pub fn divmod(&self, other: &BigInt) -> (BigInt, BigInt) {
+        assert!(!other.is_zero(), "BigInt division by zero");
+        if self.is_zero() {
+            return (BigInt::zero(), BigInt::zero());
+        }
+        let (q, r) = Self::divmod_mag(&self.mag, &other.mag);
+        let q_sign = self.sign * other.sign;
+        (
+            BigInt::from_parts(q_sign, q),
+            BigInt::from_parts(self.sign, r),
+        )
+    }
+
+    /// Greatest common divisor of the absolute values (always non-negative;
+    /// `gcd(0, x) = |x|`).
+    pub fn gcd(&self, other: &BigInt) -> BigInt {
+        let mut a = self.abs();
+        let mut b = other.abs();
+        while !b.is_zero() {
+            let r = a.divmod(&b).1.abs();
+            a = b;
+            b = r;
+        }
+        a
+    }
+
+    /// Approximate conversion to `f64` (for reporting only; never used in
+    /// solver decisions).
+    pub fn to_f64(&self) -> f64 {
+        let mut x = 0.0f64;
+        for &limb in self.mag.iter().rev() {
+            x = x * 18446744073709551616.0 + limb as f64;
+        }
+        if self.sign < 0 {
+            -x
+        } else {
+            x
+        }
+    }
+
+    /// Exact conversion to `i64` if the value fits.
+    pub fn to_i64(&self) -> Option<i64> {
+        match self.mag.len() {
+            0 => Some(0),
+            1 => {
+                let m = self.mag[0];
+                if self.sign > 0 && m <= i64::MAX as u64 {
+                    Some(m as i64)
+                } else if self.sign < 0 && m <= (i64::MAX as u64) + 1 {
+                    Some((m as i128 * -1) as i64)
+                } else {
+                    None
+                }
+            }
+            _ => None,
+        }
+    }
+
+    /// Number of bits in the magnitude (0 for zero).
+    pub fn bits(&self) -> usize {
+        match self.mag.last() {
+            None => 0,
+            Some(&top) => (self.mag.len() - 1) * 64 + (64 - top.leading_zeros() as usize),
+        }
+    }
+
+    /// Parse a decimal string with optional leading `-`.
+    pub fn from_decimal(s: &str) -> Option<BigInt> {
+        let (sign, digits) = match s.strip_prefix('-') {
+            Some(rest) => (-1i8, rest),
+            None => (1i8, s),
+        };
+        if digits.is_empty() || !digits.bytes().all(|b| b.is_ascii_digit()) {
+            return None;
+        }
+        let mut mag: Vec<u64> = Vec::new();
+        for b in digits.bytes() {
+            // mag = mag * 10 + digit
+            let mut carry = (b - b'0') as u128;
+            for limb in mag.iter_mut() {
+                let cur = (*limb as u128) * 10 + carry;
+                *limb = cur as u64;
+                carry = cur >> 64;
+            }
+            if carry != 0 {
+                mag.push(carry as u64);
+            }
+        }
+        Some(BigInt::from_parts(sign, mag))
+    }
+}
+
+impl From<i64> for BigInt {
+    fn from(v: i64) -> Self {
+        match v.cmp(&0) {
+            Ordering::Equal => BigInt::zero(),
+            Ordering::Greater => BigInt { sign: 1, mag: vec![v as u64] },
+            Ordering::Less => BigInt { sign: -1, mag: vec![v.unsigned_abs()] },
+        }
+    }
+}
+
+impl From<u64> for BigInt {
+    fn from(v: u64) -> Self {
+        if v == 0 {
+            BigInt::zero()
+        } else {
+            BigInt { sign: 1, mag: vec![v] }
+        }
+    }
+}
+
+impl From<i128> for BigInt {
+    fn from(v: i128) -> Self {
+        if v == 0 {
+            return BigInt::zero();
+        }
+        let sign = if v > 0 { 1 } else { -1 };
+        let m = v.unsigned_abs();
+        let lo = m as u64;
+        let hi = (m >> 64) as u64;
+        BigInt::from_parts(sign, vec![lo, hi])
+    }
+}
+
+impl PartialOrd for BigInt {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for BigInt {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match self.sign.cmp(&other.sign) {
+            Ordering::Equal => {}
+            ord => return ord,
+        }
+        let mag_ord = Self::cmp_mag(&self.mag, &other.mag);
+        if self.sign >= 0 {
+            mag_ord
+        } else {
+            mag_ord.reverse()
+        }
+    }
+}
+
+impl Neg for BigInt {
+    type Output = BigInt;
+    fn neg(mut self) -> BigInt {
+        self.sign = -self.sign;
+        self
+    }
+}
+
+impl Neg for &BigInt {
+    type Output = BigInt;
+    fn neg(self) -> BigInt {
+        BigInt { sign: -self.sign, mag: self.mag.clone() }
+    }
+}
+
+impl Add for &BigInt {
+    type Output = BigInt;
+    fn add(self, other: &BigInt) -> BigInt {
+        if self.is_zero() {
+            return other.clone();
+        }
+        if other.is_zero() {
+            return self.clone();
+        }
+        if self.sign == other.sign {
+            BigInt::from_parts(self.sign, BigInt::add_mag(&self.mag, &other.mag))
+        } else {
+            match BigInt::cmp_mag(&self.mag, &other.mag) {
+                Ordering::Equal => BigInt::zero(),
+                Ordering::Greater => {
+                    BigInt::from_parts(self.sign, BigInt::sub_mag(&self.mag, &other.mag))
+                }
+                Ordering::Less => {
+                    BigInt::from_parts(other.sign, BigInt::sub_mag(&other.mag, &self.mag))
+                }
+            }
+        }
+    }
+}
+
+impl Sub for &BigInt {
+    type Output = BigInt;
+    fn sub(self, other: &BigInt) -> BigInt {
+        self + &(-other)
+    }
+}
+
+impl Mul for &BigInt {
+    type Output = BigInt;
+    fn mul(self, other: &BigInt) -> BigInt {
+        if self.is_zero() || other.is_zero() {
+            return BigInt::zero();
+        }
+        BigInt::from_parts(self.sign * other.sign, BigInt::mul_mag(&self.mag, &other.mag))
+    }
+}
+
+impl Div for &BigInt {
+    type Output = BigInt;
+    fn div(self, other: &BigInt) -> BigInt {
+        self.divmod(other).0
+    }
+}
+
+impl Rem for &BigInt {
+    type Output = BigInt;
+    fn rem(self, other: &BigInt) -> BigInt {
+        self.divmod(other).1
+    }
+}
+
+macro_rules! forward_binop_owned {
+    ($trait:ident, $method:ident) => {
+        impl $trait for BigInt {
+            type Output = BigInt;
+            fn $method(self, other: BigInt) -> BigInt {
+                (&self).$method(&other)
+            }
+        }
+        impl $trait<&BigInt> for BigInt {
+            type Output = BigInt;
+            fn $method(self, other: &BigInt) -> BigInt {
+                (&self).$method(other)
+            }
+        }
+        impl $trait<BigInt> for &BigInt {
+            type Output = BigInt;
+            fn $method(self, other: BigInt) -> BigInt {
+                self.$method(&other)
+            }
+        }
+    };
+}
+
+forward_binop_owned!(Add, add);
+forward_binop_owned!(Sub, sub);
+forward_binop_owned!(Mul, mul);
+forward_binop_owned!(Div, div);
+forward_binop_owned!(Rem, rem);
+
+impl AddAssign<&BigInt> for BigInt {
+    fn add_assign(&mut self, other: &BigInt) {
+        *self = &*self + other;
+    }
+}
+
+impl SubAssign<&BigInt> for BigInt {
+    fn sub_assign(&mut self, other: &BigInt) {
+        *self = &*self - other;
+    }
+}
+
+impl MulAssign<&BigInt> for BigInt {
+    fn mul_assign(&mut self, other: &BigInt) {
+        *self = &*self * other;
+    }
+}
+
+impl fmt::Display for BigInt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return write!(f, "0");
+        }
+        if self.sign < 0 {
+            write!(f, "-")?;
+        }
+        // Repeated division by 10^19 (largest power of ten in u64).
+        const CHUNK: u64 = 10_000_000_000_000_000_000;
+        let mut mag = self.mag.clone();
+        let mut chunks: Vec<u64> = Vec::new();
+        while !mag.is_empty() {
+            let (q, r) = BigInt::divmod_small(&mag, CHUNK);
+            chunks.push(r);
+            mag = q;
+        }
+        write!(f, "{}", chunks.pop().unwrap())?;
+        for c in chunks.iter().rev() {
+            write!(f, "{:019}", c)?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for BigInt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BigInt({})", self)
+    }
+}
+
+impl Default for BigInt {
+    fn default() -> Self {
+        BigInt::zero()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bi(v: i64) -> BigInt {
+        BigInt::from(v)
+    }
+
+    #[test]
+    fn zero_and_one() {
+        assert!(BigInt::zero().is_zero());
+        assert!(!BigInt::one().is_zero());
+        assert_eq!(BigInt::zero().to_string(), "0");
+        assert_eq!(BigInt::one().to_string(), "1");
+    }
+
+    #[test]
+    fn from_i64_roundtrip() {
+        for v in [0i64, 1, -1, 42, -42, i64::MAX, i64::MIN + 1] {
+            assert_eq!(bi(v).to_i64(), Some(v));
+            assert_eq!(bi(v).to_string(), v.to_string());
+        }
+    }
+
+    #[test]
+    fn i64_min_roundtrip() {
+        let v = BigInt::from(i64::MIN);
+        assert_eq!(v.to_string(), i64::MIN.to_string());
+        assert_eq!(v.to_i64(), Some(i64::MIN));
+    }
+
+    #[test]
+    fn add_small() {
+        assert_eq!(&bi(2) + &bi(3), bi(5));
+        assert_eq!(&bi(-2) + &bi(3), bi(1));
+        assert_eq!(&bi(2) + &bi(-3), bi(-1));
+        assert_eq!(&bi(-2) + &bi(-3), bi(-5));
+        assert_eq!(&bi(2) + &bi(-2), bi(0));
+    }
+
+    #[test]
+    fn add_carries_across_limbs() {
+        let max = BigInt::from(u64::MAX);
+        let sum = &max + &BigInt::one();
+        assert_eq!(sum.to_string(), "18446744073709551616");
+        assert_eq!(&sum - &BigInt::one(), max);
+    }
+
+    #[test]
+    fn sub_small() {
+        assert_eq!(&bi(10) - &bi(4), bi(6));
+        assert_eq!(&bi(4) - &bi(10), bi(-6));
+        assert_eq!(&bi(-4) - &bi(-10), bi(6));
+    }
+
+    #[test]
+    fn mul_small() {
+        assert_eq!(&bi(6) * &bi(7), bi(42));
+        assert_eq!(&bi(-6) * &bi(7), bi(-42));
+        assert_eq!(&bi(-6) * &bi(-7), bi(42));
+        assert_eq!(&bi(0) * &bi(7), bi(0));
+    }
+
+    #[test]
+    fn mul_multi_limb() {
+        // (2^64 - 1)^2 = 2^128 - 2^65 + 1
+        let max = BigInt::from(u64::MAX);
+        let sq = &max * &max;
+        assert_eq!(sq.to_string(), "340282366920938463426481119284349108225");
+    }
+
+    #[test]
+    fn divmod_small_values() {
+        let (q, r) = bi(17).divmod(&bi(5));
+        assert_eq!((q, r), (bi(3), bi(2)));
+        let (q, r) = bi(-17).divmod(&bi(5));
+        assert_eq!((q, r), (bi(-3), bi(-2)));
+        let (q, r) = bi(17).divmod(&bi(-5));
+        assert_eq!((q, r), (bi(-3), bi(2)));
+        let (q, r) = bi(-17).divmod(&bi(-5));
+        assert_eq!((q, r), (bi(3), bi(-2)));
+    }
+
+    #[test]
+    fn divmod_multi_limb() {
+        let a = BigInt::from_decimal("340282366920938463426481119284349108225").unwrap();
+        let b = BigInt::from_decimal("18446744073709551615").unwrap();
+        let (q, r) = a.divmod(&b);
+        assert_eq!(q, b);
+        assert!(r.is_zero());
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn div_by_zero_panics() {
+        let _ = bi(1).divmod(&bi(0));
+    }
+
+    #[test]
+    fn gcd_basics() {
+        assert_eq!(bi(12).gcd(&bi(18)), bi(6));
+        assert_eq!(bi(-12).gcd(&bi(18)), bi(6));
+        assert_eq!(bi(0).gcd(&bi(5)), bi(5));
+        assert_eq!(bi(5).gcd(&bi(0)), bi(5));
+        assert_eq!(bi(7).gcd(&bi(13)), bi(1));
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(bi(-5) < bi(-1));
+        assert!(bi(-1) < bi(0));
+        assert!(bi(0) < bi(1));
+        assert!(bi(1) < bi(5));
+        let big = BigInt::from_decimal("99999999999999999999999").unwrap();
+        assert!(bi(i64::MAX) < big);
+        assert!(-&big < bi(i64::MIN));
+    }
+
+    #[test]
+    fn parse_display_roundtrip() {
+        for s in ["0", "1", "-1", "123456789012345678901234567890", "-987654321098765432109876543210"] {
+            let v = BigInt::from_decimal(s).unwrap();
+            assert_eq!(v.to_string(), s);
+        }
+        assert!(BigInt::from_decimal("").is_none());
+        assert!(BigInt::from_decimal("12a").is_none());
+        assert!(BigInt::from_decimal("-").is_none());
+    }
+
+    #[test]
+    fn bits_counts() {
+        assert_eq!(bi(0).bits(), 0);
+        assert_eq!(bi(1).bits(), 1);
+        assert_eq!(bi(255).bits(), 8);
+        assert_eq!(bi(256).bits(), 9);
+        let big = &BigInt::from(u64::MAX) + &BigInt::one();
+        assert_eq!(big.bits(), 65);
+    }
+
+    #[test]
+    fn to_f64_reasonable() {
+        assert_eq!(bi(0).to_f64(), 0.0);
+        assert_eq!(bi(42).to_f64(), 42.0);
+        assert_eq!(bi(-42).to_f64(), -42.0);
+        let big = BigInt::from_decimal("100000000000000000000").unwrap();
+        assert!((big.to_f64() - 1e20).abs() < 1e6);
+    }
+}

@@ -1,0 +1,39 @@
+//! Exact arbitrary-precision arithmetic for the CCmatic workspace.
+//!
+//! The simplex-based linear-real-arithmetic theory solver in
+//! [`ccmatic-smt`](../ccmatic_smt/index.html) pivots on exact rational
+//! tableaux; floating point would silently break soundness and fixed-width
+//! integers overflow after a few dozen pivots. This crate provides the three
+//! numeric types the solver needs:
+//!
+//! * [`BigInt`] — sign-magnitude arbitrary-precision integer,
+//! * [`Rat`] — normalized rational built on [`BigInt`],
+//! * [`DeltaRat`] — a rational extended with an infinitesimal `δ` component,
+//!   used to represent strict bounds (`x < c` becomes `x ≤ c − δ`).
+//!
+//! The types are deliberately simple (schoolbook multiplication, Knuth-style
+//! long division): formulas in this workspace have at most a few thousand
+//! atoms and coefficients that start as small integers or halves, so limb
+//! counts stay tiny and asymptotics never matter. Simplicity and obvious
+//! correctness win (the smoltcp design rule).
+
+mod bigint;
+mod delta;
+mod rational;
+
+pub use bigint::BigInt;
+pub use delta::DeltaRat;
+pub use rational::Rat;
+
+/// Convenience constructor: the rational `n / d`.
+///
+/// # Panics
+/// Panics if `d == 0`.
+pub fn rat(n: i64, d: i64) -> Rat {
+    Rat::new(BigInt::from(n), BigInt::from(d))
+}
+
+/// Convenience constructor: the integer rational `n`.
+pub fn int(n: i64) -> Rat {
+    Rat::from(n)
+}

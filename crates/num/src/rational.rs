@@ -1,0 +1,419 @@
+//! Normalized arbitrary-precision rationals.
+
+use crate::BigInt;
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// An exact rational number `num / den`.
+///
+/// Invariants: `den > 0`, `gcd(|num|, den) == 1`, and zero is `0/1`.
+///
+/// ```
+/// use ccmatic_num::{rat, int};
+/// assert_eq!(rat(1, 2) + rat(1, 3), rat(5, 6));
+/// assert_eq!(rat(2, 4), rat(1, 2));
+/// assert!(rat(-1, 2) < int(0));
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Rat {
+    num: BigInt,
+    den: BigInt,
+}
+
+impl Rat {
+    /// Construct `n / d`, normalizing sign and common factors.
+    ///
+    /// # Panics
+    /// Panics if `d == 0`.
+    pub fn new(n: BigInt, d: BigInt) -> Self {
+        assert!(!d.is_zero(), "rational with zero denominator");
+        if n.is_zero() {
+            return Rat::zero();
+        }
+        let g = n.gcd(&d);
+        let mut num = &n / &g;
+        let mut den = &d / &g;
+        if den.is_negative() {
+            num = -num;
+            den = -den;
+        }
+        Rat { num, den }
+    }
+
+    /// The rational 0.
+    pub fn zero() -> Self {
+        Rat { num: BigInt::zero(), den: BigInt::one() }
+    }
+
+    /// The rational 1.
+    pub fn one() -> Self {
+        Rat { num: BigInt::one(), den: BigInt::one() }
+    }
+
+    /// Numerator (sign-carrying).
+    pub fn numer(&self) -> &BigInt {
+        &self.num
+    }
+
+    /// Denominator (always positive).
+    pub fn denom(&self) -> &BigInt {
+        &self.den
+    }
+
+    /// True iff the value is 0.
+    pub fn is_zero(&self) -> bool {
+        self.num.is_zero()
+    }
+
+    /// True iff the value is > 0.
+    pub fn is_positive(&self) -> bool {
+        self.num.is_positive()
+    }
+
+    /// True iff the value is < 0.
+    pub fn is_negative(&self) -> bool {
+        self.num.is_negative()
+    }
+
+    /// True iff the denominator is 1.
+    pub fn is_integer(&self) -> bool {
+        self.den == BigInt::one()
+    }
+
+    /// Sign: -1, 0, or 1.
+    pub fn signum(&self) -> i8 {
+        self.num.signum()
+    }
+
+    /// Absolute value.
+    pub fn abs(&self) -> Rat {
+        Rat { num: self.num.abs(), den: self.den.clone() }
+    }
+
+    /// Multiplicative inverse.
+    ///
+    /// # Panics
+    /// Panics if the value is zero.
+    pub fn recip(&self) -> Rat {
+        assert!(!self.is_zero(), "reciprocal of zero");
+        Rat::new(self.den.clone(), self.num.clone())
+    }
+
+    /// Largest integer ≤ self, as a `BigInt`.
+    pub fn floor(&self) -> BigInt {
+        let (q, r) = self.num.divmod(&self.den);
+        if r.is_negative() {
+            &q - &BigInt::one()
+        } else {
+            q
+        }
+    }
+
+    /// Smallest integer ≥ self, as a `BigInt`.
+    pub fn ceil(&self) -> BigInt {
+        let (q, r) = self.num.divmod(&self.den);
+        if r.is_positive() {
+            &q + &BigInt::one()
+        } else {
+            q
+        }
+    }
+
+    /// Approximate `f64` value (reporting only).
+    pub fn to_f64(&self) -> f64 {
+        // Scale so the division stays in range for huge operands.
+        let nb = self.num.bits() as i64;
+        let db = self.den.bits() as i64;
+        if nb < 900 && db < 900 {
+            self.num.to_f64() / self.den.to_f64()
+        } else {
+            // Shift both down; relative error is negligible for reporting.
+            let shift = (nb.max(db) - 512).max(0) as usize;
+            let scale = {
+                let mut s = BigInt::one();
+                let two = BigInt::from(2i64);
+                for _ in 0..shift {
+                    s = &s * &two;
+                }
+                s
+            };
+            (&self.num / &scale).to_f64() / (&self.den / &scale).to_f64()
+        }
+    }
+
+    /// The midpoint `(a + b) / 2`.
+    pub fn midpoint(a: &Rat, b: &Rat) -> Rat {
+        (a + b) * Rat::new(BigInt::one(), BigInt::from(2i64))
+    }
+
+    /// Parse a decimal literal: `"3"`, `"-1.5"`, `"0.25"`, or a fraction
+    /// `"3/4"`, `"-7/2"`.
+    pub fn from_decimal_str(s: &str) -> Option<Rat> {
+        if let Some((n, d)) = s.split_once('/') {
+            let n = BigInt::from_decimal(n.trim())?;
+            let d = BigInt::from_decimal(d.trim())?;
+            if d.is_zero() {
+                return None;
+            }
+            return Some(Rat::new(n, d));
+        }
+        match s.split_once('.') {
+            None => BigInt::from_decimal(s).map(|n| Rat::new(n, BigInt::one())),
+            Some((int_part, frac_part)) => {
+                if frac_part.is_empty() || !frac_part.bytes().all(|b| b.is_ascii_digit()) {
+                    return None;
+                }
+                let negative = int_part.starts_with('-');
+                let int_val = if int_part == "-" || int_part.is_empty() {
+                    BigInt::zero()
+                } else {
+                    BigInt::from_decimal(int_part)?
+                };
+                let frac_val = BigInt::from_decimal(frac_part)?;
+                let mut den = BigInt::one();
+                let ten = BigInt::from(10i64);
+                for _ in 0..frac_part.len() {
+                    den = &den * &ten;
+                }
+                let mag = &int_val.abs() * &den + &frac_val;
+                let num = if negative { -mag } else { mag };
+                Some(Rat::new(num, den))
+            }
+        }
+    }
+}
+
+impl From<i64> for Rat {
+    fn from(v: i64) -> Self {
+        Rat { num: BigInt::from(v), den: BigInt::one() }
+    }
+}
+
+impl From<BigInt> for Rat {
+    fn from(v: BigInt) -> Self {
+        Rat { num: v, den: BigInt::one() }
+    }
+}
+
+impl PartialOrd for Rat {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Rat {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // a/b vs c/d  (b, d > 0)  ⇔  a·d vs c·b
+        (&self.num * &other.den).cmp(&(&other.num * &self.den))
+    }
+}
+
+impl Neg for Rat {
+    type Output = Rat;
+    fn neg(self) -> Rat {
+        Rat { num: -self.num, den: self.den }
+    }
+}
+
+impl Neg for &Rat {
+    type Output = Rat;
+    fn neg(self) -> Rat {
+        Rat { num: -&self.num, den: self.den.clone() }
+    }
+}
+
+impl Add for &Rat {
+    type Output = Rat;
+    fn add(self, other: &Rat) -> Rat {
+        Rat::new(
+            &self.num * &other.den + &other.num * &self.den,
+            &self.den * &other.den,
+        )
+    }
+}
+
+impl Sub for &Rat {
+    type Output = Rat;
+    fn sub(self, other: &Rat) -> Rat {
+        Rat::new(
+            &self.num * &other.den - &other.num * &self.den,
+            &self.den * &other.den,
+        )
+    }
+}
+
+impl Mul for &Rat {
+    type Output = Rat;
+    fn mul(self, other: &Rat) -> Rat {
+        Rat::new(&self.num * &other.num, &self.den * &other.den)
+    }
+}
+
+impl Div for &Rat {
+    type Output = Rat;
+    fn div(self, other: &Rat) -> Rat {
+        assert!(!other.is_zero(), "rational division by zero");
+        Rat::new(&self.num * &other.den, &self.den * &other.num)
+    }
+}
+
+macro_rules! forward_binop_owned {
+    ($trait:ident, $method:ident) => {
+        impl $trait for Rat {
+            type Output = Rat;
+            fn $method(self, other: Rat) -> Rat {
+                (&self).$method(&other)
+            }
+        }
+        impl $trait<&Rat> for Rat {
+            type Output = Rat;
+            fn $method(self, other: &Rat) -> Rat {
+                (&self).$method(other)
+            }
+        }
+        impl $trait<Rat> for &Rat {
+            type Output = Rat;
+            fn $method(self, other: Rat) -> Rat {
+                self.$method(&other)
+            }
+        }
+    };
+}
+
+forward_binop_owned!(Add, add);
+forward_binop_owned!(Sub, sub);
+forward_binop_owned!(Mul, mul);
+forward_binop_owned!(Div, div);
+
+impl AddAssign<&Rat> for Rat {
+    fn add_assign(&mut self, other: &Rat) {
+        *self = &*self + other;
+    }
+}
+
+impl SubAssign<&Rat> for Rat {
+    fn sub_assign(&mut self, other: &Rat) {
+        *self = &*self - other;
+    }
+}
+
+impl MulAssign<&Rat> for Rat {
+    fn mul_assign(&mut self, other: &Rat) {
+        *self = &*self * other;
+    }
+}
+
+impl fmt::Display for Rat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_integer() {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+impl fmt::Debug for Rat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Rat({})", self)
+    }
+}
+
+impl Default for Rat {
+    fn default() -> Self {
+        Rat::zero()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{int, rat};
+
+    #[test]
+    fn normalization() {
+        assert_eq!(rat(2, 4), rat(1, 2));
+        assert_eq!(rat(-2, -4), rat(1, 2));
+        assert_eq!(rat(2, -4), rat(-1, 2));
+        assert_eq!(rat(0, 7), Rat::zero());
+        assert!(rat(1, -2).denom().is_positive());
+    }
+
+    #[test]
+    #[should_panic(expected = "zero denominator")]
+    fn zero_denominator_panics() {
+        let _ = rat(1, 0);
+    }
+
+    #[test]
+    fn arithmetic() {
+        assert_eq!(rat(1, 2) + rat(1, 3), rat(5, 6));
+        assert_eq!(rat(1, 2) - rat(1, 3), rat(1, 6));
+        assert_eq!(rat(2, 3) * rat(3, 4), rat(1, 2));
+        assert_eq!(rat(1, 2) / rat(1, 4), int(2));
+        assert_eq!(-rat(1, 2), rat(-1, 2));
+    }
+
+    #[test]
+    fn comparisons() {
+        assert!(rat(1, 3) < rat(1, 2));
+        assert!(rat(-1, 2) < rat(-1, 3));
+        assert!(rat(7, 7) == int(1));
+        assert!(rat(-3, 2) < int(-1));
+    }
+
+    #[test]
+    fn floor_ceil() {
+        assert_eq!(rat(7, 2).floor(), BigInt::from(3i64));
+        assert_eq!(rat(7, 2).ceil(), BigInt::from(4i64));
+        assert_eq!(rat(-7, 2).floor(), BigInt::from(-4i64));
+        assert_eq!(rat(-7, 2).ceil(), BigInt::from(-3i64));
+        assert_eq!(int(5).floor(), BigInt::from(5i64));
+        assert_eq!(int(5).ceil(), BigInt::from(5i64));
+    }
+
+    #[test]
+    fn recip() {
+        assert_eq!(rat(2, 3).recip(), rat(3, 2));
+        assert_eq!(rat(-2, 3).recip(), rat(-3, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "reciprocal of zero")]
+    fn recip_zero_panics() {
+        let _ = Rat::zero().recip();
+    }
+
+    #[test]
+    fn parse_decimals() {
+        assert_eq!(Rat::from_decimal_str("3").unwrap(), int(3));
+        assert_eq!(Rat::from_decimal_str("-1.5").unwrap(), rat(-3, 2));
+        assert_eq!(Rat::from_decimal_str("0.25").unwrap(), rat(1, 4));
+        assert_eq!(Rat::from_decimal_str("3.6").unwrap(), rat(18, 5));
+        assert_eq!(Rat::from_decimal_str("3/4").unwrap(), rat(3, 4));
+        assert_eq!(Rat::from_decimal_str("-7/2").unwrap(), rat(-7, 2));
+        assert!(Rat::from_decimal_str("1/0").is_none());
+        assert!(Rat::from_decimal_str("abc").is_none());
+        assert!(Rat::from_decimal_str("1.").is_none());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(int(3).to_string(), "3");
+        assert_eq!(rat(-3, 2).to_string(), "-3/2");
+        assert_eq!(Rat::zero().to_string(), "0");
+    }
+
+    #[test]
+    fn midpoint() {
+        assert_eq!(Rat::midpoint(&int(1), &int(2)), rat(3, 2));
+        assert_eq!(Rat::midpoint(&rat(-1, 2), &rat(1, 2)), Rat::zero());
+    }
+
+    #[test]
+    fn to_f64() {
+        assert_eq!(rat(1, 2).to_f64(), 0.5);
+        assert_eq!(rat(-1, 4).to_f64(), -0.25);
+    }
+}

@@ -1,0 +1,248 @@
+//! The token-bucket link with bounded non-congestive delay.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Static link parameters (mirrors `ccac_model::NetConfig`).
+#[derive(Clone, Debug)]
+pub struct LinkConfig {
+    /// Link rate `C` in BDP per Rm.
+    pub rate: f64,
+    /// Non-congestive delay bound `D` in Rm units.
+    pub jitter: usize,
+    /// Whether the link wastes surplus tokens while the sender is idle.
+    pub waste: WastePolicy,
+}
+
+impl Default for LinkConfig {
+    fn default() -> Self {
+        LinkConfig { rate: 1.0, jitter: 1, waste: WastePolicy::Eager }
+    }
+}
+
+/// What the link does with tokens the sender cannot use.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WastePolicy {
+    /// Surplus tokens are discarded immediately (the adversarial choice the
+    /// CCAC model allows — and the one that breaks window-undershooting
+    /// CCAs).
+    Eager,
+    /// Tokens accumulate without bound (a benign, bufferbloat-style link).
+    Never,
+}
+
+/// Chooses where in its feasibility band the link serves each step.
+///
+/// At step `t` the cumulative service `S(t)` may be anything in
+/// `[lo, hi]` where `lo` enforces the lagged token floor and `hi` the token
+/// cap (both clamped to available arrivals and monotonicity). A schedule is
+/// the adversary's (or nature's) policy for that choice.
+pub trait LinkSchedule {
+    /// Return λ ∈ [0, 1]: 0 serves the minimum, 1 the maximum.
+    fn lambda(&mut self, t: usize) -> f64;
+
+    /// Diagnostic name.
+    fn name(&self) -> String;
+}
+
+/// Always serve as much as allowed — an ideal, jitter-free link.
+#[derive(Clone, Debug, Default)]
+pub struct IdealLink;
+
+impl LinkSchedule for IdealLink {
+    fn lambda(&mut self, _t: usize) -> f64 {
+        1.0
+    }
+    fn name(&self) -> String {
+        "ideal".into()
+    }
+}
+
+/// Alternate between serving nothing extra and catching up in bursts — the
+/// classic ACK-aggregation / jitter adversary (period configurable).
+#[derive(Clone, Debug)]
+pub struct AdversarialSawtooth {
+    /// Steps per stall-then-burst cycle (≥ 2).
+    pub period: usize,
+}
+
+impl Default for AdversarialSawtooth {
+    fn default() -> Self {
+        AdversarialSawtooth { period: 2 }
+    }
+}
+
+impl LinkSchedule for AdversarialSawtooth {
+    fn lambda(&mut self, t: usize) -> f64 {
+        if t % self.period == self.period - 1 {
+            1.0
+        } else {
+            0.0
+        }
+    }
+    fn name(&self) -> String {
+        format!("sawtooth(period {})", self.period)
+    }
+}
+
+/// Uniformly random position in the band, seeded for reproducibility.
+#[derive(Clone, Debug)]
+pub struct RandomJitter {
+    rng: StdRng,
+}
+
+impl RandomJitter {
+    /// Seeded RNG so runs are reproducible.
+    pub fn new(seed: u64) -> Self {
+        RandomJitter { rng: StdRng::seed_from_u64(seed) }
+    }
+}
+
+impl LinkSchedule for RandomJitter {
+    fn lambda(&mut self, _t: usize) -> f64 {
+        self.rng.gen_range(0.0..=1.0)
+    }
+    fn name(&self) -> String {
+        "random".into()
+    }
+}
+
+/// Internal link state evolved by the runner.
+#[derive(Clone, Debug)]
+pub struct LinkState {
+    /// Cumulative service S(t−1) so far.
+    pub served: f64,
+    /// Cumulative waste W(t−1).
+    pub wasted: f64,
+    /// History of W values (index = step), needed for the lagged floor.
+    pub waste_history: Vec<f64>,
+}
+
+impl LinkState {
+    /// Fresh link at trace start.
+    pub fn new() -> Self {
+        LinkState { served: 0.0, wasted: 0.0, waste_history: vec![0.0] }
+    }
+
+    /// Advance one step: given the step index `t` (1-based internally),
+    /// cumulative arrivals `a`, the config and schedule, compute `S(t)` and
+    /// update waste. Returns the new cumulative service.
+    pub fn step(
+        &mut self,
+        t: usize,
+        arrivals: f64,
+        cfg: &LinkConfig,
+        schedule: &mut dyn LinkSchedule,
+    ) -> f64 {
+        let tokens_now = cfg.rate * t as f64 - self.wasted;
+        // Lagged token floor: C·(t−D) − W(t−D).
+        let floor = if t >= cfg.jitter {
+            let lag_t = t - cfg.jitter;
+            let w_lag = self.waste_history.get(lag_t).copied().unwrap_or(0.0);
+            cfg.rate * lag_t as f64 - w_lag
+        } else {
+            0.0
+        };
+        let hi = tokens_now.min(arrivals).max(self.served);
+        let lo = floor.min(arrivals).max(self.served).min(hi);
+        let lambda = schedule.lambda(t).clamp(0.0, 1.0);
+        let served_now = lo + lambda * (hi - lo);
+        self.served = served_now;
+        // Waste: under the eager policy the link discards every token the
+        // sender has no data for.
+        if cfg.waste == WastePolicy::Eager {
+            let surplus = cfg.rate * t as f64 - self.wasted - arrivals;
+            if surplus > 0.0 {
+                self.wasted += surplus;
+            }
+        }
+        self.waste_history.push(self.wasted);
+        served_now
+    }
+}
+
+impl Default for LinkState {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ideal_link_serves_at_line_rate_when_backlogged() {
+        let cfg = LinkConfig::default();
+        let mut link = LinkState::new();
+        let mut sched = IdealLink;
+        for t in 1..=10 {
+            let s = link.step(t, 1e9, &cfg, &mut sched);
+            assert!((s - t as f64).abs() < 1e-9, "t={t}, served={s}");
+        }
+    }
+
+    #[test]
+    fn sawtooth_lags_at_most_jitter() {
+        let cfg = LinkConfig::default();
+        let mut link = LinkState::new();
+        let mut sched = AdversarialSawtooth::default();
+        for t in 1..=20 {
+            let s = link.step(t, 1e9, &cfg, &mut sched);
+            let floor = (t as f64 - cfg.jitter as f64).max(0.0);
+            assert!(s >= floor - 1e-9, "t={t}: service {s} below floor {floor}");
+            assert!(s <= t as f64 + 1e-9, "t={t}: service {s} above tokens");
+        }
+    }
+
+    #[test]
+    fn waste_accrues_when_idle() {
+        let cfg = LinkConfig::default();
+        let mut link = LinkState::new();
+        let mut sched = IdealLink;
+        // Sender never sends: all tokens wasted.
+        for t in 1..=5 {
+            let s = link.step(t, 0.0, &cfg, &mut sched);
+            assert_eq!(s, 0.0);
+        }
+        assert!((link.wasted - 5.0).abs() < 1e-9);
+        // Late arrivals can only use post-idle tokens.
+        let s = link.step(6, 100.0, &cfg, &mut sched);
+        assert!((s - 1.0).abs() < 1e-9, "only 1 token since waste stopped, got {s}");
+    }
+
+    #[test]
+    fn never_waste_accumulates_tokens() {
+        let cfg = LinkConfig { waste: WastePolicy::Never, ..LinkConfig::default() };
+        let mut link = LinkState::new();
+        let mut sched = IdealLink;
+        for t in 1..=5 {
+            link.step(t, 0.0, &cfg, &mut sched);
+        }
+        assert_eq!(link.wasted, 0.0);
+        let s = link.step(6, 100.0, &cfg, &mut sched);
+        assert!((s - 6.0).abs() < 1e-9, "all 6 accumulated tokens usable, got {s}");
+    }
+
+    #[test]
+    fn service_never_exceeds_arrivals() {
+        let cfg = LinkConfig::default();
+        let mut link = LinkState::new();
+        let mut sched = RandomJitter::new(7);
+        let mut arrivals = 0.0;
+        for t in 1..=50 {
+            arrivals += 0.3;
+            let s = link.step(t, arrivals, &cfg, &mut sched);
+            assert!(s <= arrivals + 1e-9);
+        }
+    }
+
+    #[test]
+    fn random_jitter_reproducible() {
+        let mut a = RandomJitter::new(42);
+        let mut b = RandomJitter::new(42);
+        for t in 0..10 {
+            assert_eq!(a.lambda(t), b.lambda(t));
+        }
+    }
+}

@@ -1,0 +1,182 @@
+//! Canonicalized linear-arithmetic atoms.
+//!
+//! Every inequality over [`LinExpr`]s is rewritten into a *canonical atom*
+//! of the form `p ≤ k` or `p < k`, where `p` is a constant-free linear
+//! expression whose lowest-numbered variable has coefficient `+1`. Equality
+//! is split into two inequalities at term-construction time, and `≥`/`>`
+//! become *negations* of canonical atoms. This gives the theory bridge a
+//! pleasant property: asserting an atom literal is always a single bound on
+//! a single (slack) variable — positive polarity an upper bound, negative
+//! polarity a lower bound.
+
+use crate::linexpr::LinExpr;
+use ccmatic_num::Rat;
+
+/// Index of a canonical atom in the [`Context`](crate::Context) atom table.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct AtomId(pub u32);
+
+/// A canonical atom: `expr ≤ bound` (or `<` when `strict`).
+///
+/// Invariants: `expr` has no constant term, at least one variable, and its
+/// leading (lowest-id) variable has coefficient exactly `+1`.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct AtomData {
+    /// Constant-free, leading-coefficient-one variable part.
+    pub expr: LinExpr,
+    /// Right-hand side.
+    pub bound: Rat,
+    /// True for `<`, false for `≤`.
+    pub strict: bool,
+}
+
+/// Result of canonicalizing `lhs ⋈ rhs`.
+pub enum Canonical {
+    /// The atom folded to a constant truth value (no variables).
+    Const(bool),
+    /// A canonical atom, possibly negated (`negated` means the original
+    /// inequality is equivalent to the *negation* of the canonical atom).
+    Atom { data: AtomData, negated: bool },
+}
+
+/// The inequality relations accepted by the canonicalizer.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Rel {
+    /// `lhs ≤ rhs`
+    Le,
+    /// `lhs < rhs`
+    Lt,
+    /// `lhs ≥ rhs`
+    Ge,
+    /// `lhs > rhs`
+    Gt,
+}
+
+/// Canonicalize `lhs ⋈ rhs` into an [`AtomData`] literal.
+///
+/// The difference `d = lhs − rhs` is formed, the constant moved to the
+/// right-hand side, and the expression scaled so the leading coefficient is
+/// `+1` (flipping the relation when the scale is negative). `Ge`/`Gt` are
+/// then expressed as negations: `p ≥ k ⟺ ¬(p < k)`.
+pub fn canonicalize(lhs: &LinExpr, rhs: &LinExpr, rel: Rel) -> Canonical {
+    let d = lhs.clone() - rhs.clone();
+    let k = -d.constant_part().clone();
+    let p = d.var_part();
+    let Some(lead) = p.leading_var() else {
+        // Constant comparison: 0 ⋈ k.
+        let truth = match rel {
+            Rel::Le => Rat::zero() <= k,
+            Rel::Lt => Rat::zero() < k,
+            Rel::Ge => Rat::zero() >= k,
+            Rel::Gt => Rat::zero() > k,
+        };
+        return Canonical::Const(truth);
+    };
+    let a = p.coeff(lead);
+    let scale = a.recip();
+    let p = p.scaled(&scale);
+    let k = &k * &scale;
+    // Negative scale flips the inequality direction.
+    let rel = if scale.is_negative() {
+        match rel {
+            Rel::Le => Rel::Ge,
+            Rel::Lt => Rel::Gt,
+            Rel::Ge => Rel::Le,
+            Rel::Gt => Rel::Lt,
+        }
+    } else {
+        rel
+    };
+    let (strict, negated) = match rel {
+        Rel::Le => (false, false),
+        Rel::Lt => (true, false),
+        // p ≥ k ⟺ ¬(p < k)
+        Rel::Ge => (true, true),
+        // p > k ⟺ ¬(p ≤ k)
+        Rel::Gt => (false, true),
+    };
+    Canonical::Atom { data: AtomData { expr: p, bound: k, strict }, negated }
+}
+
+impl std::fmt::Display for AtomData {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} {} {}", self.expr, if self.strict { "<" } else { "≤" }, self.bound)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::RealVar;
+    use ccmatic_num::{int, rat};
+
+    fn x() -> LinExpr {
+        LinExpr::var(RealVar(0))
+    }
+    fn y() -> LinExpr {
+        LinExpr::var(RealVar(1))
+    }
+
+    fn atom(lhs: &LinExpr, rhs: &LinExpr, rel: Rel) -> (AtomData, bool) {
+        match canonicalize(lhs, rhs, rel) {
+            Canonical::Atom { data, negated } => (data, negated),
+            Canonical::Const(_) => panic!("expected non-constant atom"),
+        }
+    }
+
+    #[test]
+    fn le_is_direct() {
+        // x + 1 <= 3  →  x <= 2, positive polarity
+        let (d, neg) = atom(&(x() + LinExpr::constant(int(1))), &LinExpr::constant(int(3)), Rel::Le);
+        assert!(!neg);
+        assert!(!d.strict);
+        assert_eq!(d.bound, int(2));
+        assert_eq!(d.expr, x());
+    }
+
+    #[test]
+    fn ge_is_negated_strict() {
+        // x >= 2  →  ¬(x < 2)
+        let (d, neg) = atom(&x(), &LinExpr::constant(int(2)), Rel::Ge);
+        assert!(neg);
+        assert!(d.strict);
+        assert_eq!(d.bound, int(2));
+    }
+
+    #[test]
+    fn negative_leading_coeff_flips() {
+        // -2x <= 4  →  x >= -2  →  ¬(x < -2)
+        let lhs = x() * int(-2);
+        let (d, neg) = atom(&lhs, &LinExpr::constant(int(4)), Rel::Le);
+        assert!(neg);
+        assert!(d.strict);
+        assert_eq!(d.bound, int(-2));
+        assert_eq!(d.expr, x());
+    }
+
+    #[test]
+    fn scaling_shares_atoms() {
+        // 2x + 4y <= 6 and x + 2y <= 3 canonicalize identically.
+        let a = atom(&(x() * int(2) + y() * int(4)), &LinExpr::constant(int(6)), Rel::Le);
+        let b = atom(&(x() + y() * int(2)), &LinExpr::constant(int(3)), Rel::Le);
+        assert_eq!(a.0, b.0);
+        assert_eq!(a.1, b.1);
+    }
+
+    #[test]
+    fn constant_folding() {
+        match canonicalize(&LinExpr::constant(int(1)), &LinExpr::constant(int(2)), Rel::Le) {
+            Canonical::Const(true) => {}
+            _ => panic!("1 <= 2 should fold to true"),
+        }
+        match canonicalize(&LinExpr::constant(rat(1, 2)), &LinExpr::constant(rat(1, 2)), Rel::Lt) {
+            Canonical::Const(false) => {}
+            _ => panic!("1/2 < 1/2 should fold to false"),
+        }
+        // Cancellation: x - x <= 0 folds to true.
+        match canonicalize(&(x() - x()), &LinExpr::zero(), Rel::Le) {
+            Canonical::Const(true) => {}
+            _ => panic!("0 <= 0 should fold to true"),
+        }
+    }
+}

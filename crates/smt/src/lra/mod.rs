@@ -1,0 +1,593 @@
+//! General-simplex decision procedure for conjunctions of linear bounds.
+//!
+//! This is the theory solver of the lazy SMT combination, implementing the
+//! algorithm of de Moura & Bjørner, *A fast linear-arithmetic solver for
+//! DPLL(T)* (CAV 2006):
+//!
+//! * every asserted atom is a bound on a single variable (problem variable
+//!   or *slack* variable defined as a linear combination of others),
+//! * strict bounds are represented exactly using [`DeltaRat`]
+//!   delta-rationals,
+//! * a tableau of basic-variable rows is pivoted (Bland's rule, guaranteeing
+//!   termination) until either all bounds hold or an infeasible row yields a
+//!   Farkas-style conflict: the set of bound *tags* (SAT literals) that
+//!   cannot hold together.
+//!
+//! The tableau persists across `reset_bounds` calls, so repeated theory
+//! checks (one per candidate Boolean model) only pay for bound assertion
+//! and re-pivoting, not structure building.
+
+use ccmatic_num::{DeltaRat, Rat};
+use std::collections::BTreeMap;
+
+/// A simplex variable (problem variable or slack).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct SimVar(pub u32);
+
+/// Opaque tag identifying the asserted bound that produced a conflict; the
+/// SMT layer uses SAT literal codes.
+pub type Tag = u32;
+
+/// An inconsistent set of asserted bounds, identified by their tags.
+#[derive(Clone, Debug)]
+pub struct TheoryConflict {
+    /// Tags of every bound participating in the infeasibility proof.
+    pub tags: Vec<Tag>,
+}
+
+#[derive(Clone)]
+struct BoundVal {
+    value: DeltaRat,
+    tag: Tag,
+}
+
+/// The simplex solver state.
+pub struct Simplex {
+    /// `rows[v] = Some(row)` iff `v` is basic; the row maps nonbasic vars to
+    /// coefficients so that `v = Σ coeff·nonbasic`.
+    rows: Vec<Option<BTreeMap<SimVar, Rat>>>,
+    lower: Vec<Option<BoundVal>>,
+    upper: Vec<Option<BoundVal>>,
+    value: Vec<DeltaRat>,
+    /// Statistics: total pivots performed.
+    pub pivots: u64,
+}
+
+impl Default for Simplex {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Simplex {
+    /// Empty solver.
+    pub fn new() -> Self {
+        Simplex { rows: Vec::new(), lower: Vec::new(), upper: Vec::new(), value: Vec::new(), pivots: 0 }
+    }
+
+    /// Allocate a fresh (nonbasic, unbounded) variable with value 0.
+    pub fn new_var(&mut self) -> SimVar {
+        let v = SimVar(self.rows.len() as u32);
+        self.rows.push(None);
+        self.lower.push(None);
+        self.upper.push(None);
+        self.value.push(DeltaRat::zero());
+        v
+    }
+
+    /// Number of variables (problem + slack).
+    pub fn num_vars(&self) -> usize {
+        self.rows.len()
+    }
+
+    fn is_basic(&self, v: SimVar) -> bool {
+        self.rows[v.0 as usize].is_some()
+    }
+
+    /// Define a new *slack* variable equal to `Σ coeff·var` over existing
+    /// variables. Basic variables in the definition are substituted by
+    /// their rows so the new row only references nonbasic variables.
+    pub fn define_slack(&mut self, expr: &[(SimVar, Rat)]) -> SimVar {
+        let mut row: BTreeMap<SimVar, Rat> = BTreeMap::new();
+        for (v, c) in expr {
+            if c.is_zero() {
+                continue;
+            }
+            if let Some(sub) = &self.rows[v.0 as usize] {
+                for (sv, sc) in sub.clone() {
+                    add_coeff(&mut row, sv, &(&sc * c));
+                }
+            } else {
+                add_coeff(&mut row, *v, c);
+            }
+        }
+        let s = self.new_var();
+        // Initial value = row evaluated at current assignment.
+        let mut val = DeltaRat::zero();
+        for (v, c) in &row {
+            val = &val + &self.value[v.0 as usize].scale(c);
+        }
+        self.value[s.0 as usize] = val;
+        self.rows[s.0 as usize] = Some(row);
+        s
+    }
+
+    /// Drop all asserted bounds (tableau and values are kept).
+    pub fn reset_bounds(&mut self) {
+        for b in self.lower.iter_mut() {
+            *b = None;
+        }
+        for b in self.upper.iter_mut() {
+            *b = None;
+        }
+    }
+
+    /// Assert `v ≤ bound`. Returns a conflict if it contradicts the current
+    /// lower bound on `v`.
+    pub fn assert_upper(&mut self, v: SimVar, bound: DeltaRat, tag: Tag) -> Result<(), TheoryConflict> {
+        let i = v.0 as usize;
+        if let Some(u) = &self.upper[i] {
+            if u.value <= bound {
+                return Ok(());
+            }
+        }
+        if let Some(l) = &self.lower[i] {
+            if l.value > bound {
+                return Err(TheoryConflict { tags: vec![l.tag, tag] });
+            }
+        }
+        self.upper[i] = Some(BoundVal { value: bound.clone(), tag });
+        if !self.is_basic(v) && self.value[i] > bound {
+            self.update_nonbasic(v, bound);
+        }
+        Ok(())
+    }
+
+    /// Assert `v ≥ bound`. Returns a conflict if it contradicts the current
+    /// upper bound on `v`.
+    pub fn assert_lower(&mut self, v: SimVar, bound: DeltaRat, tag: Tag) -> Result<(), TheoryConflict> {
+        let i = v.0 as usize;
+        if let Some(l) = &self.lower[i] {
+            if l.value >= bound {
+                return Ok(());
+            }
+        }
+        if let Some(u) = &self.upper[i] {
+            if u.value < bound {
+                return Err(TheoryConflict { tags: vec![u.tag, tag] });
+            }
+        }
+        self.lower[i] = Some(BoundVal { value: bound.clone(), tag });
+        if !self.is_basic(v) && self.value[i] < bound {
+            self.update_nonbasic(v, bound);
+        }
+        Ok(())
+    }
+
+    /// Change the value of a nonbasic variable, propagating to basic rows.
+    fn update_nonbasic(&mut self, v: SimVar, new_val: DeltaRat) {
+        let delta = &new_val - &self.value[v.0 as usize];
+        for b in 0..self.rows.len() {
+            if let Some(row) = &self.rows[b] {
+                if let Some(c) = row.get(&v) {
+                    let adj = delta.scale(c);
+                    self.value[b] = &self.value[b] + &adj;
+                }
+            }
+        }
+        self.value[v.0 as usize] = new_val;
+    }
+
+    /// Pivot to feasibility or produce a conflict.
+    pub fn check(&mut self) -> Result<(), TheoryConflict> {
+        loop {
+            // Bland's rule: lowest-index violating basic variable.
+            let mut violating: Option<(SimVar, bool)> = None; // (var, below_lower)
+            for i in 0..self.rows.len() {
+                if self.rows[i].is_none() {
+                    continue;
+                }
+                let v = SimVar(i as u32);
+                if let Some(l) = &self.lower[i] {
+                    if self.value[i] < l.value {
+                        violating = Some((v, true));
+                        break;
+                    }
+                }
+                if let Some(u) = &self.upper[i] {
+                    if self.value[i] > u.value {
+                        violating = Some((v, false));
+                        break;
+                    }
+                }
+            }
+            let Some((b, below)) = violating else {
+                return Ok(());
+            };
+            let bi = b.0 as usize;
+            let row = self.rows[bi].as_ref().unwrap().clone();
+            // Find a nonbasic variable that can move `b` toward its bound
+            // (lowest index — Bland's rule prevents cycling).
+            let mut pivot_col: Option<SimVar> = None;
+            for (&j, c) in &row {
+                let ji = j.0 as usize;
+                let can_fix = if below {
+                    // Need to increase b.
+                    (c.is_positive() && self.can_increase(ji))
+                        || (c.is_negative() && self.can_decrease(ji))
+                } else {
+                    // Need to decrease b.
+                    (c.is_positive() && self.can_decrease(ji))
+                        || (c.is_negative() && self.can_increase(ji))
+                };
+                if can_fix {
+                    pivot_col = Some(j);
+                    break;
+                }
+            }
+            let Some(j) = pivot_col else {
+                // Infeasible: every nonbasic is pinned at the blocking bound.
+                let mut tags = Vec::new();
+                let own = if below {
+                    self.lower[bi].as_ref().unwrap().tag
+                } else {
+                    self.upper[bi].as_ref().unwrap().tag
+                };
+                tags.push(own);
+                for (&jv, c) in &row {
+                    let ji = jv.0 as usize;
+                    let blocking = if below {
+                        // b needs increase; positive coeff blocked by upper,
+                        // negative coeff blocked by lower.
+                        if c.is_positive() {
+                            self.upper[ji].as_ref()
+                        } else {
+                            self.lower[ji].as_ref()
+                        }
+                    } else if c.is_positive() {
+                        self.lower[ji].as_ref()
+                    } else {
+                        self.upper[ji].as_ref()
+                    };
+                    tags.push(blocking.expect("blocking bound must exist").tag);
+                }
+                tags.sort_unstable();
+                tags.dedup();
+                return Err(TheoryConflict { tags });
+            };
+            let target = if below {
+                self.lower[bi].as_ref().unwrap().value.clone()
+            } else {
+                self.upper[bi].as_ref().unwrap().value.clone()
+            };
+            self.pivot_and_update(b, j, target);
+        }
+    }
+
+    fn can_increase(&self, i: usize) -> bool {
+        match &self.upper[i] {
+            None => true,
+            Some(u) => self.value[i] < u.value,
+        }
+    }
+
+    fn can_decrease(&self, i: usize) -> bool {
+        match &self.lower[i] {
+            None => true,
+            Some(l) => self.value[i] > l.value,
+        }
+    }
+
+    /// Pivot basic `b` with nonbasic `j` and set `b`'s value to `target`.
+    fn pivot_and_update(&mut self, b: SimVar, j: SimVar, target: DeltaRat) {
+        self.pivots += 1;
+        let bi = b.0 as usize;
+        let ji = j.0 as usize;
+        let row_b = self.rows[bi].take().unwrap();
+        let a_bj = row_b.get(&j).expect("pivot column must be in row").clone();
+        // Value updates: θ = (target − β(b)) / a_bj.
+        let theta = (&target - &self.value[bi]).scale(&a_bj.recip());
+        self.value[bi] = target;
+        self.value[ji] = &self.value[ji] + &theta;
+        for i in 0..self.rows.len() {
+            if i == bi {
+                continue;
+            }
+            if let Some(row) = &self.rows[i] {
+                if let Some(c) = row.get(&j) {
+                    let adj = theta.scale(c);
+                    self.value[i] = &self.value[i] + &adj;
+                }
+            }
+        }
+        // Row for j: from b = Σ a_k x_k,
+        //   x_j = (1/a_bj)·b − Σ_{k≠j} (a_k/a_bj)·x_k
+        let inv = a_bj.recip();
+        let mut row_j: BTreeMap<SimVar, Rat> = BTreeMap::new();
+        row_j.insert(b, inv.clone());
+        for (&k, a_k) in &row_b {
+            if k == j {
+                continue;
+            }
+            add_coeff(&mut row_j, k, &-(a_k * &inv));
+        }
+        // Substitute x_j in every other row.
+        for i in 0..self.rows.len() {
+            if i == ji {
+                continue;
+            }
+            if let Some(row) = &mut self.rows[i] {
+                if let Some(c) = row.remove(&j) {
+                    for (&k, jk) in &row_j {
+                        add_coeff(row, k, &(&c * jk));
+                    }
+                }
+            }
+        }
+        self.rows[ji] = Some(row_j);
+    }
+
+    /// Current delta-rational value of a variable (valid after a successful
+    /// `check`).
+    pub fn raw_value(&self, v: SimVar) -> &DeltaRat {
+        &self.value[v.0 as usize]
+    }
+
+    /// Concretize the current assignment into plain rationals by choosing a
+    /// small positive value for δ that keeps every asserted bound satisfied.
+    pub fn concrete_values(&self) -> Vec<Rat> {
+        let delta = self.suitable_delta();
+        self.value.iter().map(|v| v.eval(&delta)).collect()
+    }
+
+    /// A value of δ small enough that substituting it preserves every
+    /// asserted bound (standard delta-rational extraction).
+    pub fn suitable_delta(&self) -> Rat {
+        let mut best = Rat::one();
+        for i in 0..self.value.len() {
+            let v = &self.value[i];
+            if let Some(u) = &self.upper[i] {
+                // Need v.real + v.delta·δ ≤ u.real + u.delta·δ.
+                let dd = &v.delta - &u.value.delta;
+                if dd.is_positive() {
+                    let gap = &u.value.real - &v.real;
+                    let cand = &gap / &dd;
+                    if cand < best {
+                        best = cand;
+                    }
+                }
+            }
+            if let Some(l) = &self.lower[i] {
+                let dd = &l.value.delta - &v.delta;
+                if dd.is_positive() {
+                    let gap = &v.real - &l.value.real;
+                    let cand = &gap / &dd;
+                    if cand < best {
+                        best = cand;
+                    }
+                }
+            }
+        }
+        // Halve to stay strictly inside open regions.
+        &best * &Rat::new(1i64.into(), 2i64.into())
+    }
+}
+
+fn add_coeff(row: &mut BTreeMap<SimVar, Rat>, v: SimVar, c: &Rat) {
+    if c.is_zero() {
+        return;
+    }
+    let e = row.entry(v).or_insert_with(Rat::zero);
+    *e += c;
+    if e.is_zero() {
+        row.remove(&v);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccmatic_num::{int, rat};
+
+    fn dr(r: Rat) -> DeltaRat {
+        DeltaRat::from(r)
+    }
+
+    #[test]
+    fn bounds_on_single_var() {
+        let mut s = Simplex::new();
+        let x = s.new_var();
+        s.assert_lower(x, dr(int(2)), 0).unwrap();
+        s.assert_upper(x, dr(int(5)), 1).unwrap();
+        s.check().unwrap();
+        let v = s.raw_value(x);
+        assert!(*v >= dr(int(2)) && *v <= dr(int(5)));
+    }
+
+    #[test]
+    fn direct_bound_conflict() {
+        let mut s = Simplex::new();
+        let x = s.new_var();
+        s.assert_lower(x, dr(int(5)), 10).unwrap();
+        let err = s.assert_upper(x, dr(int(2)), 20).unwrap_err();
+        let mut tags = err.tags;
+        tags.sort_unstable();
+        assert_eq!(tags, vec![10, 20]);
+    }
+
+    #[test]
+    fn strict_bounds_via_delta() {
+        // x < 1 and x > 0 is satisfiable over reals.
+        let mut s = Simplex::new();
+        let x = s.new_var();
+        s.assert_upper(x, DeltaRat::strictly_below(int(1)), 0).unwrap();
+        s.assert_lower(x, DeltaRat::strictly_above(int(0)), 1).unwrap();
+        s.check().unwrap();
+        let vals = s.concrete_values();
+        assert!(vals[0] > int(0) && vals[0] < int(1), "got {}", vals[0]);
+    }
+
+    #[test]
+    fn strict_conflict() {
+        // x < 1 and x > 1 is unsat.
+        let mut s = Simplex::new();
+        let x = s.new_var();
+        s.assert_upper(x, DeltaRat::strictly_below(int(1)), 0).unwrap();
+        let r = s.assert_lower(x, DeltaRat::strictly_above(int(1)), 1);
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn slack_feasible_system() {
+        // x + y <= 4, x - y <= 2, x >= 3  →  y >= 1; satisfiable.
+        let mut s = Simplex::new();
+        let x = s.new_var();
+        let y = s.new_var();
+        let s1 = s.define_slack(&[(x, int(1)), (y, int(1))]);
+        let s2 = s.define_slack(&[(x, int(1)), (y, int(-1))]);
+        s.assert_upper(s1, dr(int(4)), 0).unwrap();
+        s.assert_upper(s2, dr(int(2)), 1).unwrap();
+        s.assert_lower(x, dr(int(3)), 2).unwrap();
+        s.check().unwrap();
+        let vals = s.concrete_values();
+        let (xv, yv) = (vals[x.0 as usize].clone(), vals[y.0 as usize].clone());
+        assert!(&xv + &yv <= int(4));
+        assert!(&xv - &yv <= int(2));
+        assert!(xv >= int(3));
+    }
+
+    #[test]
+    fn slack_infeasible_system_with_explanation() {
+        // x + y <= 1, x >= 1, y >= 1 : conflict must involve all three.
+        let mut s = Simplex::new();
+        let x = s.new_var();
+        let y = s.new_var();
+        let sum = s.define_slack(&[(x, int(1)), (y, int(1))]);
+        s.assert_upper(sum, dr(int(1)), 100).unwrap();
+        s.assert_lower(x, dr(int(1)), 101).unwrap();
+        s.assert_lower(y, dr(int(1)), 102).unwrap();
+        let err = s.check().unwrap_err();
+        let mut tags = err.tags;
+        tags.sort_unstable();
+        assert_eq!(tags, vec![100, 101, 102]);
+    }
+
+    #[test]
+    fn reset_bounds_allows_reuse() {
+        let mut s = Simplex::new();
+        let x = s.new_var();
+        let y = s.new_var();
+        let sum = s.define_slack(&[(x, int(1)), (y, int(1))]);
+        s.assert_upper(sum, dr(int(1)), 0).unwrap();
+        s.assert_lower(x, dr(int(1)), 1).unwrap();
+        s.assert_lower(y, dr(int(1)), 2).unwrap();
+        assert!(s.check().is_err());
+        s.reset_bounds();
+        s.assert_upper(sum, dr(int(10)), 0).unwrap();
+        s.assert_lower(x, dr(int(1)), 1).unwrap();
+        s.assert_lower(y, dr(int(1)), 2).unwrap();
+        s.check().unwrap();
+        let vals = s.concrete_values();
+        assert!(&vals[x.0 as usize] + &vals[y.0 as usize] <= int(10));
+    }
+
+    #[test]
+    fn fractional_coefficients() {
+        // 0.5x + 1.5y <= 3, x >= 2, y >= 1 → 1 + 1.5 = 2.5 <= 3 ok.
+        let mut s = Simplex::new();
+        let x = s.new_var();
+        let y = s.new_var();
+        let e = s.define_slack(&[(x, rat(1, 2)), (y, rat(3, 2))]);
+        s.assert_upper(e, dr(int(3)), 0).unwrap();
+        s.assert_lower(x, dr(int(2)), 1).unwrap();
+        s.assert_lower(y, dr(int(1)), 2).unwrap();
+        s.check().unwrap();
+    }
+
+    #[test]
+    fn equality_via_two_bounds() {
+        // x + y = 5 (as <= and >=), x = 2 → y = 3.
+        let mut s = Simplex::new();
+        let x = s.new_var();
+        let y = s.new_var();
+        let sum = s.define_slack(&[(x, int(1)), (y, int(1))]);
+        s.assert_upper(sum, dr(int(5)), 0).unwrap();
+        s.assert_lower(sum, dr(int(5)), 1).unwrap();
+        s.assert_upper(x, dr(int(2)), 2).unwrap();
+        s.assert_lower(x, dr(int(2)), 3).unwrap();
+        s.check().unwrap();
+        let vals = s.concrete_values();
+        assert_eq!(vals[y.0 as usize], int(3));
+    }
+
+    #[test]
+    fn chained_slacks_substitute_basic_vars() {
+        // s1 = x + y; force pivots; then s2 = s1 + x must still be correct.
+        let mut s = Simplex::new();
+        let x = s.new_var();
+        let y = s.new_var();
+        let s1 = s.define_slack(&[(x, int(1)), (y, int(1))]);
+        s.assert_lower(s1, dr(int(4)), 0).unwrap();
+        s.check().unwrap();
+        let s2 = s.define_slack(&[(s1, int(1)), (x, int(1))]);
+        s.assert_upper(s2, dr(int(10)), 1).unwrap();
+        s.assert_lower(x, dr(int(1)), 2).unwrap();
+        s.check().unwrap();
+        let vals = s.concrete_values();
+        let (xv, yv) = (vals[x.0 as usize].clone(), vals[y.0 as usize].clone());
+        assert!(&xv + &yv >= int(4));
+        assert!(&(&xv + &yv) + &xv <= int(10));
+        assert!(xv >= int(1));
+    }
+
+    #[test]
+    fn many_random_systems_match_feasibility_oracle() {
+        // Random interval systems on 2 vars: a·x + b·y ∈ [lo, hi]. Compare
+        // against a coarse grid-search oracle for satisfiability. The grid
+        // uses quarter steps so any system satisfiable on the grid must be
+        // accepted by the simplex (completeness direction only).
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        for _ in 0..40 {
+            let n_cons = rng.gen_range(1..5);
+            let cons: Vec<(i64, i64, i64)> = (0..n_cons)
+                .map(|_| (rng.gen_range(-2..3), rng.gen_range(-2..3), rng.gen_range(-4..5)))
+                .collect();
+            // Oracle: any grid point satisfying all a·x+b·y <= c?
+            let mut grid_sat = false;
+            'grid: for xi in -12..=12 {
+                for yi in -12..=12 {
+                    // x = xi/4, y = yi/4
+                    if cons.iter().all(|&(a, b, c)| a * xi + b * yi <= 4 * c) {
+                        grid_sat = true;
+                        break 'grid;
+                    }
+                }
+            }
+            let mut s = Simplex::new();
+            let x = s.new_var();
+            let y = s.new_var();
+            let mut ok = true;
+            for (i, &(a, b, c)) in cons.iter().enumerate() {
+                let sl = s.define_slack(&[(x, int(a)), (y, int(b))]);
+                if s.assert_upper(sl, dr(int(c)), i as u32).is_err() {
+                    ok = false;
+                    break;
+                }
+            }
+            let feasible = ok && s.check().is_ok();
+            if grid_sat {
+                assert!(feasible, "simplex rejected a grid-satisfiable system {cons:?}");
+            }
+            if feasible {
+                // Soundness: model must satisfy every constraint.
+                let vals = s.concrete_values();
+                let (xv, yv) = (vals[x.0 as usize].clone(), vals[y.0 as usize].clone());
+                for &(a, b, c) in &cons {
+                    let lhs = &(&xv * &int(a)) + &(&yv * &int(b));
+                    assert!(lhs <= int(c), "model violates {a}x+{b}y<={c}");
+                }
+            }
+        }
+    }
+}

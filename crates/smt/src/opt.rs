@@ -1,0 +1,186 @@
+//! Optimization over solver calls: maximize a linear objective.
+//!
+//! The paper's worst-case-counterexample generation asks the verifier for a
+//! trace *maximizing* `minₜ(uₜ − lₜ)` and does so "using binary search ...
+//! calling the verifier multiple times in a single CEGIS iteration" (§3.1.2).
+//! This module implements exactly that loop: probe `φ ∧ obj ≥ mid`,
+//! tighten the bracket, keep the best model.
+
+use crate::linexpr::LinExpr;
+use crate::solver::{Model, SatResult, Solver};
+use crate::term::{Context, Term};
+use ccmatic_num::Rat;
+
+/// Parameters for [`maximize`].
+#[derive(Clone, Debug)]
+pub struct MaximizeParams {
+    /// Lower end of the search bracket; the objective is first tested for
+    /// feasibility at this value.
+    pub lo: Rat,
+    /// Upper end of the bracket (an a-priori bound on the objective; the
+    /// CCAC encodings always have one, e.g. a trace range can never exceed
+    /// the total data the link can carry).
+    pub hi: Rat,
+    /// Stop when the bracket is narrower than this.
+    pub precision: Rat,
+    /// Optional per-probe conflict budget.
+    pub conflict_budget: Option<u64>,
+}
+
+impl Default for MaximizeParams {
+    fn default() -> Self {
+        MaximizeParams {
+            lo: Rat::zero(),
+            hi: Rat::from(1_000_000i64),
+            precision: Rat::new(1i64.into(), 64i64.into()),
+            conflict_budget: None,
+        }
+    }
+}
+
+/// Result of [`maximize`].
+#[derive(Debug)]
+pub enum MaximizeOutcome {
+    /// `φ ∧ obj ≥ lo` is unsatisfiable.
+    Infeasible,
+    /// Best feasible objective value found (within `precision` of the
+    /// supremum) and a witnessing model.
+    Feasible {
+        /// The objective value achieved by `model`.
+        value: Rat,
+        /// A model achieving `value`.
+        model: Model,
+        /// Number of solver probes used.
+        probes: u32,
+    },
+}
+
+/// Maximize `objective` subject to `base`, by binary search on solver calls.
+///
+/// Soundness: the returned model always satisfies `base`; the returned value
+/// is exactly `objective` evaluated in that model. Completeness: the true
+/// supremum is less than `value + precision` (or above `hi`, which the
+/// caller promises not to be possible).
+pub fn maximize(
+    ctx: &mut Context,
+    base: Term,
+    objective: &LinExpr,
+    params: &MaximizeParams,
+) -> MaximizeOutcome {
+    let mut probes = 0u32;
+    let mut probe = |ctx: &mut Context, threshold: &Rat| -> Option<Model> {
+        probes += 1;
+        let mut solver = Solver::new();
+        solver.conflict_budget = params.conflict_budget;
+        solver.assert(ctx, base);
+        let obj_ge = ctx.ge(objective.clone(), LinExpr::constant(threshold.clone()));
+        solver.assert(ctx, obj_ge);
+        match solver.check(ctx) {
+            SatResult::Sat => solver.model().cloned(),
+            _ => None,
+        }
+    };
+
+    let Some(first) = probe(ctx, &params.lo) else {
+        return MaximizeOutcome::Infeasible;
+    };
+    let mut best_value = first.eval(objective);
+    let mut best_model = first;
+    let mut hi = params.hi.clone();
+    while &hi - &best_value > params.precision {
+        let mid = Rat::midpoint(&best_value, &hi);
+        match probe(ctx, &mid) {
+            Some(m) => {
+                best_value = m.eval(objective);
+                best_model = m;
+            }
+            None => hi = mid,
+        }
+    }
+    MaximizeOutcome::Feasible { value: best_value, model: best_model, probes }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccmatic_num::{int, rat};
+
+    #[test]
+    fn maximize_simple_lp() {
+        // max x subject to x + y <= 10, y >= 4  →  x = 6.
+        let mut ctx = Context::new();
+        let x = ctx.real_var("x");
+        let y = ctx.real_var("y");
+        let c1 = ctx.le(ctx.var(x) + ctx.var(y), ctx.constant(int(10)));
+        let c2 = ctx.ge(ctx.var(y), ctx.constant(int(4)));
+        let base = ctx.and(vec![c1, c2]);
+        let params = MaximizeParams {
+            lo: int(-100),
+            hi: int(100),
+            precision: rat(1, 100),
+            conflict_budget: None,
+        };
+        match maximize(&mut ctx, base, &LinExpr::var(x), &params) {
+            MaximizeOutcome::Feasible { value, model, .. } => {
+                assert!(value > rat(599, 100), "value {value} too small");
+                assert!(value <= int(6));
+                assert!(&model.real(x) + &model.real(y) <= int(10));
+            }
+            MaximizeOutcome::Infeasible => panic!("feasible LP reported infeasible"),
+        }
+    }
+
+    #[test]
+    fn infeasible_base() {
+        let mut ctx = Context::new();
+        let x = ctx.real_var("x");
+        let c1 = ctx.lt(ctx.var(x), ctx.constant(int(0)));
+        let c2 = ctx.gt(ctx.var(x), ctx.constant(int(0)));
+        let base = ctx.and(vec![c1, c2]);
+        let params = MaximizeParams::default();
+        assert!(matches!(
+            maximize(&mut ctx, base, &LinExpr::var(x), &params),
+            MaximizeOutcome::Infeasible
+        ));
+    }
+
+    #[test]
+    fn maximize_respects_disjunction() {
+        // max x subject to (x <= 3 ∨ x <= 7) — sup is 7.
+        let mut ctx = Context::new();
+        let x = ctx.real_var("x");
+        let a = ctx.le(ctx.var(x), ctx.constant(int(3)));
+        let b = ctx.le(ctx.var(x), ctx.constant(int(7)));
+        let base = ctx.or(vec![a, b]);
+        let params = MaximizeParams {
+            lo: int(0),
+            hi: int(100),
+            precision: rat(1, 10),
+            conflict_budget: None,
+        };
+        match maximize(&mut ctx, base, &LinExpr::var(x), &params) {
+            MaximizeOutcome::Feasible { value, .. } => {
+                assert!(value > rat(69, 10) && value <= int(7), "got {value}");
+            }
+            MaximizeOutcome::Infeasible => panic!(),
+        }
+    }
+
+    #[test]
+    fn exact_hit_when_supremum_below_lo_bracket() {
+        // max x subject to x = 5 with lo = 5: feasible immediately.
+        let mut ctx = Context::new();
+        let x = ctx.real_var("x");
+        let base = ctx.eq(ctx.var(x), ctx.constant(int(5)));
+        let params = MaximizeParams {
+            lo: int(5),
+            hi: int(10),
+            precision: rat(1, 10),
+            conflict_budget: None,
+        };
+        match maximize(&mut ctx, base, &LinExpr::var(x), &params) {
+            MaximizeOutcome::Feasible { value, .. } => assert_eq!(value, int(5)),
+            MaximizeOutcome::Infeasible => panic!(),
+        }
+    }
+}

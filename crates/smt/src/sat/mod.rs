@@ -1,0 +1,815 @@
+//! A CDCL SAT solver.
+//!
+//! Classic MiniSat-style architecture: two-watched-literal propagation,
+//! first-UIP conflict analysis with clause learning, VSIDS branching through
+//! an indexed max-heap, phase saving, and Luby-sequence restarts. Clauses
+//! may be added between `solve` calls (the solver is incremental in the
+//! add-only sense, which is exactly what CEGIS needs: the generator only
+//! ever accumulates constraints).
+//!
+//! The solver also accepts a *theory hook*: when a full assignment is
+//! reached, the hook may veto it with a conflict clause (lazy SMT). See
+//! [`TheoryHook`].
+
+mod heap;
+
+pub use heap::ActivityHeap;
+
+use std::fmt;
+
+/// A propositional variable.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct Var(pub u32);
+
+/// A literal: a variable with a polarity.
+///
+/// Encoded as `var << 1 | sign` where `sign == 1` means negated.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Lit(pub u32);
+
+impl Lit {
+    /// Positive literal of `v`.
+    pub fn pos(v: Var) -> Lit {
+        Lit(v.0 << 1)
+    }
+
+    /// Negative literal of `v`.
+    pub fn neg(v: Var) -> Lit {
+        Lit(v.0 << 1 | 1)
+    }
+
+    /// Literal of `v` with the given truth value (`true` → positive).
+    pub fn with_sign(v: Var, positive: bool) -> Lit {
+        if positive {
+            Lit::pos(v)
+        } else {
+            Lit::neg(v)
+        }
+    }
+
+    /// The underlying variable.
+    pub fn var(self) -> Var {
+        Var(self.0 >> 1)
+    }
+
+    /// True iff this is a negated literal.
+    pub fn is_neg(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    /// The opposite-polarity literal.
+    pub fn negated(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+
+    /// Dense index usable for watch lists.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{}", if self.is_neg() { "¬" } else { "" }, self.var().0)
+    }
+}
+
+/// Truth value of a variable in the partial assignment.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum LBool {
+    True,
+    False,
+    Undef,
+}
+
+/// Theory hook consulted during the search (CDCL(T)).
+pub trait TheoryHook {
+    /// Called with the solver's complete assignment. Return `Ok(())` to
+    /// accept, or a conflict clause — a clause that is *false* under the
+    /// current assignment — to reject it. The clause is learned and search
+    /// continues.
+    fn final_check(&mut self, assignment: &dyn Fn(Var) -> bool) -> Result<(), Vec<Lit>>;
+
+    /// Called on *partial* assignments (after each propagation fixpoint).
+    /// `assignment(v)` is `None` for unassigned variables. Returning a
+    /// conflict clause here prunes the subtree early; the clause must be
+    /// false under the current partial assignment. The default accepts
+    /// everything (pure lazy solving).
+    fn partial_check(
+        &mut self,
+        _assignment: &dyn Fn(Var) -> Option<bool>,
+    ) -> Result<(), Vec<Lit>> {
+        Ok(())
+    }
+}
+
+/// A no-op hook for pure SAT solving.
+pub struct NoTheory;
+
+impl TheoryHook for NoTheory {
+    fn final_check(&mut self, _assignment: &dyn Fn(Var) -> bool) -> Result<(), Vec<Lit>> {
+        Ok(())
+    }
+}
+
+/// Outcome of a `solve` call.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SolveResult {
+    /// A satisfying (and theory-accepted) assignment was found.
+    Sat,
+    /// The clause set is unsatisfiable.
+    Unsat,
+}
+
+#[derive(Clone)]
+struct Clause {
+    lits: Vec<Lit>,
+}
+
+/// Cumulative counters, useful for reproducing the paper's scalability
+/// discussion.
+#[derive(Clone, Copy, Default, Debug)]
+pub struct SatStats {
+    /// Number of branching decisions.
+    pub decisions: u64,
+    /// Number of conflicts (propositional and theory).
+    pub conflicts: u64,
+    /// Number of unit propagations.
+    pub propagations: u64,
+    /// Number of restarts.
+    pub restarts: u64,
+    /// Number of theory `final_check` invocations.
+    pub theory_checks: u64,
+    /// Number of theory-originated conflict clauses.
+    pub theory_conflicts: u64,
+}
+
+/// The CDCL solver.
+pub struct SatSolver {
+    num_vars: u32,
+    clauses: Vec<Clause>,
+    /// Watch lists: for each literal index, the clauses watching it.
+    watches: Vec<Vec<usize>>,
+    assign: Vec<LBool>,
+    /// Saved phase for phase-saving.
+    phase: Vec<bool>,
+    level: Vec<u32>,
+    reason: Vec<Option<usize>>,
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    prop_head: usize,
+    activity: Vec<f64>,
+    act_inc: f64,
+    order: ActivityHeap,
+    /// Clauses proven unsatisfiable at level 0 (empty clause added).
+    unsat_forever: bool,
+    /// Units queued at level 0 by `add_clause` before `solve` runs.
+    pending_units: Vec<Lit>,
+    /// Statistics.
+    pub stats: SatStats,
+    /// Optional conflict budget; `solve` gives up (`None` result) past it.
+    pub conflict_budget: Option<u64>,
+}
+
+const ACT_DECAY: f64 = 1.0 / 0.95;
+const ACT_RESCALE: f64 = 1e100;
+
+impl Default for SatSolver {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SatSolver {
+    /// Create an empty solver.
+    pub fn new() -> Self {
+        SatSolver {
+            num_vars: 0,
+            clauses: Vec::new(),
+            watches: Vec::new(),
+            assign: Vec::new(),
+            phase: Vec::new(),
+            level: Vec::new(),
+            reason: Vec::new(),
+            trail: Vec::new(),
+            trail_lim: Vec::new(),
+            prop_head: 0,
+            activity: Vec::new(),
+            act_inc: 1.0,
+            order: ActivityHeap::new(),
+            unsat_forever: false,
+            pending_units: Vec::new(),
+            stats: SatStats::default(),
+            conflict_budget: None,
+        }
+    }
+
+    /// Allocate a fresh variable.
+    pub fn new_var(&mut self) -> Var {
+        let v = Var(self.num_vars);
+        self.num_vars += 1;
+        self.assign.push(LBool::Undef);
+        self.phase.push(false);
+        self.level.push(0);
+        self.reason.push(None);
+        self.activity.push(0.0);
+        self.watches.push(Vec::new());
+        self.watches.push(Vec::new());
+        self.order.insert(v.0 as usize, 0.0);
+        v
+    }
+
+    /// Number of variables allocated.
+    pub fn num_vars(&self) -> u32 {
+        self.num_vars
+    }
+
+    /// Current value of a variable (meaningful after `SolveResult::Sat`).
+    pub fn value(&self, v: Var) -> bool {
+        matches!(self.assign[v.0 as usize], LBool::True)
+    }
+
+    fn lit_value(&self, l: Lit) -> LBool {
+        match self.assign[l.var().0 as usize] {
+            LBool::Undef => LBool::Undef,
+            LBool::True => {
+                if l.is_neg() {
+                    LBool::False
+                } else {
+                    LBool::True
+                }
+            }
+            LBool::False => {
+                if l.is_neg() {
+                    LBool::True
+                } else {
+                    LBool::False
+                }
+            }
+        }
+    }
+
+    /// Add a clause. May be called at any time between `solve` calls;
+    /// duplicate and tautological clauses are handled. Returns `false` if
+    /// the clause set is now trivially unsatisfiable.
+    pub fn add_clause(&mut self, mut lits: Vec<Lit>) -> bool {
+        if self.unsat_forever {
+            return false;
+        }
+        // The solver may be mid-model from a previous solve; new clauses are
+        // integrated at level 0.
+        self.backtrack_to(0);
+        lits.sort();
+        lits.dedup();
+        // Tautology check: p and ¬p both present.
+        for w in lits.windows(2) {
+            if w[0].var() == w[1].var() {
+                return true;
+            }
+        }
+        // Drop literals already false at level 0; satisfied clause check.
+        let mut keep = Vec::with_capacity(lits.len());
+        for &l in &lits {
+            match self.lit_value(l) {
+                LBool::True => return true,
+                LBool::False => {}
+                LBool::Undef => keep.push(l),
+            }
+        }
+        match keep.len() {
+            0 => {
+                self.unsat_forever = true;
+                false
+            }
+            1 => {
+                self.pending_units.push(keep[0]);
+                true
+            }
+            _ => {
+                let idx = self.clauses.len();
+                self.watches[keep[0].index()].push(idx);
+                self.watches[keep[1].index()].push(idx);
+                self.clauses.push(Clause { lits: keep });
+                true
+            }
+        }
+    }
+
+    fn enqueue(&mut self, l: Lit, reason: Option<usize>) {
+        let v = l.var().0 as usize;
+        debug_assert_eq!(self.assign[v], LBool::Undef);
+        self.assign[v] = if l.is_neg() { LBool::False } else { LBool::True };
+        self.phase[v] = !l.is_neg();
+        self.level[v] = self.trail_lim.len() as u32;
+        self.reason[v] = reason;
+        self.trail.push(l);
+        self.stats.propagations += 1;
+    }
+
+    /// Propagate all queued assignments; returns a conflicting clause index
+    /// on conflict.
+    fn propagate(&mut self) -> Option<usize> {
+        while self.prop_head < self.trail.len() {
+            let l = self.trail[self.prop_head];
+            self.prop_head += 1;
+            let falsified = l.negated();
+            let mut i = 0;
+            // Take the watch list to appease the borrow checker; clauses
+            // removed from it are re-added to other lists.
+            let mut watch_list = std::mem::take(&mut self.watches[falsified.index()]);
+            while i < watch_list.len() {
+                let ci = watch_list[i];
+                // Ensure the falsified literal is at position 1.
+                let (w0, w1) = (self.clauses[ci].lits[0], self.clauses[ci].lits[1]);
+                if w0 == falsified {
+                    self.clauses[ci].lits.swap(0, 1);
+                }
+                debug_assert_eq!(self.clauses[ci].lits[1], falsified);
+                let first = self.clauses[ci].lits[0];
+                let _ = w1;
+                if self.lit_value(first) == LBool::True {
+                    i += 1;
+                    continue;
+                }
+                // Look for a new literal to watch.
+                let mut moved = false;
+                for k in 2..self.clauses[ci].lits.len() {
+                    let cand = self.clauses[ci].lits[k];
+                    if self.lit_value(cand) != LBool::False {
+                        self.clauses[ci].lits.swap(1, k);
+                        self.watches[cand.index()].push(ci);
+                        watch_list.swap_remove(i);
+                        moved = true;
+                        break;
+                    }
+                }
+                if moved {
+                    continue;
+                }
+                // Clause is unit or conflicting.
+                if self.lit_value(first) == LBool::False {
+                    // Conflict: restore the watch list and report.
+                    self.watches[falsified.index()] = watch_list;
+                    self.prop_head = self.trail.len();
+                    return Some(ci);
+                }
+                self.enqueue(first, Some(ci));
+                i += 1;
+            }
+            self.watches[falsified.index()] = watch_list;
+        }
+        None
+    }
+
+    fn bump_var(&mut self, v: Var) {
+        let idx = v.0 as usize;
+        self.activity[idx] += self.act_inc;
+        if self.activity[idx] > ACT_RESCALE {
+            for a in self.activity.iter_mut() {
+                *a /= ACT_RESCALE;
+            }
+            self.act_inc /= ACT_RESCALE;
+            self.order.rebuild(&self.activity);
+        }
+        self.order.update(idx, self.activity[idx]);
+    }
+
+    /// First-UIP conflict analysis. Returns the learned clause (asserting
+    /// literal first) and the backjump level.
+    fn analyze(&mut self, conflict: usize) -> (Vec<Lit>, u32) {
+        let current_level = self.trail_lim.len() as u32;
+        let mut learned: Vec<Lit> = Vec::new();
+        let mut seen = vec![false; self.num_vars as usize];
+        let mut counter = 0usize;
+        let mut trail_idx = self.trail.len();
+        let mut reason_clause = conflict;
+        let mut asserting: Option<Lit> = None;
+
+        loop {
+            let lits: Vec<Lit> = self.clauses[reason_clause].lits.clone();
+            // Skip the asserting literal itself when walking a reason clause.
+            for l in lits {
+                if Some(l) == asserting {
+                    continue;
+                }
+                let v = l.var().0 as usize;
+                if seen[v] || self.level[v] == 0 {
+                    continue;
+                }
+                seen[v] = true;
+                self.bump_var(l.var());
+                if self.level[v] == current_level {
+                    counter += 1;
+                } else {
+                    learned.push(l);
+                }
+            }
+            // Pick the next trail literal to resolve on.
+            loop {
+                trail_idx -= 1;
+                let l = self.trail[trail_idx];
+                if seen[l.var().0 as usize] {
+                    counter -= 1;
+                    if counter == 0 {
+                        // First UIP found.
+                        learned.insert(0, l.negated());
+                        let backjump = learned[1..]
+                            .iter()
+                            .map(|x| self.level[x.var().0 as usize])
+                            .max()
+                            .unwrap_or(0);
+                        return (learned, backjump);
+                    }
+                    asserting = Some(l);
+                    reason_clause = self.reason[l.var().0 as usize]
+                        .expect("UIP literal must have a reason");
+                    break;
+                }
+            }
+        }
+    }
+
+    fn backtrack_to(&mut self, target_level: u32) {
+        while self.trail_lim.len() as u32 > target_level {
+            let lim = self.trail_lim.pop().unwrap();
+            while self.trail.len() > lim {
+                let l = self.trail.pop().unwrap();
+                let v = l.var().0 as usize;
+                self.assign[v] = LBool::Undef;
+                self.reason[v] = None;
+                self.order.insert(v, self.activity[v]);
+            }
+        }
+        self.prop_head = self.trail.len().min(self.prop_head);
+        if target_level == 0 {
+            self.prop_head = 0;
+        }
+    }
+
+    fn pick_branch_var(&mut self) -> Option<Var> {
+        while let Some(idx) = self.order.pop_max() {
+            if self.assign[idx] == LBool::Undef {
+                return Some(Var(idx as u32));
+            }
+        }
+        None
+    }
+
+    /// Learn a clause produced by conflict analysis or the theory hook and
+    /// backjump appropriately. Returns `false` if this proves unsat.
+    fn learn(&mut self, learned: Vec<Lit>, backjump: u32) -> bool {
+        self.stats.conflicts += 1;
+        self.act_inc *= ACT_DECAY;
+        if learned.is_empty() {
+            self.unsat_forever = true;
+            return false;
+        }
+        self.backtrack_to(backjump);
+        if learned.len() == 1 {
+            if self.lit_value(learned[0]) == LBool::False {
+                self.unsat_forever = true;
+                return false;
+            }
+            if self.lit_value(learned[0]) == LBool::Undef {
+                self.enqueue(learned[0], None);
+            }
+            return true;
+        }
+        let idx = self.clauses.len();
+        self.watches[learned[0].index()].push(idx);
+        self.watches[learned[1].index()].push(idx);
+        let assert_lit = learned[0];
+        self.clauses.push(Clause { lits: learned });
+        if self.lit_value(assert_lit) == LBool::Undef {
+            self.enqueue(assert_lit, Some(idx));
+        }
+        true
+    }
+
+    /// The Luby restart sequence (1,1,2,1,1,2,4,…).
+    fn luby(mut i: u64) -> u64 {
+        loop {
+            // Smallest k with 2^k − 1 ≥ i + 1.
+            let mut k = 1u64;
+            while (1u64 << k) - 1 < i + 1 {
+                k += 1;
+            }
+            if (1u64 << k) - 1 == i + 1 {
+                return 1 << (k - 1);
+            }
+            // Tail-recurse on the position within the previous block.
+            i -= (1 << (k - 1)) - 1;
+        }
+    }
+
+    /// Integrate a conflict clause reported by the theory: backjump to the
+    /// clause's maximum decision level, store it, and run standard
+    /// first-UIP analysis from it. Returns `false` if this proves unsat.
+    fn handle_theory_conflict(&mut self, mut clause: Vec<Lit>) -> bool {
+        self.stats.theory_conflicts += 1;
+        debug_assert!(
+            clause.iter().all(|&l| self.lit_value(l) == LBool::False),
+            "theory conflict clause must be false under the current assignment"
+        );
+        if clause.is_empty() {
+            self.unsat_forever = true;
+            return false;
+        }
+        // Keep the two highest-level literals in watch positions so the
+        // all-false case is always detected by the last falsification.
+        clause.sort_by_key(|l| std::cmp::Reverse(self.level[l.var().0 as usize]));
+        let max_level = self.level[clause[0].var().0 as usize];
+        if max_level == 0 {
+            self.unsat_forever = true;
+            return false;
+        }
+        self.backtrack_to(max_level);
+        if clause.len() == 1 {
+            // Unit theory clause: fall back to direct learning (backjump so
+            // the literal becomes assignable).
+            self.backtrack_to(max_level - 1);
+            return self.learn(clause, max_level - 1);
+        }
+        let idx = self.clauses.len();
+        self.watches[clause[0].index()].push(idx);
+        self.watches[clause[1].index()].push(idx);
+        self.clauses.push(Clause { lits: clause });
+        let (learned, backjump) = self.analyze(idx);
+        self.learn(learned, backjump)
+    }
+
+    /// Solve the current clause set, consulting `theory` on partial and
+    /// complete assignments. Returns `None` if the conflict budget was
+    /// exhausted.
+    pub fn solve(&mut self, theory: &mut dyn TheoryHook) -> Option<SolveResult> {
+        if self.unsat_forever {
+            return Some(SolveResult::Unsat);
+        }
+        self.backtrack_to(0);
+        // Flush pending level-0 units.
+        let units = std::mem::take(&mut self.pending_units);
+        for u in units {
+            match self.lit_value(u) {
+                LBool::True => {}
+                LBool::False => {
+                    self.unsat_forever = true;
+                    return Some(SolveResult::Unsat);
+                }
+                LBool::Undef => self.enqueue(u, None),
+            }
+        }
+        let mut conflicts_at_start = self.stats.conflicts;
+        let mut restart_count = 0u64;
+        let mut restart_limit = 100 * Self::luby(restart_count);
+        loop {
+            if let Some(ci) = self.propagate() {
+                if self.trail_lim.is_empty() {
+                    self.unsat_forever = true;
+                    return Some(SolveResult::Unsat);
+                }
+                let (learned, backjump) = self.analyze(ci);
+                if !self.learn(learned, backjump) {
+                    return Some(SolveResult::Unsat);
+                }
+                if let Some(budget) = self.conflict_budget {
+                    if self.stats.conflicts.saturating_sub(0) > budget {
+                        return None;
+                    }
+                }
+                if self.stats.conflicts - conflicts_at_start >= restart_limit {
+                    self.stats.restarts += 1;
+                    restart_count += 1;
+                    restart_limit = 100 * Self::luby(restart_count);
+                    conflicts_at_start = self.stats.conflicts;
+                    self.backtrack_to(0);
+                }
+                continue;
+            }
+            // Propagation fixpoint reached: give the theory an early look at
+            // the partial assignment (CDCL(T) eager pruning).
+            {
+                self.stats.theory_checks += 1;
+                let assign = &self.assign;
+                let lookup = |v: Var| match assign[v.0 as usize] {
+                    LBool::True => Some(true),
+                    LBool::False => Some(false),
+                    LBool::Undef => None,
+                };
+                if let Err(clause) = theory.partial_check(&lookup) {
+                    if !self.handle_theory_conflict(clause) {
+                        return Some(SolveResult::Unsat);
+                    }
+                    if let Some(budget) = self.conflict_budget {
+                        if self.stats.conflicts > budget {
+                            return None;
+                        }
+                    }
+                    continue;
+                }
+            }
+            match self.pick_branch_var() {
+                Some(v) => {
+                    self.stats.decisions += 1;
+                    self.trail_lim.push(self.trail.len());
+                    let phase = self.phase[v.0 as usize];
+                    self.enqueue(Lit::with_sign(v, phase), None);
+                }
+                None => {
+                    // Full assignment: final theory verdict.
+                    self.stats.theory_checks += 1;
+                    let assign = &self.assign;
+                    let lookup = |v: Var| matches!(assign[v.0 as usize], LBool::True);
+                    match theory.final_check(&lookup) {
+                        Ok(()) => return Some(SolveResult::Sat),
+                        Err(clause) => {
+                            if !self.handle_theory_conflict(clause) {
+                                return Some(SolveResult::Unsat);
+                            }
+                            if let Some(budget) = self.conflict_budget {
+                                if self.stats.conflicts > budget {
+                                    return None;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lit(v: &Var, pos: bool) -> Lit {
+        Lit::with_sign(*v, pos)
+    }
+
+    #[test]
+    fn trivial_sat() {
+        let mut s = SatSolver::new();
+        let a = s.new_var();
+        assert!(s.add_clause(vec![Lit::pos(a)]));
+        assert_eq!(s.solve(&mut NoTheory), Some(SolveResult::Sat));
+        assert!(s.value(a));
+    }
+
+    #[test]
+    fn trivial_unsat() {
+        let mut s = SatSolver::new();
+        let a = s.new_var();
+        assert!(s.add_clause(vec![Lit::pos(a)]));
+        // Adding the opposite unit is detected as unsat at solve time.
+        assert!(s.add_clause(vec![Lit::neg(a)]));
+        assert_eq!(s.solve(&mut NoTheory), Some(SolveResult::Unsat));
+    }
+
+    #[test]
+    fn chain_propagation() {
+        // a, a→b, b→c, c→d : all true.
+        let mut s = SatSolver::new();
+        let vars: Vec<Var> = (0..4).map(|_| s.new_var()).collect();
+        s.add_clause(vec![lit(&vars[0], true)]);
+        for w in vars.windows(2) {
+            s.add_clause(vec![lit(&w[0], false), lit(&w[1], true)]);
+        }
+        assert_eq!(s.solve(&mut NoTheory), Some(SolveResult::Sat));
+        for v in &vars {
+            assert!(s.value(*v));
+        }
+    }
+
+    #[test]
+    fn pigeonhole_3_into_2_unsat() {
+        // 3 pigeons, 2 holes: var p_ij = pigeon i in hole j.
+        let mut s = SatSolver::new();
+        let mut p = [[Var(0); 2]; 3];
+        for i in 0..3 {
+            for j in 0..2 {
+                p[i][j] = s.new_var();
+            }
+        }
+        // Each pigeon in some hole.
+        for i in 0..3 {
+            s.add_clause(vec![Lit::pos(p[i][0]), Lit::pos(p[i][1])]);
+        }
+        // No two pigeons share a hole.
+        for j in 0..2 {
+            for i1 in 0..3 {
+                for i2 in (i1 + 1)..3 {
+                    s.add_clause(vec![Lit::neg(p[i1][j]), Lit::neg(p[i2][j])]);
+                }
+            }
+        }
+        assert_eq!(s.solve(&mut NoTheory), Some(SolveResult::Unsat));
+    }
+
+    #[test]
+    fn incremental_blocking_enumerates_all_models() {
+        // 3 free variables: exactly 8 models.
+        let mut s = SatSolver::new();
+        let vars: Vec<Var> = (0..3).map(|_| s.new_var()).collect();
+        // Ensure the vars appear in at least one clause.
+        s.add_clause(vec![Lit::pos(vars[0]), Lit::neg(vars[0])]);
+        let mut count = 0;
+        loop {
+            match s.solve(&mut NoTheory) {
+                Some(SolveResult::Sat) => {
+                    count += 1;
+                    assert!(count <= 8, "more models than the space allows");
+                    let block: Vec<Lit> = vars
+                        .iter()
+                        .map(|&v| Lit::with_sign(v, !s.value(v)))
+                        .collect();
+                    s.add_clause(block);
+                }
+                Some(SolveResult::Unsat) => break,
+                None => panic!("no budget set"),
+            }
+        }
+        assert_eq!(count, 8);
+    }
+
+    #[test]
+    fn theory_hook_can_reject_and_refine() {
+        // Theory: reject any model where a==true, forcing a=false.
+        struct RejectA {
+            a: Var,
+        }
+        impl TheoryHook for RejectA {
+            fn final_check(&mut self, assignment: &dyn Fn(Var) -> bool) -> Result<(), Vec<Lit>> {
+                if assignment(self.a) {
+                    Err(vec![Lit::neg(self.a)])
+                } else {
+                    Ok(())
+                }
+            }
+        }
+        let mut s = SatSolver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        s.add_clause(vec![Lit::pos(a), Lit::pos(b)]);
+        let mut th = RejectA { a };
+        assert_eq!(s.solve(&mut th), Some(SolveResult::Sat));
+        assert!(!s.value(a));
+        assert!(s.value(b));
+    }
+
+    #[test]
+    fn random_3sat_consistency() {
+        // Cross-check on small random 3-SAT instances against brute force.
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        for _ in 0..50 {
+            let n = 8usize;
+            let m = rng.gen_range(10..40);
+            let clauses: Vec<Vec<(usize, bool)>> = (0..m)
+                .map(|_| {
+                    (0..3)
+                        .map(|_| (rng.gen_range(0..n), rng.gen_bool(0.5)))
+                        .collect()
+                })
+                .collect();
+            // Brute force.
+            let mut brute_sat = false;
+            'outer: for mask in 0..(1u32 << n) {
+                for cl in &clauses {
+                    if !cl.iter().any(|&(v, pos)| ((mask >> v) & 1 == 1) == pos) {
+                        continue 'outer;
+                    }
+                }
+                brute_sat = true;
+                break;
+            }
+            // CDCL.
+            let mut s = SatSolver::new();
+            let vars: Vec<Var> = (0..n).map(|_| s.new_var()).collect();
+            for cl in &clauses {
+                s.add_clause(cl.iter().map(|&(v, pos)| Lit::with_sign(vars[v], pos)).collect());
+            }
+            let res = s.solve(&mut NoTheory);
+            assert_eq!(
+                res == Some(SolveResult::Sat),
+                brute_sat,
+                "solver disagrees with brute force"
+            );
+            if res == Some(SolveResult::Sat) {
+                for cl in &clauses {
+                    assert!(
+                        cl.iter().any(|&(v, pos)| s.value(vars[v]) == pos),
+                        "model does not satisfy clause"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn luby_sequence_prefix() {
+        let expect = [1u64, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8];
+        for (i, &e) in expect.iter().enumerate() {
+            assert_eq!(SatSolver::luby(i as u64), e, "luby({i})");
+        }
+    }
+}

@@ -1,0 +1,403 @@
+//! The lazy DPLL(T) combination: CDCL SAT core + simplex theory solver.
+
+use crate::cnf::CnfBuilder;
+use crate::linexpr::LinExpr;
+use crate::lra::{SimVar, Simplex};
+use crate::sat::{Lit, SatSolver, SolveResult, TheoryHook, Var};
+use crate::term::{BoolVar, Context, RealVar, Term};
+use ccmatic_num::{DeltaRat, Rat};
+use std::collections::HashMap;
+
+/// Result of a satisfiability check.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SatResult {
+    /// Satisfiable; a model is available.
+    Sat,
+    /// Unsatisfiable.
+    Unsat,
+    /// The configured conflict budget was exhausted.
+    Unknown,
+}
+
+/// A satisfying assignment.
+#[derive(Clone, Debug, Default)]
+pub struct Model {
+    reals: HashMap<RealVar, Rat>,
+    bools: HashMap<BoolVar, bool>,
+}
+
+impl Model {
+    /// Value of a real variable (variables absent from every asserted atom
+    /// default to zero, which is always consistent).
+    pub fn real(&self, v: RealVar) -> Rat {
+        self.reals.get(&v).cloned().unwrap_or_else(Rat::zero)
+    }
+
+    /// Value of a Boolean term variable (unconstrained variables default to
+    /// `false`).
+    pub fn bool_var(&self, v: BoolVar) -> bool {
+        self.bools.get(&v).copied().unwrap_or(false)
+    }
+
+    /// Evaluate a linear expression under the model.
+    pub fn eval(&self, e: &LinExpr) -> Rat {
+        e.eval(|v| self.real(v))
+    }
+
+    /// Insert a real value (used by tooling that builds models by hand,
+    /// e.g. counterexample replay in tests).
+    pub fn set_real(&mut self, v: RealVar, value: Rat) {
+        self.reals.insert(v, value);
+    }
+
+    /// Iterate over the assigned real variables.
+    pub fn reals(&self) -> impl Iterator<Item = (RealVar, &Rat)> + '_ {
+        self.reals.iter().map(|(v, r)| (*v, r))
+    }
+}
+
+/// Aggregate statistics over the lifetime of a [`Solver`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SolverStats {
+    /// `check` invocations.
+    pub checks: u64,
+    /// SAT decisions.
+    pub decisions: u64,
+    /// Total conflicts (SAT + theory).
+    pub conflicts: u64,
+    /// Theory consistency checks on full Boolean models.
+    pub theory_checks: u64,
+    /// Theory conflicts (blocking clauses learned from simplex).
+    pub theory_conflicts: u64,
+    /// Simplex pivots.
+    pub pivots: u64,
+}
+
+/// An incremental SMT solver for QF-LRA.
+///
+/// Assertions accumulate; `check` may be called repeatedly, and further
+/// assertions (e.g. CEGIS blocking constraints) may be added between calls.
+pub struct Solver {
+    sat: SatSolver,
+    cnf: CnfBuilder,
+    simplex: Simplex,
+    real_to_sim: HashMap<RealVar, SimVar>,
+    /// Parallel to `cnf.atom_bindings()`: the simplex variable bounded by
+    /// each atom.
+    atom_slacks: Vec<SimVar>,
+    model: Option<Model>,
+    /// Optional conflict budget for `check` (None = unlimited).
+    pub conflict_budget: Option<u64>,
+}
+
+impl Default for Solver {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Solver {
+    /// Empty solver.
+    pub fn new() -> Self {
+        Solver {
+            sat: SatSolver::new(),
+            cnf: CnfBuilder::new(),
+            simplex: Simplex::new(),
+            real_to_sim: HashMap::new(),
+            atom_slacks: Vec::new(),
+            model: None,
+            conflict_budget: None,
+        }
+    }
+
+    /// Assert a term.
+    pub fn assert(&mut self, ctx: &Context, t: Term) {
+        self.model = None;
+        self.cnf.assert_term(ctx, &mut self.sat, t);
+    }
+
+    /// Register in the simplex any atoms that appeared since the last check.
+    fn register_new_atoms(&mut self, ctx: &Context) {
+        while self.atom_slacks.len() < self.cnf.atom_bindings().len() {
+            let (_, atom_id) = self.cnf.atom_bindings()[self.atom_slacks.len()];
+            let data = ctx.atom(atom_id).clone();
+            // Single-variable unit-coefficient atoms bound the variable
+            // itself; anything else gets a shared slack per expression.
+            let slack = if data.expr.num_vars() == 1 {
+                let (v, c) = data.expr.iter().next().map(|(v, c)| (v, c.clone())).unwrap();
+                debug_assert_eq!(c, Rat::one(), "canonical atoms have leading coefficient 1");
+                self.sim_var(v)
+            } else {
+                let terms: Vec<(SimVar, Rat)> = data
+                    .expr
+                    .iter()
+                    .map(|(v, c)| (self.sim_var(v), c.clone()))
+                    .collect();
+                self.simplex.define_slack(&terms)
+            };
+            self.atom_slacks.push(slack);
+        }
+    }
+
+    fn sim_var(&mut self, v: RealVar) -> SimVar {
+        if let Some(&s) = self.real_to_sim.get(&v) {
+            return s;
+        }
+        let s = self.simplex.new_var();
+        self.real_to_sim.insert(v, s);
+        s
+    }
+
+    /// Decide satisfiability of the asserted formula.
+    pub fn check(&mut self, ctx: &Context) -> SatResult {
+        self.model = None;
+        self.register_new_atoms(ctx);
+        self.sat.conflict_budget = self.conflict_budget;
+
+        struct Bridge<'a> {
+            simplex: &'a mut Simplex,
+            /// (sat var, slack var, bound, strict) per atom.
+            atoms: Vec<(Var, SimVar, Rat, bool)>,
+        }
+        impl TheoryHook for Bridge<'_> {
+            fn final_check(&mut self, assignment: &dyn Fn(Var) -> bool) -> Result<(), Vec<Lit>> {
+                self.partial_check(&|v| Some(assignment(v)))
+            }
+
+            fn partial_check(
+                &mut self,
+                assignment: &dyn Fn(Var) -> Option<bool>,
+            ) -> Result<(), Vec<Lit>> {
+                self.simplex.reset_bounds();
+                for (sat_var, slack, bound, strict) in &self.atoms {
+                    let Some(holds) = assignment(*sat_var) else {
+                        continue;
+                    };
+                    // The conflict clause must falsify the asserted literal,
+                    // so the tag is the *negation* of what is currently true.
+                    let result = if holds {
+                        // expr ≤ bound (or < bound).
+                        let b = if *strict {
+                            DeltaRat::strictly_below(bound.clone())
+                        } else {
+                            DeltaRat::from(bound.clone())
+                        };
+                        let tag = Lit::neg(*sat_var).0;
+                        self.simplex.assert_upper(*slack, b, tag)
+                    } else {
+                        // ¬(expr ≤ bound) ⇒ expr > bound;
+                        // ¬(expr < bound) ⇒ expr ≥ bound.
+                        let b = if *strict {
+                            DeltaRat::from(bound.clone())
+                        } else {
+                            DeltaRat::strictly_above(bound.clone())
+                        };
+                        let tag = Lit::pos(*sat_var).0;
+                        self.simplex.assert_lower(*slack, b, tag)
+                    };
+                    if let Err(conflict) = result {
+                        return Err(conflict.tags.into_iter().map(Lit).collect());
+                    }
+                }
+                match self.simplex.check() {
+                    Ok(()) => Ok(()),
+                    Err(conflict) => Err(conflict.tags.into_iter().map(Lit).collect()),
+                }
+            }
+        }
+
+        let atoms: Vec<(Var, SimVar, Rat, bool)> = self
+            .cnf
+            .atom_bindings()
+            .iter()
+            .zip(&self.atom_slacks)
+            .map(|(&(sat_var, atom_id), &slack)| {
+                let data = ctx.atom(atom_id);
+                (sat_var, slack, data.bound.clone(), data.strict)
+            })
+            .collect();
+        let mut bridge = Bridge { simplex: &mut self.simplex, atoms };
+        let result = self.sat.solve(&mut bridge);
+        match result {
+            Some(SolveResult::Sat) => {
+                self.extract_model(ctx);
+                SatResult::Sat
+            }
+            Some(SolveResult::Unsat) => SatResult::Unsat,
+            None => SatResult::Unknown,
+        }
+    }
+
+    fn extract_model(&mut self, ctx: &Context) {
+        let concrete = self.simplex.concrete_values();
+        let mut model = Model::default();
+        for (&rv, &sv) in &self.real_to_sim {
+            model.reals.insert(rv, concrete[sv.0 as usize].clone());
+        }
+        // Boolean variables straight from the SAT assignment.
+        let bindings: Vec<(BoolVar, Var)> = self.cnf.bool_bindings().collect();
+        for (b, v) in bindings {
+            model.bools.insert(b, self.sat.value(v));
+        }
+        let _ = ctx;
+        self.model = Some(model);
+    }
+
+    /// The model from the last `Sat` check.
+    pub fn model(&self) -> Option<&Model> {
+        self.model.as_ref()
+    }
+
+    /// Solver statistics.
+    pub fn stats(&self) -> SolverStats {
+        SolverStats {
+            checks: 0,
+            decisions: self.sat.stats.decisions,
+            conflicts: self.sat.stats.conflicts,
+            theory_checks: self.sat.stats.theory_checks,
+            theory_conflicts: self.sat.stats.theory_conflicts,
+            pivots: self.simplex.pivots,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccmatic_num::{int, rat};
+
+    #[test]
+    fn simple_sat_with_model() {
+        let mut ctx = Context::new();
+        let x = ctx.real_var("x");
+        let y = ctx.real_var("y");
+        let c1 = ctx.le(ctx.var(x) + ctx.var(y), ctx.constant(int(4)));
+        let c2 = ctx.ge(ctx.var(x), ctx.constant(int(3)));
+        let c3 = ctx.ge(ctx.var(y), ctx.constant(int(1)));
+        let f = ctx.and(vec![c1, c2, c3]);
+        let mut s = Solver::new();
+        s.assert(&ctx, f);
+        assert_eq!(s.check(&ctx), SatResult::Sat);
+        let m = s.model().unwrap();
+        assert!(m.real(x) >= int(3));
+        assert!(m.real(y) >= int(1));
+        assert!(&m.real(x) + &m.real(y) <= int(4));
+    }
+
+    #[test]
+    fn simple_unsat() {
+        let mut ctx = Context::new();
+        let x = ctx.real_var("x");
+        let c1 = ctx.lt(ctx.var(x), ctx.constant(int(0)));
+        let c2 = ctx.gt(ctx.var(x), ctx.constant(int(0)));
+        let mut s = Solver::new();
+        s.assert(&ctx, c1);
+        s.assert(&ctx, c2);
+        assert_eq!(s.check(&ctx), SatResult::Unsat);
+    }
+
+    #[test]
+    fn disjunction_forces_theory_backtrack() {
+        let mut ctx = Context::new();
+        let x = ctx.real_var("x");
+        // (x <= 0 ∨ x >= 10) ∧ x >= 5  →  x >= 10 branch.
+        let a = ctx.le(ctx.var(x), ctx.constant(int(0)));
+        let b = ctx.ge(ctx.var(x), ctx.constant(int(10)));
+        let d = ctx.or(vec![a, b]);
+        let c = ctx.ge(ctx.var(x), ctx.constant(int(5)));
+        let mut s = Solver::new();
+        s.assert(&ctx, d);
+        s.assert(&ctx, c);
+        assert_eq!(s.check(&ctx), SatResult::Sat);
+        assert!(s.model().unwrap().real(x) >= int(10));
+    }
+
+    #[test]
+    fn strict_inequalities_get_interior_models() {
+        let mut ctx = Context::new();
+        let x = ctx.real_var("x");
+        let c1 = ctx.gt(ctx.var(x), ctx.constant(int(0)));
+        let c2 = ctx.lt(ctx.var(x), ctx.constant(rat(1, 1000)));
+        let mut s = Solver::new();
+        s.assert(&ctx, c1);
+        s.assert(&ctx, c2);
+        assert_eq!(s.check(&ctx), SatResult::Sat);
+        let v = s.model().unwrap().real(x);
+        assert!(v > int(0) && v < rat(1, 1000), "model {v} not strictly inside");
+    }
+
+    #[test]
+    fn incremental_blocking() {
+        let mut ctx = Context::new();
+        let x = ctx.real_var("x");
+        // x = 1 ∨ x = 2, enumerate both then unsat.
+        let e1 = ctx.eq(ctx.var(x), ctx.constant(int(1)));
+        let e2 = ctx.eq(ctx.var(x), ctx.constant(int(2)));
+        let f = ctx.or(vec![e1, e2]);
+        let mut s = Solver::new();
+        s.assert(&ctx, f);
+        assert_eq!(s.check(&ctx), SatResult::Sat);
+        let v1 = s.model().unwrap().real(x);
+        let block1 = ctx.ne(ctx.var(x), ctx.constant(v1.clone()));
+        s.assert(&ctx, block1);
+        assert_eq!(s.check(&ctx), SatResult::Sat);
+        let v2 = s.model().unwrap().real(x);
+        assert_ne!(v1, v2);
+        let block2 = ctx.ne(ctx.var(x), ctx.constant(v2));
+        s.assert(&ctx, block2);
+        assert_eq!(s.check(&ctx), SatResult::Unsat);
+    }
+
+    #[test]
+    fn equalities_chain() {
+        let mut ctx = Context::new();
+        let vars: Vec<_> = (0..5).map(|i| ctx.real_var(format!("v{i}"))).collect();
+        let mut s = Solver::new();
+        // v0 = 1, v_{i+1} = v_i + 1  →  v4 = 5.
+        let first = ctx.eq(ctx.var(vars[0]), ctx.constant(int(1)));
+        s.assert(&ctx, first);
+        for w in vars.windows(2) {
+            let step = ctx.eq(
+                ctx.var(w[1]),
+                ctx.var(w[0]) + ctx.constant(int(1)),
+            );
+            s.assert(&ctx, step);
+        }
+        assert_eq!(s.check(&ctx), SatResult::Sat);
+        assert_eq!(s.model().unwrap().real(vars[4]), int(5));
+    }
+
+    #[test]
+    fn bool_and_arith_mix() {
+        let mut ctx = Context::new();
+        let p = ctx.bool_var("p");
+        let x = ctx.real_var("x");
+        // p → x ≥ 3; ¬p → x ≤ −3; x ≥ 0 forces p.
+        let ge3 = ctx.ge(ctx.var(x), ctx.constant(int(3)));
+        let le_m3 = ctx.le(ctx.var(x), ctx.constant(int(-3)));
+        let imp1 = ctx.implies(p, ge3);
+        let np = ctx.not(p);
+        let imp2 = ctx.implies(np, le_m3);
+        let pos = ctx.ge(ctx.var(x), ctx.constant(int(0)));
+        let mut s = Solver::new();
+        s.assert(&ctx, imp1);
+        s.assert(&ctx, imp2);
+        s.assert(&ctx, pos);
+        assert_eq!(s.check(&ctx), SatResult::Sat);
+        let m = s.model().unwrap();
+        assert!(m.real(x) >= int(3));
+        if let crate::term::TermData::BoolVar(bv) = ctx.data(p).clone() {
+            assert!(m.bool_var(bv));
+        } else {
+            panic!("expected bool var");
+        }
+    }
+
+    #[test]
+    fn unconstrained_check_is_sat() {
+        let ctx = Context::new();
+        let mut s = Solver::new();
+        assert_eq!(s.check(&ctx), SatResult::Sat);
+        assert!(s.model().is_some());
+    }
+}

@@ -1,0 +1,172 @@
+//! Property-based tests of the SMT solver with *constructed* ground truth:
+//! instances that are feasible or infeasible by construction, so soundness
+//! and completeness are checked without an oracle solver.
+
+use ccmatic_num::{int, rat, Rat};
+use ccmatic_smt::{Context, LinExpr, SatResult, Solver};
+use proptest::prelude::*;
+
+/// Strategy: a random point x* in Q³ with quarter-grid coordinates.
+fn point() -> impl Strategy<Value = Vec<Rat>> {
+    proptest::collection::vec((-24i64..24).prop_map(|n| rat(n, 4)), 3)
+}
+
+/// Strategy: random constraint rows (integer coefficients).
+fn rows(n: usize) -> impl Strategy<Value = Vec<Vec<i64>>> {
+    proptest::collection::vec(proptest::collection::vec(-3i64..4, 3), n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Feasible by construction: every constraint is `a·x ≤ a·x* + slack`
+    /// with slack ≥ 0, so x* is a witness. The solver must say Sat and its
+    /// model must satisfy every constraint.
+    #[test]
+    fn feasible_by_construction(xstar in point(), coeffs in rows(6), slacks in proptest::collection::vec(0i64..8, 6)) {
+        let mut ctx = Context::new();
+        let vars: Vec<_> = (0..3).map(|i| ctx.real_var(format!("x{i}"))).collect();
+        let mut solver = Solver::new();
+        for (row, slack) in coeffs.iter().zip(&slacks) {
+            let mut lhs = LinExpr::zero();
+            let mut bound = Rat::from(*slack);
+            for (i, &c) in row.iter().enumerate() {
+                lhs = lhs + LinExpr::term(vars[i], int(c));
+                bound += &(&int(c) * &xstar[i]);
+            }
+            let t = ctx.le(lhs, LinExpr::constant(bound));
+            solver.assert(&ctx, t);
+        }
+        prop_assert_eq!(solver.check(&ctx), SatResult::Sat);
+        let m = solver.model().unwrap();
+        for (row, slack) in coeffs.iter().zip(&slacks) {
+            let mut lhs = Rat::zero();
+            let mut bound = Rat::from(*slack);
+            for (i, &c) in row.iter().enumerate() {
+                lhs += &(&int(c) * &m.real(vars[i]));
+                bound += &(&int(c) * &xstar[i]);
+            }
+            prop_assert!(lhs <= bound, "model violates a constraint");
+        }
+    }
+
+    /// Infeasible by construction: inject the contradictory pair
+    /// `e ≤ b ∧ e ≥ b + 1` among arbitrary satisfiable noise. The solver
+    /// must say Unsat no matter the noise.
+    #[test]
+    fn infeasible_by_construction(
+        xstar in point(),
+        noise in rows(4),
+        pair_row in proptest::collection::vec(-3i64..4, 3),
+        b in -10i64..10,
+    ) {
+        // Skip the degenerate all-zero contradiction row (0 ≤ b ∧ 0 ≥ b+1
+        // is still unsat, but canonicalization folds it — also fine; keep it).
+        let mut ctx = Context::new();
+        let vars: Vec<_> = (0..3).map(|i| ctx.real_var(format!("x{i}"))).collect();
+        let mut solver = Solver::new();
+        // Satisfiable noise around x*.
+        for row in &noise {
+            let mut lhs = LinExpr::zero();
+            let mut bound = Rat::from(1i64);
+            for (i, &c) in row.iter().enumerate() {
+                lhs = lhs + LinExpr::term(vars[i], int(c));
+                bound += &(&int(c) * &xstar[i]);
+            }
+            let t = ctx.le(lhs, LinExpr::constant(bound));
+            solver.assert(&ctx, t);
+        }
+        // The contradiction.
+        let mut e = LinExpr::zero();
+        for (i, &c) in pair_row.iter().enumerate() {
+            e = e + LinExpr::term(vars[i], int(c));
+        }
+        let le = ctx.le(e.clone(), LinExpr::constant(int(b)));
+        let ge = ctx.ge(e, LinExpr::constant(int(b + 1)));
+        solver.assert(&ctx, le);
+        solver.assert(&ctx, ge);
+        prop_assert_eq!(solver.check(&ctx), SatResult::Unsat);
+    }
+
+    /// Disjunction completeness: `⋁ᵢ (x = kᵢ)` over distinct constants is
+    /// always satisfiable, and the model picks one of the kᵢ.
+    #[test]
+    fn disjunction_of_points(ks in proptest::collection::btree_set(-20i64..20, 1..6)) {
+        let ks: Vec<i64> = ks.into_iter().collect();
+        let mut ctx = Context::new();
+        let x = ctx.real_var("x");
+        let arms: Vec<_> = ks
+            .iter()
+            .map(|&k| ctx.eq(LinExpr::var(x), LinExpr::constant(int(k))))
+            .collect();
+        let f = ctx.or(arms);
+        let mut solver = Solver::new();
+        solver.assert(&ctx, f);
+        prop_assert_eq!(solver.check(&ctx), SatResult::Sat);
+        let v = solver.model().unwrap().real(x);
+        prop_assert!(ks.iter().any(|&k| v == int(k)), "model {v} not among the points");
+    }
+
+    /// Incremental consistency: checking twice, or adding an already-implied
+    /// constraint, never changes a Sat verdict to Unsat.
+    #[test]
+    fn incremental_monotone_consistency(xstar in point(), coeffs in rows(3)) {
+        let mut ctx = Context::new();
+        let vars: Vec<_> = (0..3).map(|i| ctx.real_var(format!("x{i}"))).collect();
+        let mut solver = Solver::new();
+        for row in &coeffs {
+            let mut lhs = LinExpr::zero();
+            let mut bound = Rat::from(2i64);
+            for (i, &c) in row.iter().enumerate() {
+                lhs = lhs + LinExpr::term(vars[i], int(c));
+                bound += &(&int(c) * &xstar[i]);
+            }
+            let t = ctx.le(lhs, LinExpr::constant(bound));
+            solver.assert(&ctx, t);
+        }
+        prop_assert_eq!(solver.check(&ctx), SatResult::Sat);
+        // Re-check: same verdict.
+        prop_assert_eq!(solver.check(&ctx), SatResult::Sat);
+        // Add a tautology and check again.
+        let x0 = ctx.le(LinExpr::var(vars[0]), LinExpr::var(vars[0]) + LinExpr::constant(int(1)));
+        solver.assert(&ctx, x0);
+        prop_assert_eq!(solver.check(&ctx), SatResult::Sat);
+    }
+
+    /// Negation soundness: for any conjunction of atoms over one variable,
+    /// F and ¬F can't both be satisfiable *with the same model value*.
+    #[test]
+    fn negation_exclusive_on_models(bounds in proptest::collection::vec((-10i64..10, 0u8..4), 1..5)) {
+        let mut ctx = Context::new();
+        let x = ctx.real_var("x");
+        let atoms: Vec<_> = bounds
+            .iter()
+            .map(|&(b, kind)| {
+                let lhs = LinExpr::var(x);
+                let rhs = LinExpr::constant(int(b));
+                match kind {
+                    0 => ctx.le(lhs, rhs),
+                    1 => ctx.lt(lhs, rhs),
+                    2 => ctx.ge(lhs, rhs),
+                    _ => ctx.gt(lhs, rhs),
+                }
+            })
+            .collect();
+        let f = ctx.and(atoms);
+        let mut s1 = Solver::new();
+        s1.assert(&ctx, f);
+        if s1.check(&ctx) == SatResult::Sat {
+            let v = s1.model().unwrap().real(x);
+            // v must satisfy every bound literally.
+            for &(b, kind) in &bounds {
+                let ok = match kind {
+                    0 => v <= int(b),
+                    1 => v < int(b),
+                    2 => v >= int(b),
+                    _ => v > int(b),
+                };
+                prop_assert!(ok, "model {v} violates bound ({b}, kind {kind})");
+            }
+        }
+    }
+}

@@ -1,0 +1,88 @@
+//! V1: behavioural validation — run the paper's CCAs and baselines on the
+//! concrete simulator across link schedules, and confirm the verifier's
+//! verdicts show up as measured utilization/queue numbers.
+//!
+//! ```sh
+//! cargo run --release --example validate_simulation
+//! ```
+
+use ccmatic_simnet::{
+    run_shared_link, run_simulation, AdversarialSawtooth, AimdCca, Cca, ConstCwnd, IdealLink,
+    LinearCca, LinkSchedule, MultiFlowConfig, RandomJitter, SimConfig,
+};
+
+fn main() {
+    let mut rows: Vec<(String, String, f64, f64, f64)> = Vec::new();
+
+    let ccas: Vec<Box<dyn Fn() -> Box<dyn Cca>>> = vec![
+        Box::new(|| Box::new(LinearCca::rocc())),
+        Box::new(|| Box::new(LinearCca::eq_iii())),
+        Box::new(|| Box::new(ConstCwnd(1.0))),
+        Box::new(|| Box::new(ConstCwnd(10.0))),
+        Box::new(|| Box::new(AimdCca::standard())),
+    ];
+    let schedules: Vec<Box<dyn Fn() -> Box<dyn LinkSchedule>>> = vec![
+        Box::new(|| Box::new(IdealLink)),
+        Box::new(|| Box::new(AdversarialSawtooth::default())),
+        Box::new(|| Box::new(RandomJitter::new(2022))),
+    ];
+
+    for make_cca in &ccas {
+        for make_sched in &schedules {
+            let mut cca = make_cca();
+            let mut sched = make_sched();
+            let res = run_simulation(cca.as_mut(), sched.as_mut(), &SimConfig::default());
+            rows.push((
+                cca.name(),
+                sched.name(),
+                res.utilization,
+                res.max_queue,
+                res.avg_queue,
+            ));
+        }
+    }
+
+    println!(
+        "{:<42} {:<20} {:>8} {:>10} {:>10}",
+        "CCA", "link schedule", "util", "max queue", "avg queue"
+    );
+    println!("{}", "-".repeat(94));
+    for (cca, sched, util, maxq, avgq) in &rows {
+        let verdict = if *util >= 0.5 && *maxq <= 4.0 { " ✓" } else { " ✗" };
+        println!(
+            "{:<42} {:<20} {:>7.1}% {:>10.2} {:>10.2}{verdict}",
+            cca, sched, util * 100.0, maxq, avgq
+        );
+    }
+    println!(
+        "\n✓ = meets the synthesis target (util ≥ 50%, queue ≤ 4 BDP) on that schedule."
+    );
+    println!("RoCC and Eq.(iii) hold everywhere; constant windows fail one side or the");
+    println!("other, mirroring the verifier's proofs/counterexamples.");
+
+    // §4.1's starvation discussion: two flows sharing one bottleneck.
+    println!("\nShared bottleneck (two flows, ideal link):");
+    let pairs: Vec<(&str, Box<dyn Fn() -> Vec<Box<dyn Cca>>>)> = vec![
+        (
+            "RoCC vs RoCC",
+            Box::new(|| vec![Box::new(LinearCca::rocc()) as Box<dyn Cca>, Box::new(LinearCca::rocc())]),
+        ),
+        (
+            "RoCC vs const cwnd = 30",
+            Box::new(|| vec![Box::new(LinearCca::rocc()) as Box<dyn Cca>, Box::new(ConstCwnd(30.0))]),
+        ),
+    ];
+    for (label, make) in pairs {
+        let mut ccas = make();
+        let mut sched = IdealLink;
+        let res = run_shared_link(&mut ccas, &mut sched, &MultiFlowConfig::default());
+        println!(
+            "  {:<26} shares {:>5.1}% / {:>5.1}%, Jain index {:.3}",
+            label,
+            res.flows[0].throughput * 100.0,
+            res.flows[1].throughput * 100.0,
+            res.jain_index
+        );
+    }
+    println!("A standing-queue flow starves its peer — the §4.1 open problem, observable here.");
+}

@@ -1,0 +1,19 @@
+//! Umbrella crate for the CCmatic reproduction workspace.
+//!
+//! Re-exports the public crates so examples and integration tests can use a
+//! single dependency. See the individual crates for the real APIs:
+//!
+//! * [`ccmatic`] — the synthesis tool (the paper's contribution)
+//! * [`ccac_model`] — the network model / verifier encoding
+//! * [`ccmatic_smt`] — the QF-LRA SMT solver substrate
+//! * [`ccmatic_cegis`] — the generic CEGIS engine
+//! * [`ccmatic_simnet`] — the concrete network simulator
+//! * [`ccmatic_abr`] — the ABR generalization (§5)
+
+pub use ccac_model as ccac;
+pub use ccmatic as synth;
+pub use ccmatic_abr as abr;
+pub use ccmatic_cegis as cegis;
+pub use ccmatic_num as num;
+pub use ccmatic_simnet as simnet;
+pub use ccmatic_smt as smt;

@@ -1,0 +1,91 @@
+//! X3 cross-checks: the conditional template (§4.1) across the proof and
+//! simulation pipelines.
+
+use ccac_model::{NetConfig, Thresholds};
+use ccmatic::conditional::{verify_conditional, ConditionalCca};
+use ccmatic::known;
+use ccmatic_num::{int, rat, Rat};
+use ccmatic_simnet::{
+    run_simulation, AdversarialSawtooth, IdealLink, LinearCca, SimConfig, ThresholdCca,
+};
+
+fn net() -> NetConfig {
+    NetConfig { horizon: 6, history: 5, link_rate: Rat::one(), jitter: 1, buffer: None }
+}
+
+fn to_sim(cca: &ConditionalCca) -> ThresholdCca {
+    let (ta, tb, tg) = cca.then_branch.coefficients_f64();
+    let (ea, eb, eg) = cca.else_branch.coefficients_f64();
+    ThresholdCca {
+        theta: cca.theta.to_f64(),
+        then_branch: LinearCca { alpha: ta, beta: tb, gamma: tg },
+        else_branch: LinearCca { alpha: ea, beta: eb, gamma: eg },
+    }
+}
+
+#[test]
+fn certified_conditional_meets_targets_in_simulation() {
+    // A conditional whose then-branch is RoCC and whose else-branch halves:
+    // if the verifier certifies it, the simulator must agree on every
+    // schedule it implements.
+    let cca = ConditionalCca::aimd_flavoured(rat(1, 4), rat(1, 2));
+    if verify_conditional(&cca, &net(), &Thresholds::default()).is_err() {
+        return; // refuted — the simulation check below has no claim to test
+    }
+    let mut sim_cca = to_sim(&cca);
+    for sched in [true, false] {
+        let res = if sched {
+            run_simulation(&mut sim_cca, &mut IdealLink, &SimConfig::default())
+        } else {
+            run_simulation(&mut sim_cca, &mut AdversarialSawtooth::default(), &SimConfig::default())
+        };
+        assert!(res.utilization >= 0.5, "utilization {}", res.utilization);
+        assert!(res.max_queue <= 4.0 + 1e-9, "queue {}", res.max_queue);
+    }
+}
+
+#[test]
+fn degenerate_conditional_simulates_like_linear() {
+    // Simulator-level differential test: a conditional with equal branches
+    // must produce exactly the trajectory of the underlying linear rule.
+    let spec = known::rocc();
+    let (a, b, g) = spec.coefficients_f64();
+    let mut linear = LinearCca { alpha: a.clone(), beta: b.clone(), gamma: g };
+    let mut degenerate = ThresholdCca {
+        theta: 0.0,
+        then_branch: LinearCca { alpha: a.clone(), beta: b.clone(), gamma: g },
+        else_branch: LinearCca { alpha: a, beta: b, gamma: g },
+    };
+    let cfg = SimConfig::default();
+    let r1 = run_simulation(&mut linear, &mut AdversarialSawtooth::default(), &cfg);
+    let r2 = run_simulation(&mut degenerate, &mut AdversarialSawtooth::default(), &cfg);
+    assert_eq!(r1.steps.len(), r2.steps.len());
+    for (s1, s2) in r1.steps.iter().zip(&r2.steps) {
+        assert!((s1.cwnd - s2.cwnd).abs() < 1e-9, "cwnd diverged at t={}", s1.t);
+        assert!((s1.served - s2.served).abs() < 1e-9, "service diverged at t={}", s1.t);
+    }
+}
+
+#[test]
+fn doubling_on_stall_blows_up_in_simulation_too() {
+    // The verifier refutes the "double when delivery stalls" rule; under a
+    // stalling sawtooth the simulator shows the same queue blow-up.
+    let cca = ConditionalCca {
+        theta: int(1),
+        then_branch: known::rocc(),
+        else_branch: ccmatic::template::CcaSpec {
+            alpha: vec![int(2), int(0), int(0), int(0)],
+            beta: vec![Rat::zero(); 4],
+            gamma: int(1),
+        },
+    };
+    assert!(verify_conditional(&cca, &net(), &Thresholds::default()).is_err());
+    let mut sim_cca = to_sim(&cca);
+    let mut sched = AdversarialSawtooth { period: 3 };
+    let res = run_simulation(&mut sim_cca, &mut sched, &SimConfig::default());
+    assert!(
+        res.max_queue > 4.0,
+        "stall-doubling should overshoot the queue bound, got {}",
+        res.max_queue
+    );
+}

@@ -1,0 +1,106 @@
+//! V1: cross-validation between the proof pipeline and the concrete
+//! simulator. A CCA the verifier *certifies* must meet the performance
+//! targets on every concrete schedule the simulator can throw at it (the
+//! simulator's schedules are a strict subset of the verifier's adversary).
+
+use ccac_model::{NetConfig, Thresholds};
+use ccmatic::known;
+use ccmatic::template::CcaSpec;
+use ccmatic::verifier::{CcaVerifier, VerifyConfig};
+use ccmatic_num::{rat, Rat};
+use ccmatic_simnet::{
+    run_simulation, AdversarialSawtooth, IdealLink, LinearCca, LinkSchedule, RandomJitter,
+    SimConfig,
+};
+
+fn verifier() -> CcaVerifier {
+    CcaVerifier::new(VerifyConfig {
+        net: NetConfig { horizon: 7, history: 5, link_rate: Rat::one(), jitter: 1, buffer: None },
+        thresholds: Thresholds::default(),
+        worst_case: false,
+        wce_precision: rat(1, 2),
+    })
+}
+
+fn simulate_all_schedules(spec: &CcaSpec) -> Vec<(String, f64, f64)> {
+    let (alpha, beta, gamma) = spec.coefficients_f64();
+    let mut out = Vec::new();
+    let schedules: Vec<Box<dyn LinkSchedule>> = vec![
+        Box::new(IdealLink),
+        Box::new(AdversarialSawtooth::default()),
+        Box::new(AdversarialSawtooth { period: 2 }),
+        Box::new(RandomJitter::new(1)),
+        Box::new(RandomJitter::new(7)),
+    ];
+    for mut sched in schedules {
+        let mut cca = LinearCca { alpha: alpha.clone(), beta: beta.clone(), gamma };
+        let res = run_simulation(&mut cca, sched.as_mut(), &SimConfig::default());
+        out.push((sched.name(), res.utilization, res.max_queue));
+    }
+    out
+}
+
+#[test]
+fn certified_ccas_meet_targets_in_simulation() {
+    let mut v = verifier();
+    for spec in [known::rocc(), known::eq_iii()] {
+        if v.verify(&spec).is_err() {
+            // Eq (iii) may or may not survive our re-derived encoding at the
+            // default thresholds (see EXPERIMENTS.md); only certified CCAs
+            // participate in this cross-check.
+            continue;
+        }
+        for (sched, util, max_queue) in simulate_all_schedules(&spec) {
+            assert!(
+                util >= 0.5 - 1e-9,
+                "{spec} certified but measured {util:.3} utilization on {sched}"
+            );
+            assert!(
+                max_queue <= 4.0 + 1e-9,
+                "{spec} certified but measured queue {max_queue:.3} on {sched}"
+            );
+        }
+    }
+}
+
+#[test]
+fn rocc_is_certified_and_simulates_cleanly() {
+    let mut v = verifier();
+    assert!(v.verify(&known::rocc()).is_ok());
+    for (sched, util, max_queue) in simulate_all_schedules(&known::rocc()) {
+        assert!(util >= 0.5, "RoCC {util:.3} on {sched}");
+        assert!(max_queue <= 4.0, "RoCC queue {max_queue:.3} on {sched}");
+    }
+}
+
+#[test]
+fn refuted_oversized_window_also_fails_in_simulation() {
+    // For queue-violating CCAs the concrete simulator reproduces the
+    // verifier's complaint even on the *ideal* schedule.
+    let spec = known::const_cwnd(ccmatic_num::int(10));
+    let mut v = verifier();
+    assert!(v.verify(&spec).is_err());
+    let (alpha, beta, gamma) = spec.coefficients_f64();
+    let mut cca = LinearCca { alpha, beta, gamma };
+    let mut sched = IdealLink;
+    let res = run_simulation(&mut cca, &mut sched, &SimConfig::default());
+    assert!(res.max_queue > 4.0, "simulated queue {}", res.max_queue);
+}
+
+#[test]
+fn refuted_small_window_starves_under_adversarial_schedule() {
+    // cwnd = 1 BDP: the verifier refutes it via jitter + eager waste; the
+    // sawtooth schedule realizes a milder version of the same effect.
+    let spec = known::const_cwnd(ccmatic_num::int(1));
+    let mut v = verifier();
+    assert!(v.verify(&spec).is_err());
+    let (alpha, beta, gamma) = spec.coefficients_f64();
+    let mut cca = LinearCca { alpha, beta, gamma };
+    let mut sched = AdversarialSawtooth::default();
+    let res = run_simulation(&mut cca, &mut sched, &SimConfig::default());
+    assert!(
+        res.utilization < 1.0 - 1e-6,
+        "sawtooth should cost a cwnd-1 flow some utilization, got {}",
+        res.utilization
+    );
+}
