@@ -180,10 +180,7 @@ fn desired(ctx: &mut Context, cfg: &AbrConfig, vars: &AbrVars) -> (Term, Term) {
         binds.push(b_else);
         indicator_sum = indicator_sum + LinExpr::var(ind);
     }
-    let quality = ctx.ge(
-        indicator_sum,
-        LinExpr::constant(Rat::from(cfg.min_high_chunks as i64)),
-    );
+    let quality = ctx.ge(indicator_sum, LinExpr::constant(Rat::from(cfg.min_high_chunks as i64)));
     let growth = ctx.gt(LinExpr::var(vars.buffer[cfg.horizon]), LinExpr::var(vars.buffer[0]));
     let quality_or_growth = ctx.or(vec![quality, growth]);
     let binds = ctx.and(binds);

@@ -1,12 +1,13 @@
 //! Microbenchmarks of the solver substrate: the CDCL core, the simplex,
 //! and the combined QF-LRA pipeline. These back the DESIGN.md claim that
 //! the from-scratch solver is adequate for the paper's formula sizes.
+//!
+//! Run with `cargo bench -p ccmatic-bench --bench smt_micro`.
 
+use ccmatic_bench::bench_case;
 use ccmatic_num::{int, Rat};
 use ccmatic_smt::sat::{Lit, NoTheory, SatSolver, SolveResult, Var};
 use ccmatic_smt::{Context, LinExpr, SatResult, Solver};
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::time::Duration;
 
 /// Pigeonhole PHP(n+1, n): classically hard for resolution, a good CDCL
 /// stress test.
@@ -21,10 +22,10 @@ fn pigeonhole(n: usize) -> SolveResult {
     for row in &p {
         s.add_clause(row.iter().map(|&v| Lit::pos(v)).collect());
     }
-    for j in 0..n {
-        for i1 in 0..=n {
-            for i2 in (i1 + 1)..=n {
-                s.add_clause(vec![Lit::neg(p[i1][j]), Lit::neg(p[i2][j])]);
+    for (i1, row1) in p.iter().enumerate() {
+        for row2 in &p[i1 + 1..] {
+            for (&a, &b) in row1.iter().zip(row2) {
+                s.add_clause(vec![Lit::neg(a), Lit::neg(b)]);
             }
         }
     }
@@ -40,33 +41,48 @@ fn chain_lp(n: usize) -> SatResult {
     let first = ctx.eq(LinExpr::var(vars[0]), LinExpr::constant(int(1)));
     s.assert(&ctx, first);
     for w in vars.windows(2) {
-        let step = ctx.eq(
-            LinExpr::var(w[1]),
-            LinExpr::var(w[0]) + LinExpr::constant(int(1)),
-        );
+        let step = ctx.eq(LinExpr::var(w[1]), LinExpr::var(w[0]) + LinExpr::constant(int(1)));
         s.assert(&ctx, step);
     }
-    let cap = ctx.le(
-        LinExpr::var(vars[n - 1]),
-        LinExpr::constant(Rat::from(n as i64 * 2)),
-    );
+    let cap = ctx.le(LinExpr::var(vars[n - 1]), LinExpr::constant(Rat::from(n as i64 * 2)));
     s.assert(&ctx, cap);
     s.check(&ctx)
 }
 
-fn bench_smt(c: &mut Criterion) {
-    let mut group = c.benchmark_group("smt");
-    group.sample_size(10);
-    group.measurement_time(Duration::from_secs(15));
-
-    group.bench_function("cdcl_pigeonhole_6", |b| {
-        b.iter(|| assert_eq!(pigeonhole(6), SolveResult::Unsat))
-    });
-    group.bench_function("qflra_chain_40", |b| {
-        b.iter(|| assert_eq!(chain_lp(40), SatResult::Sat))
-    });
-    group.finish();
+/// Scoped re-checks against one base encoding — the pattern the incremental
+/// verifier leans on (`push; assert; check; pop` per probe).
+fn scoped_probes(n_probes: usize) -> u32 {
+    let mut ctx = Context::new();
+    let vars: Vec<_> = (0..20).map(|i| ctx.real_var(format!("x{i}"))).collect();
+    let mut s = Solver::new();
+    let first = ctx.eq(LinExpr::var(vars[0]), LinExpr::constant(int(1)));
+    s.assert(&ctx, first);
+    for w in vars.windows(2) {
+        let step = ctx.eq(LinExpr::var(w[1]), LinExpr::var(w[0]) + LinExpr::constant(int(1)));
+        s.assert(&ctx, step);
+    }
+    let mut sats = 0u32;
+    for k in 0..n_probes {
+        s.push();
+        let cap = ctx.le(LinExpr::var(vars[19]), LinExpr::constant(Rat::from(k as i64)));
+        s.assert(&ctx, cap);
+        if s.check(&ctx) == SatResult::Sat {
+            sats += 1;
+        }
+        s.pop();
+    }
+    sats
 }
 
-criterion_group!(benches, bench_smt);
-criterion_main!(benches);
+fn main() {
+    bench_case("cdcl_pigeonhole_6", 1, 10, || {
+        assert_eq!(pigeonhole(6), SolveResult::Unsat);
+    });
+    bench_case("qflra_chain_40", 1, 10, || {
+        assert_eq!(chain_lp(40), SatResult::Sat);
+    });
+    bench_case("scoped_probes_30", 1, 10, || {
+        // x19 = 20, so probes with cap < 20 are unsat: 30 probes, 10 sat.
+        assert_eq!(scoped_probes(30), 10);
+    });
+}

@@ -1,51 +1,35 @@
-//! Criterion benchmark tracking Table 1's headline cell: time to first
-//! solution with each optimization level on the (CI-scale) No-cwnd/Small
-//! space. The full paper-scale grid is the `table1` *binary*; this bench
-//! exists so regressions in the synthesis pipeline show up in `cargo bench`.
+//! Benchmark tracking Table 1's headline cell: time to first solution with
+//! each optimization level on the (CI-scale) No-cwnd/Small space. The full
+//! paper-scale grid is the `table1` *binary*; this bench exists so
+//! regressions in the synthesis pipeline show up in `cargo bench`.
+//!
+//! Run with `cargo bench -p ccmatic-bench --bench table1`.
 
 use ccmatic::synth::OptMode;
-use ccmatic_bench::{run_cell, table1_rows, Scale};
-use criterion::{criterion_group, criterion_main, Criterion};
+use ccmatic_bench::{bench_case, run_cell, run_cell_with, table1_rows, Scale};
 use std::time::Duration;
 
-fn bench_table1_cell(c: &mut Criterion) {
+fn main() {
     let rows = table1_rows(Scale::Ci);
     let row = rows[0].clone(); // No cwnd / Small
 
-    let mut group = c.benchmark_group("table1/no_cwnd_small");
-    group.sample_size(10);
-    group.measurement_time(Duration::from_secs(20));
-
-    group.bench_function("rp_wce", |b| {
-        b.iter(|| {
-            let cell = run_cell(&row, OptMode::RangePruningWce, Duration::from_secs(120));
-            assert!(cell.solved);
-            cell.iterations
-        })
+    bench_case("table1/no_cwnd_small/rp_wce", 1, 5, || {
+        let cell = run_cell(&row, OptMode::RangePruningWce, Duration::from_secs(120));
+        assert!(cell.solved);
     });
-    group.bench_function("rp", |b| {
-        b.iter(|| {
-            let cell = run_cell(&row, OptMode::RangePruning, Duration::from_secs(120));
-            assert!(cell.solved);
-            cell.iterations
-        })
+    bench_case("table1/no_cwnd_small/rp_wce_scratch", 1, 5, || {
+        let cell = run_cell_with(&row, OptMode::RangePruningWce, Duration::from_secs(120), false);
+        assert!(cell.solved);
     });
-    group.finish();
+    bench_case("table1/no_cwnd_small/rp", 1, 5, || {
+        let cell = run_cell(&row, OptMode::RangePruning, Duration::from_secs(120));
+        assert!(cell.solved);
+    });
 
     // The Baseline column is measured separately with a short budget: it is
     // expected to be dramatically slower (the paper's DNF behaviour); we
     // record the time-to-budget rather than failing the bench.
-    let mut slow = c.benchmark_group("table1/no_cwnd_small_baseline");
-    slow.sample_size(10);
-    slow.measurement_time(Duration::from_secs(25));
-    slow.bench_function("baseline_budgeted", |b| {
-        b.iter(|| {
-            let cell = run_cell(&row, OptMode::Baseline, Duration::from_secs(2));
-            cell.iterations
-        })
+    bench_case("table1/no_cwnd_small/baseline_budgeted", 0, 3, || {
+        let _ = run_cell(&row, OptMode::Baseline, Duration::from_secs(2));
     });
-    slow.finish();
 }
-
-criterion_group!(benches, bench_table1_cell);
-criterion_main!(benches);

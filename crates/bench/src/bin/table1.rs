@@ -11,12 +11,16 @@
 //! budget substitutes for the week).
 
 use ccmatic::synth::OptMode;
-use ccmatic_bench::{fmt_duration, run_cell, table1_rows, render_table1, Scale};
+use ccmatic_bench::{
+    fmt_duration, render_table1, run_cell, run_cell_with, table1_rows, write_json, Json, Scale,
+};
 use std::time::Duration;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let scale = if args.iter().any(|a| a == "paper") || args.windows(2).any(|w| w[0] == "--scale" && w[1] == "paper") {
+    let scale = if args.iter().any(|a| a == "paper")
+        || args.windows(2).any(|w| w[0] == "--scale" && w[1] == "paper")
+    {
         Scale::Paper
     } else {
         Scale::Ci
@@ -27,6 +31,14 @@ fn main() {
         .and_then(|w| w[1].parse().ok())
         .unwrap_or(120);
     let show_stats = args.iter().any(|a| a == "--stats");
+    // `--rows N` limits the grid to the first N rows; the cwnd rows' WCE
+    // searches can exceed the per-cell budget by an hour at ci scale (the
+    // wall budget is only checked between CEGIS iterations).
+    let max_rows: usize = args
+        .windows(2)
+        .find(|w| w[0] == "--rows")
+        .and_then(|w| w[1].parse().ok())
+        .unwrap_or(usize::MAX);
     let budget = Duration::from_secs(budget_secs);
 
     println!("# Table 1 — time to synthesize first solution ({scale:?} scale, {budget_secs}s/cell budget)\n");
@@ -36,17 +48,13 @@ fn main() {
     println!("  cwnd/Small    : Baseline DNF           → RP 100/9m → RP+WCE 50/30s");
     println!("  cwnd/Large    : Baseline DNF           → RP 360/32h→ RP+WCE 80/45m\n");
 
-    let rows = table1_rows(scale);
+    let mut rows = table1_rows(scale);
+    rows.truncate(max_rows);
     let mut results = Vec::new();
     for row in rows {
         let mut cells = Vec::new();
         for mode in [OptMode::Baseline, OptMode::RangePruning, OptMode::RangePruningWce] {
-            eprintln!(
-                "running {} / {} / {} …",
-                row.params,
-                row.domain_label,
-                mode.label()
-            );
+            eprintln!("running {} / {} / {} …", row.params, row.domain_label, mode.label());
             let cell = run_cell(&row, mode, budget);
             eprintln!(
                 "  → {} in {} ({} iterations, {} verifier probes)",
@@ -63,9 +71,53 @@ fn main() {
             }
             cells.push(cell);
         }
+        // The before/after pair for the incremental-verifier speedup claim:
+        // re-run the RP+WCE cell with the pre-scope from-scratch verifier.
+        eprintln!(
+            "running {} / {} / RP+WCE (from-scratch verifier) …",
+            row.params, row.domain_label
+        );
+        let scratch = run_cell_with(&row, OptMode::RangePruningWce, budget, false);
+        eprintln!(
+            "  → {} in {} ({} iterations, {} verifier probes)",
+            if scratch.solved { "solved" } else { "DNF" },
+            fmt_duration(scratch.wall, true),
+            scratch.iterations,
+            scratch.verifier_probes,
+        );
+        cells.push(scratch);
         results.push((row, cells));
     }
 
     println!("{}", render_table1(&results));
     println!("\nDNF = no solution within the per-cell budget (the paper's analogue: one week).");
+    println!("The second RP+WCE line of each row is the from-scratch (non-incremental) verifier.");
+
+    let json = Json::obj(vec![
+        ("bench", Json::Str("table1".into())),
+        ("scale", Json::Str(format!("{scale:?}").to_lowercase())),
+        ("budget_secs", Json::UInt(budget_secs)),
+        (
+            "rows",
+            Json::Arr(
+                results
+                    .iter()
+                    .map(|(row, cells)| {
+                        Json::obj(vec![
+                            ("params", Json::Str(row.params.into())),
+                            ("domain", Json::Str(row.domain_label.into())),
+                            (
+                                "search_size",
+                                Json::UInt(
+                                    row.shape.search_space_size().min(u64::MAX as u128) as u64
+                                ),
+                            ),
+                            ("cells", Json::Arr(cells.iter().map(|c| c.to_json()).collect())),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]);
+    let _ = write_json("BENCH_table1.json", &json);
 }

@@ -4,22 +4,46 @@
 //! ```sh
 //! cargo run --release -p ccmatic-bench --bin threshold_sweep -- [--scale ci|paper] [--budget-secs N]
 //! ```
+//!
+//! Sweep points fan out across a worker pool (override with
+//! `CCMATIC_SWEEP_THREADS`). Emits `BENCH_threshold_sweep.json` with the
+//! machine-readable numbers.
 
 use ccac_model::Thresholds;
-use ccmatic::sweep::{render_table, sweep_delay, sweep_utilization};
+use ccmatic::sweep::{render_table, sweep_delay, sweep_threads, sweep_utilization, SweepRow};
 use ccmatic::synth::{OptMode, SynthOptions};
-use ccmatic_bench::{table1_rows, Scale};
+use ccmatic_bench::{table1_rows, write_json, Json, Scale};
 use ccmatic_cegis::Budget;
-use ccmatic_num::{int, rat};
-use std::time::Duration;
+use ccmatic_num::{int, rat, Rat};
+use std::time::{Duration, Instant};
+
+fn sweep_json(rows: &[SweepRow], values: &[Rat], wall_s: f64) -> Json {
+    Json::obj(vec![
+        ("wall_s", Json::Num(wall_s)),
+        (
+            "points",
+            Json::Arr(
+                rows.iter()
+                    .zip(values)
+                    .map(|(row, v)| {
+                        Json::obj(vec![
+                            ("threshold", Json::Str(v.to_string())),
+                            ("solutions", Json::UInt(row.result.solutions.len() as u64)),
+                            ("complete", Json::Bool(row.result.complete)),
+                            ("iterations", Json::UInt(row.result.stats.iterations)),
+                            ("wall_s", Json::Num(row.result.stats.wall.as_secs_f64())),
+                            ("solver_probes", Json::UInt(row.result.solver_probes)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let scale = if args.iter().any(|a| a == "paper") {
-        Scale::Paper
-    } else {
-        Scale::Ci
-    };
+    let scale = if args.iter().any(|a| a == "paper") { Scale::Paper } else { Scale::Ci };
     let budget_secs: u64 = args
         .windows(2)
         .find(|w| w[0] == "--budget-secs")
@@ -38,22 +62,44 @@ fn main() {
         net: row.net.clone(),
         thresholds: Thresholds::default(),
         mode: OptMode::RangePruningWce,
-        budget: Budget {
-            max_iterations: 1_000_000,
-            max_wall: Duration::from_secs(budget_secs),
-        },
+        budget: Budget { max_iterations: 1_000_000, max_wall: Duration::from_secs(budget_secs) },
         wce_precision: rat(1, 2),
+        incremental: true,
     };
 
-    println!("# Threshold sweeps over {} / {}\n", row.params, row.domain_label);
+    let threads = sweep_threads();
+    println!(
+        "# Threshold sweeps over {} / {} ({threads} worker threads)\n",
+        row.params, row.domain_label
+    );
 
     println!("## E4: delay sweep at util ≥ 1/2");
     println!("paper: 245 @ ≤8×RTT · 12 @ ≤4 · 9 @ ≤3.6 · 0 @ ≤3\n");
-    let rows = sweep_delay(&base, &[int(8), int(4), rat(18, 5), int(3)]);
-    println!("{}", render_table(&rows));
+    let delay_values = [int(8), int(4), rat(18, 5), int(3)];
+    let t0 = Instant::now();
+    let delay_rows = sweep_delay(&base, &delay_values);
+    let delay_wall = t0.elapsed().as_secs_f64();
+    println!("{}", render_table(&delay_rows));
+    println!("sweep wall: {delay_wall:.1}s\n");
 
     println!("## E3: utilization sweep at delay ≤ 4×RTT");
     println!("paper: 12 @ ≥50% · 2 @ ≥65% · 1 @ ≥70% (Eq. iii)\n");
-    let rows = sweep_utilization(&base, &[rat(1, 2), rat(13, 20), rat(7, 10)]);
-    println!("{}", render_table(&rows));
+    let util_values = [rat(1, 2), rat(13, 20), rat(7, 10)];
+    let t0 = Instant::now();
+    let util_rows = sweep_utilization(&base, &util_values);
+    let util_wall = t0.elapsed().as_secs_f64();
+    println!("{}", render_table(&util_rows));
+    println!("sweep wall: {util_wall:.1}s");
+
+    let json = Json::obj(vec![
+        ("bench", Json::Str("threshold_sweep".into())),
+        ("scale", Json::Str(format!("{scale:?}").to_lowercase())),
+        ("budget_secs", Json::UInt(budget_secs)),
+        ("threads", Json::UInt(threads as u64)),
+        ("params", Json::Str(row.params.into())),
+        ("domain", Json::Str(row.domain_label.into())),
+        ("delay_sweep", sweep_json(&delay_rows, &delay_values, delay_wall)),
+        ("utilization_sweep", sweep_json(&util_rows, &util_values, util_wall)),
+    ]);
+    let _ = write_json("BENCH_threshold_sweep.json", &json);
 }

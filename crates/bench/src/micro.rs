@@ -1,0 +1,65 @@
+//! A small fixed-iteration timing harness for the `benches/` binaries
+//! (`harness = false`), replacing the external benchmark framework: run a
+//! closure a fixed number of times after a warmup, report total / mean /
+//! min, and hand back the numbers for JSON emission.
+
+use std::time::{Duration, Instant};
+
+/// Timing summary for one benchmark case.
+#[derive(Clone, Debug)]
+pub struct MicroResult {
+    /// Case label.
+    pub name: String,
+    /// Timed iterations (after warmup).
+    pub iters: u32,
+    /// Total wall-clock across the timed iterations.
+    pub total: Duration,
+    /// Fastest single iteration.
+    pub min: Duration,
+}
+
+impl MicroResult {
+    /// Mean time per iteration.
+    pub fn mean(&self) -> Duration {
+        self.total / self.iters.max(1)
+    }
+}
+
+/// Run `f` `warmup + iters` times, timing the last `iters`, and print a
+/// one-line summary to stderr.
+pub fn bench_case(name: &str, warmup: u32, iters: u32, mut f: impl FnMut()) -> MicroResult {
+    for _ in 0..warmup {
+        f();
+    }
+    let mut total = Duration::ZERO;
+    let mut min = Duration::MAX;
+    for _ in 0..iters.max(1) {
+        let t0 = Instant::now();
+        f();
+        let dt = t0.elapsed();
+        total += dt;
+        min = min.min(dt);
+    }
+    let result = MicroResult { name: name.to_string(), iters: iters.max(1), total, min };
+    eprintln!(
+        "{name}: mean {:.3} ms, min {:.3} ms over {} iters",
+        result.mean().as_secs_f64() * 1e3,
+        result.min.as_secs_f64() * 1e3,
+        result.iters
+    );
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timing_accumulates() {
+        let mut calls = 0u32;
+        let r = bench_case("spin", 2, 5, || calls += 1);
+        assert_eq!(calls, 7);
+        assert_eq!(r.iters, 5);
+        assert!(r.min <= r.mean());
+    }
+}

@@ -27,13 +27,7 @@ pub struct NetConfig {
 
 impl Default for NetConfig {
     fn default() -> Self {
-        NetConfig {
-            horizon: 9,
-            history: 5,
-            link_rate: Rat::one(),
-            jitter: 1,
-            buffer: None,
-        }
+        NetConfig { horizon: 9, history: 5, link_rate: Rat::one(), jitter: 1, buffer: None }
     }
 }
 
@@ -289,7 +283,7 @@ mod tests {
         // Try to force S(T) above C·(T+h): must be unsat.
         let too_much = ctx.gt(
             LinExpr::var(nv.s(cfg.t_max())),
-            LinExpr::constant(int((cfg.t_max() + cfg.history as i64) as i64)),
+            LinExpr::constant(int(cfg.t_max() + cfg.history as i64)),
         );
         let mut s = Solver::new();
         s.assert(&ctx, net);
@@ -307,7 +301,7 @@ mod tests {
         let nv = alloc_net_vars(&mut ctx, &cfg);
         let net = network_constraints(&mut ctx, &nv);
         let backlog = ctx.ge(LinExpr::var(nv.a(cfg.t_min())), LinExpr::constant(int(1000)));
-        let total = (cfg.t_max() + cfg.history as i64 - cfg.jitter as i64) as i64;
+        let total = cfg.t_max() + cfg.history as i64 - cfg.jitter as i64;
         let starved = ctx.lt(LinExpr::var(nv.s(cfg.t_max())), LinExpr::constant(int(total)));
         let mut s = Solver::new();
         s.assert(&ctx, net);
@@ -384,10 +378,7 @@ mod tests {
             if trace.l_at(t) > trace.l_at(t - 1) {
                 let tokens = &(&cfg.link_rate * &Rat::from(t + cfg.history as i64)) - trace.w_at(t);
                 let backlog = trace.a_at(t) - trace.l_at(t);
-                assert!(
-                    backlog >= &tokens + &int(1),
-                    "drop at t={t} without a full buffer"
-                );
+                assert!(backlog >= &tokens + &int(1), "drop at t={t} without a full buffer");
             }
         }
     }

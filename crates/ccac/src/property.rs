@@ -85,7 +85,8 @@ mod tests {
         // Pin an ideal trace: no waste, service at line rate, cwnd = 2,
         // no initial backlog. The property must hold (so ¬desired is unsat
         // together with the pinned trace).
-        let cfg = NetConfig { horizon: 6, history: 2, link_rate: Rat::one(), jitter: 1, buffer: None };
+        let cfg =
+            NetConfig { horizon: 6, history: 2, link_rate: Rat::one(), jitter: 1, buffer: None };
         let mut ctx = Context::new();
         let nv = alloc_net_vars(&mut ctx, &cfg);
         let net = network_constraints(&mut ctx, &nv);
@@ -93,20 +94,21 @@ mod tests {
         let mut pins = Vec::new();
         for t in cfg.t_min()..=cfg.t_max() {
             // S(t) = t + h (full rate), W(t) = 0.
-            pins.push(ctx.eq(
-                LinExpr::var(nv.s(t)),
-                LinExpr::constant(int(t + cfg.history as i64)),
-            ));
+            pins.push(
+                ctx.eq(LinExpr::var(nv.s(t)), LinExpr::constant(int(t + cfg.history as i64))),
+            );
             pins.push(ctx.eq(LinExpr::var(nv.w(t)), LinExpr::zero()));
             pins.push(ctx.eq(LinExpr::var(nv.cwnd(t)), LinExpr::constant(int(2))));
         }
         // History arrivals consistent with the window: A(t) = S(t−1) + 2 for
         // history steps too (t−1 ≥ t_min).
         for t in (cfg.t_min() + 1)..0 {
-            pins.push(ctx.eq(
-                LinExpr::var(nv.a(t)),
-                LinExpr::var(nv.s(t - 1)) + LinExpr::constant(int(2)),
-            ));
+            pins.push(
+                ctx.eq(
+                    LinExpr::var(nv.a(t)),
+                    LinExpr::var(nv.s(t - 1)) + LinExpr::constant(int(2)),
+                ),
+            );
         }
         pins.push(ctx.eq(LinExpr::var(nv.a(cfg.t_min())), LinExpr::constant(int(2))));
         let pinned = ctx.and(pins);
@@ -128,7 +130,8 @@ mod tests {
     fn starved_flat_cwnd_trace_violates_property() {
         // cwnd pinned to 0.1 with zero initial backlog: utilization ~10% and
         // cwnd flat → property violated, so ¬desired ∧ trace is SAT.
-        let cfg = NetConfig { horizon: 6, history: 2, link_rate: Rat::one(), jitter: 1, buffer: None };
+        let cfg =
+            NetConfig { horizon: 6, history: 2, link_rate: Rat::one(), jitter: 1, buffer: None };
         let mut ctx = Context::new();
         let nv = alloc_net_vars(&mut ctx, &cfg);
         let net = network_constraints(&mut ctx, &nv);

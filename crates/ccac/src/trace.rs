@@ -95,16 +95,17 @@ impl Trace {
 
     /// Maximum standing queue over `[0, T]`.
     pub fn max_queue(&self) -> Rat {
-        (0..=self.t_max)
-            .map(|t| self.queue_at(t))
-            .max()
-            .unwrap_or_else(Rat::zero)
+        (0..=self.t_max).map(|t| self.queue_at(t)).max().unwrap_or_else(Rat::zero)
     }
 }
 
 impl fmt::Display for Trace {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "{:>4} {:>10} {:>10} {:>10} {:>10} {:>10}", "t", "A", "S", "W", "cwnd", "queue")?;
+        writeln!(
+            f,
+            "{:>4} {:>10} {:>10} {:>10} {:>10} {:>10}",
+            "t", "A", "S", "W", "cwnd", "queue"
+        )?;
         for t in self.t_min..=self.t_max {
             writeln!(
                 f,
@@ -144,7 +145,8 @@ mod tests {
 
     #[test]
     fn trace_extraction_roundtrip() {
-        let cfg = NetConfig { horizon: 3, history: 1, link_rate: Rat::one(), jitter: 1, buffer: None };
+        let cfg =
+            NetConfig { horizon: 3, history: 1, link_rate: Rat::one(), jitter: 1, buffer: None };
         let mut ctx = Context::new();
         let nv = alloc_net_vars(&mut ctx, &cfg);
         let net = network_constraints(&mut ctx, &nv);

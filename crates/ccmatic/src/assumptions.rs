@@ -40,6 +40,7 @@ fn verifies(spec: &CcaSpec, net: &NetConfig, thresholds: &Thresholds) -> bool {
         thresholds: thresholds.clone(),
         worst_case: false,
         wce_precision: Rat::new(1i64.into(), 2i64.into()),
+        incremental: true,
     });
     v.verify(spec).is_ok()
 }
@@ -61,7 +62,7 @@ pub fn max_tolerated_jitter(
     let mut probes = 0;
     // Binary search over the integral prefix property.
     let (mut lo, mut hi) = (0usize, max_d + 1); // invariant: verified(lo-1)… we search first failing D
-    // First check D = 0.
+                                                // First check D = 0.
     let mut net = base_net.clone();
     net.jitter = 0;
     probes += 1;
@@ -234,14 +235,9 @@ mod tests {
 
     #[test]
     fn rocc_delay_guarantee_is_finite_and_reasonable() {
-        let g = delay_guarantee(
-            &known::rocc(),
-            &net(),
-            &Thresholds::default(),
-            &int(16),
-            &rat(1, 4),
-        )
-        .expect("RoCC maintains a bounded queue");
+        let g =
+            delay_guarantee(&known::rocc(), &net(), &Thresholds::default(), &int(16), &rat(1, 4))
+                .expect("RoCC maintains a bounded queue");
         assert!(g.value <= int(5), "RoCC's provable queue bound ≈ 4, measured {}", g.value);
         assert!(g.value >= int(1), "a sub-BDP bound is impossible under jitter");
     }

@@ -19,7 +19,7 @@ use ccmatic::assumptions::describe;
 use ccmatic::differential::{compare, separating_environment};
 use ccmatic::enumerate::enumerate_all;
 use ccmatic::synth::{synthesize, OptMode, SynthOptions};
-use ccmatic::template::{CcaSpec, CoeffDomain, TemplateShape};
+use ccmatic::template::{CcaSpec, TemplateShape};
 use ccmatic::verifier::{CcaVerifier, VerifyConfig};
 use ccmatic_cegis::{Budget, Outcome};
 use ccmatic_num::{rat, Rat};
@@ -30,10 +30,7 @@ struct Args(Vec<String>);
 
 impl Args {
     fn get(&self, key: &str) -> Option<&str> {
-        self.0
-            .windows(2)
-            .find(|w| w[0] == key)
-            .map(|w| w[1].as_str())
+        self.0.windows(2).find(|w| w[0] == key).map(|w| w[1].as_str())
     }
 
     fn rat(&self, key: &str) -> Option<Rat> {
@@ -53,10 +50,8 @@ fn usage() -> ExitCode {
 }
 
 fn parse_spec(s: &str) -> Option<CcaSpec> {
-    let parts: Vec<Rat> = s
-        .split(',')
-        .map(|p| Rat::from_decimal_str(p.trim()))
-        .collect::<Option<Vec<_>>>()?;
+    let parts: Vec<Rat> =
+        s.split(',').map(|p| Rat::from_decimal_str(p.trim())).collect::<Option<Vec<_>>>()?;
     if parts.len() < 2 {
         return None;
     }
@@ -109,10 +104,7 @@ fn main() -> ExitCode {
     let shape = shape_from(&args);
     let net = net_from(&args, shape.lookback);
     let th = thresholds_from(&args);
-    let budget_secs: u64 = args
-        .get("--budget-secs")
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(300);
+    let budget_secs: u64 = args.get("--budget-secs").and_then(|v| v.parse().ok()).unwrap_or(300);
     let mode = match args.get("--mode").unwrap_or("rp-wce") {
         "baseline" => OptMode::Baseline,
         "rp" => OptMode::RangePruning,
@@ -123,11 +115,9 @@ fn main() -> ExitCode {
         net: net.clone(),
         thresholds: th.clone(),
         mode,
-        budget: Budget {
-            max_iterations: 1_000_000,
-            max_wall: Duration::from_secs(budget_secs),
-        },
+        budget: Budget { max_iterations: 1_000_000, max_wall: Duration::from_secs(budget_secs) },
         wce_precision: rat(1, 2),
+        incremental: true,
     };
 
     match cmd.as_str() {
@@ -172,6 +162,7 @@ fn main() -> ExitCode {
                 thresholds: th,
                 worst_case: false,
                 wce_precision: rat(1, 2),
+                incremental: true,
             });
             match v.verify(&spec) {
                 Ok(()) => {
@@ -207,10 +198,9 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         "diff" => {
-            let (Some(a), Some(b)) = (
-                args.get("--cca").and_then(parse_spec),
-                args.get("--cca-b").and_then(parse_spec),
-            ) else {
+            let (Some(a), Some(b)) =
+                (args.get("--cca").and_then(parse_spec), args.get("--cca-b").and_then(parse_spec))
+            else {
                 return usage();
             };
             let mut net = net;

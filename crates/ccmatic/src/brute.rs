@@ -96,6 +96,7 @@ pub fn brute_force_first(
         thresholds: thresholds.clone(),
         worst_case: false,
         wce_precision: Rat::new(1i64.into(), 2i64.into()),
+        incremental: true,
     });
     let mut tried = 0;
     for spec in CandidateIter::new(shape.clone()) {
@@ -148,13 +149,8 @@ mod tests {
     #[test]
     fn brute_force_finds_solution_on_tiny_space() {
         let shape = TemplateShape { lookback: 3, use_cwnd: false, domain: CoeffDomain::Small };
-        let net = NetConfig {
-            horizon: 5,
-            history: 4,
-            link_rate: Rat::one(),
-            jitter: 1,
-            buffer: None,
-        };
+        let net =
+            NetConfig { horizon: 5, history: 4, link_rate: Rat::one(), jitter: 1, buffer: None };
         let r = brute_force_first(&shape, &net, &Thresholds::default(), Duration::from_secs(300));
         let sol = r.solution.expect("the 3⁴ space contains working CCAs");
         // Re-verify for soundness.
@@ -163,6 +159,7 @@ mod tests {
             thresholds: Thresholds::default(),
             worst_case: false,
             wce_precision: Rat::new(1i64.into(), 2i64.into()),
+            incremental: true,
         });
         assert!(v.verify(&sol).is_ok());
         assert!(r.tried >= 1);

@@ -112,7 +112,7 @@ pub fn verify_conditional(
     thresholds: &Thresholds,
 ) -> Result<(), Trace> {
     assert!(
-        net.history >= cca.lookback() + 1,
+        net.history > cca.lookback(),
         "history {} too shallow for conditional lookback {}",
         net.history,
         cca.lookback()
@@ -173,6 +173,7 @@ mod tests {
                     thresholds: Thresholds::default(),
                     worst_case: false,
                     wce_precision: rat(1, 2),
+                    incremental: true,
                 });
                 v.verify(&spec).is_ok()
             };

@@ -59,8 +59,20 @@ impl fmt::Display for Comparison {
             None => "—".into(),
         };
         writeln!(f, "{:<24} {:>10} {:>10}", "constraint", "CCA A", "CCA B")?;
-        writeln!(f, "{:<24} {:>10} {:>10}", "jitter tolerated (RTT)", show(&self.a.jitter), show(&self.b.jitter))?;
-        writeln!(f, "{:<24} {:>10} {:>10}", "utilization ≥", show(&self.a.utilization), show(&self.b.utilization))?;
+        writeln!(
+            f,
+            "{:<24} {:>10} {:>10}",
+            "jitter tolerated (RTT)",
+            show(&self.a.jitter),
+            show(&self.b.jitter)
+        )?;
+        writeln!(
+            f,
+            "{:<24} {:>10} {:>10}",
+            "utilization ≥",
+            show(&self.a.utilization),
+            show(&self.b.utilization)
+        )?;
         write!(f, "{:<24} {:>10} {:>10}", "queue ≤ (BDP)", show(&self.a.queue), show(&self.b.queue))
     }
 }
@@ -81,10 +93,7 @@ pub fn compare(
     th: &Thresholds,
     precision: &Rat,
 ) -> Comparison {
-    Comparison {
-        a: frontier(a, net, th, precision),
-        b: frontier(b, net, th, precision),
-    }
+    Comparison { a: frontier(a, net, th, precision), b: frontier(b, net, th, precision) }
 }
 
 /// Find a separating environment: `Some(trace)` iff A is *provably safe on
@@ -102,6 +111,7 @@ pub fn separating_environment(
         thresholds: th.clone(),
         worst_case: false,
         wce_precision: Rat::new(1i64.into(), 2i64.into()),
+        incremental: true,
     });
     // A must hold universally — the separator is only meaningful inside
     // A's proven envelope.
@@ -171,14 +181,12 @@ mod tests {
     fn no_separator_when_a_is_unsafe() {
         // The separator is only defined inside A's proven envelope; an
         // unsafe A yields None even though B is also broken.
-        assert!(
-            separating_environment(
-                &known::const_cwnd(Rat::zero()),
-                &known::const_cwnd(int(20)),
-                &net(),
-                &Thresholds::default()
-            )
-            .is_none()
-        );
+        assert!(separating_environment(
+            &known::const_cwnd(Rat::zero()),
+            &known::const_cwnd(int(20)),
+            &net(),
+            &Thresholds::default()
+        )
+        .is_none());
     }
 }

@@ -21,6 +21,9 @@ pub struct EnumerateResult {
     pub complete: bool,
     /// Accumulated loop statistics across all solutions.
     pub stats: Stats,
+    /// Underlying verifier solver probes (exceeds verifier calls when WCE
+    /// binary-searches).
+    pub solver_probes: u64,
 }
 
 /// Enumerate every solution in the search space.
@@ -36,7 +39,8 @@ pub fn enumerate_all(opts: &SynthOptions) -> EnumerateResult {
             max_wall: deadline.saturating_duration_since(std::time::Instant::now()),
         };
         if budget.max_iterations == 0 || budget.max_wall.is_zero() {
-            return EnumerateResult { solutions, complete: false, stats };
+            let solver_probes = verifier.0.solver_probes;
+            return EnumerateResult { solutions, complete: false, stats, solver_probes };
         }
         let result = run(&mut generator, &mut verifier, &budget);
         stats.iterations += result.stats.iterations;
@@ -51,10 +55,12 @@ pub fn enumerate_all(opts: &SynthOptions) -> EnumerateResult {
                 solutions.push(spec);
             }
             Outcome::NoSolution => {
-                return EnumerateResult { solutions, complete: true, stats };
+                let solver_probes = verifier.0.solver_probes;
+                return EnumerateResult { solutions, complete: true, stats, solver_probes };
             }
             Outcome::BudgetExhausted => {
-                return EnumerateResult { solutions, complete: false, stats };
+                let solver_probes = verifier.0.solver_probes;
+                return EnumerateResult { solutions, complete: false, stats, solver_probes };
             }
         }
     }
@@ -76,7 +82,13 @@ mod tests {
         // returned solution must re-verify; completeness must be reported.
         let opts = SynthOptions {
             shape: TemplateShape { lookback: 2, use_cwnd: false, domain: CoeffDomain::Small },
-            net: NetConfig { horizon: 5, history: 3, link_rate: Rat::one(), jitter: 1, buffer: None },
+            net: NetConfig {
+                horizon: 5,
+                history: 3,
+                link_rate: Rat::one(),
+                jitter: 1,
+                buffer: None,
+            },
             thresholds: Thresholds::default(),
             mode: OptMode::RangePruningWce,
             budget: ccmatic_cegis::Budget {
@@ -84,6 +96,7 @@ mod tests {
                 max_wall: Duration::from_secs(240),
             },
             wce_precision: Rat::new(1i64.into(), 2i64.into()),
+            incremental: true,
         };
         let result = enumerate_all(&opts);
         assert!(result.complete, "tiny space must be exhausted within budget");
@@ -93,6 +106,7 @@ mod tests {
             thresholds: opts.thresholds.clone(),
             worst_case: false,
             wce_precision: opts.wce_precision.clone(),
+            incremental: true,
         });
         for s in &result.solutions {
             assert!(v.verify(s).is_ok(), "enumerated non-solution {s}");

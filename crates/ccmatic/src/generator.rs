@@ -67,7 +67,7 @@ impl SmtGenerator {
         mode: FeasibilityMode,
     ) -> Self {
         assert!(
-            net.history >= shape.lookback + 1,
+            net.history > shape.lookback,
             "network history {} must exceed template lookback {}",
             net.history,
             shape.lookback
@@ -228,15 +228,17 @@ impl SmtGenerator {
                     if back < 0 {
                         // Historical cwnd is a trace constant: linear tap.
                         rhs = rhs
-                            + LinExpr::term(self.alpha(i).unwrap().value, cex.cwnd_at(back).clone());
+                            + LinExpr::term(
+                                self.alpha(i).unwrap().value,
+                                cex.cwnd_at(back).clone(),
+                            );
                     } else {
                         // Product of two variables: ite-linearize through
                         // the selector booleans (§3.1.2).
                         let p = self.ctx.real_var(format!("g{n}.p{i}[{t}]"));
                         let selectors = self.alpha(i).unwrap().selectors.clone();
                         for (value, sel) in selectors {
-                            let prod =
-                                LinExpr::term(cwnd[back as usize], value.clone());
+                            let prod = LinExpr::term(cwnd[back as usize], value.clone());
                             let eq = self.ctx.eq(LinExpr::var(p), prod);
                             let bind = self.ctx.implies(sel, eq);
                             cs.push(bind);
@@ -268,9 +270,7 @@ impl SmtGenerator {
         match self.mode {
             FeasibilityMode::Baseline => {
                 for t in 0..=t_end {
-                    feas.push(
-                        self.ctx.eq(av(t), LinExpr::constant(cex.a_at(t).clone())),
-                    );
+                    feas.push(self.ctx.eq(av(t), LinExpr::constant(cex.a_at(t).clone())));
                 }
             }
             FeasibilityMode::RangePruning => {
@@ -281,8 +281,7 @@ impl SmtGenerator {
                     // When the trace wasted tokens, the queue must have been
                     // at or below the token line.
                     if cex.waste_increased(t) {
-                        let tokens =
-                            &(&link_rate * &Rat::from(t + history)) - cex.w_at(t);
+                        let tokens = &(&link_rate * &Rat::from(t + history)) - cex.w_at(t);
                         feas.push(self.ctx.le(av(t), LinExpr::constant(tokens)));
                     }
                 }
@@ -369,7 +368,8 @@ mod tests {
             use_cwnd: false,
             domain: crate::template::CoeffDomain::Custom(vec![int(0), int(1)]),
         };
-        let net = NetConfig { horizon: 3, history: 2, link_rate: Rat::one(), jitter: 1, buffer: None };
+        let net =
+            NetConfig { horizon: 3, history: 2, link_rate: Rat::one(), jitter: 1, buffer: None };
         let mut g =
             SmtGenerator::new(shape, net, Thresholds::default(), FeasibilityMode::RangePruning);
         let mut seen = Vec::new();
@@ -391,13 +391,10 @@ mod tests {
             thresholds: Thresholds::default(),
             worst_case: false,
             wce_precision: Rat::new(1i64.into(), 4i64.into()),
+            incremental: true,
         });
-        let mut g = SmtGenerator::new(
-            shape,
-            net,
-            Thresholds::default(),
-            FeasibilityMode::RangePruning,
-        );
+        let mut g =
+            SmtGenerator::new(shape, net, Thresholds::default(), FeasibilityMode::RangePruning);
         // The all-zero candidate is broken; its counterexample must stop the
         // generator from proposing all-zero again.
         let zero = known::const_cwnd(Rat::zero());
@@ -417,7 +414,8 @@ mod tests {
         // Count how many distinct candidates each mode can still propose
         // after learning the same counterexample. Range pruning must prune
         // at least as many as baseline.
-        let net = NetConfig { horizon: 4, history: 3, link_rate: Rat::one(), jitter: 1, buffer: None };
+        let net =
+            NetConfig { horizon: 4, history: 3, link_rate: Rat::one(), jitter: 1, buffer: None };
         let shape = TemplateShape {
             lookback: 2,
             use_cwnd: false,
@@ -428,16 +426,12 @@ mod tests {
             thresholds: Thresholds::default(),
             worst_case: true,
             wce_precision: Rat::new(1i64.into(), 2i64.into()),
+            incremental: true,
         });
         let broken = CcaSpec { alpha: vec![], beta: vec![int(0), int(0)], gamma: int(0) };
         let cex = verifier.verify(&broken).expect_err("refuted");
         let count_remaining = |mode: FeasibilityMode| {
-            let mut g = SmtGenerator::new(
-                shape.clone(),
-                net.clone(),
-                Thresholds::default(),
-                mode,
-            );
+            let mut g = SmtGenerator::new(shape.clone(), net.clone(), Thresholds::default(), mode);
             g.learn(&cex);
             let mut n = 0;
             while let Some(spec) = g.propose() {
@@ -451,6 +445,9 @@ mod tests {
         };
         let base = count_remaining(FeasibilityMode::Baseline);
         let rp = count_remaining(FeasibilityMode::RangePruning);
-        assert!(rp <= base, "range pruning ({rp}) must not keep more candidates than baseline ({base})");
+        assert!(
+            rp <= base,
+            "range pruning ({rp}) must not keep more candidates than baseline ({base})"
+        );
     }
 }

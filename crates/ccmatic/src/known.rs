@@ -7,11 +7,7 @@ use ccmatic_num::{int, rat, Rat};
 /// `cwnd(t) = ack(t−1) − ack(t−3) + 1` — bytes ACKed over the last two
 /// RTTs plus one additive unit.
 pub fn rocc() -> CcaSpec {
-    CcaSpec {
-        alpha: Vec::new(),
-        beta: vec![int(1), int(0), int(-1), int(0)],
-        gamma: int(1),
-    }
+    CcaSpec { alpha: Vec::new(), beta: vec![int(1), int(0), int(-1), int(0)], gamma: int(1) }
 }
 
 /// The paper's Equation (iii), the sole survivor at ≥70 % utilization:

@@ -46,6 +46,11 @@
 //! println!("{:?}", result.outcome);
 //! ```
 
+// Verifier refutations return `Result<(), Trace>`; a `Trace` is a full
+// counterexample and only materializes on the refute path, so its size on
+// the Err variant is not a hot-path cost.
+#![allow(clippy::result_large_err)]
+
 pub mod assumptions;
 pub mod brute;
 pub mod conditional;

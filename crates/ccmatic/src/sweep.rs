@@ -1,10 +1,21 @@
 //! Threshold sweeps over the solution space (§4: how the solution count
 //! moves as the utilization and delay targets change).
+//!
+//! Each threshold value is an independent full enumeration, so the sweep
+//! fans the per-threshold runs out across a `std::thread::scope` worker
+//! pool. Every worker owns its own generator/verifier pair (built inside
+//! `enumerate_all`), so no solver state is shared; results are collected in
+//! input order, making the output deterministic and independent of both the
+//! thread count and the scheduling order. The pool size follows
+//! `std::thread::available_parallelism`, overridable with the
+//! `CCMATIC_SWEEP_THREADS` environment variable.
 
 use crate::enumerate::{enumerate_all, EnumerateResult};
 use crate::synth::SynthOptions;
 use ccac_model::Thresholds;
 use ccmatic_num::Rat;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
 
 /// One row of a sweep report.
 #[derive(Debug)]
@@ -15,32 +26,81 @@ pub struct SweepRow {
     pub result: EnumerateResult,
 }
 
+/// Worker-pool size: `CCMATIC_SWEEP_THREADS` if set, else the machine's
+/// available parallelism.
+pub fn sweep_threads() -> usize {
+    std::env::var("CCMATIC_SWEEP_THREADS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1))
+}
+
+/// Enumerate the solution space once per threshold value, with `set`
+/// writing each value into the run's thresholds. Rows come back in the
+/// order of `values` regardless of which worker finished first.
+pub fn sweep_with<F>(base: &SynthOptions, values: &[Rat], set: F) -> Vec<SweepRow>
+where
+    F: Fn(&mut Thresholds, &Rat) + Sync,
+{
+    sweep_with_threads(base, values, set, sweep_threads())
+}
+
+/// [`sweep_with`] with an explicit worker count (exposed so tests and
+/// benches can pin the pool size).
+pub fn sweep_with_threads<F>(
+    base: &SynthOptions,
+    values: &[Rat],
+    set: F,
+    threads: usize,
+) -> Vec<SweepRow>
+where
+    F: Fn(&mut Thresholds, &Rat) + Sync,
+{
+    let n = values.len();
+    let workers = threads.max(1).min(n.max(1));
+    let next = AtomicUsize::new(0);
+    let mut rows: Vec<Option<SweepRow>> = (0..n).map(|_| None).collect();
+    let (tx, rx) = mpsc::channel::<(usize, SweepRow)>();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let next = &next;
+            let set = &set;
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let mut opts = base.clone();
+                set(&mut opts.thresholds, &values[i]);
+                let row =
+                    SweepRow { thresholds: opts.thresholds.clone(), result: enumerate_all(&opts) };
+                if tx.send((i, row)).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+        for (i, row) in rx {
+            rows[i] = Some(row);
+        }
+    });
+    rows.into_iter().map(|r| r.expect("every index was dispatched exactly once")).collect()
+}
+
 /// Enumerate the solution space at each utilization threshold (delay held
 /// fixed). The paper's §4: at ≤4×RTT delay, ≥65 % utilization leaves 2
 /// CCAs and ≥70 % leaves only Equation (iii).
 pub fn sweep_utilization(base: &SynthOptions, utils: &[Rat]) -> Vec<SweepRow> {
-    utils
-        .iter()
-        .map(|u| {
-            let mut opts = base.clone();
-            opts.thresholds.util = u.clone();
-            SweepRow { thresholds: opts.thresholds.clone(), result: enumerate_all(&opts) }
-        })
-        .collect()
+    sweep_with(base, utils, |th, u| th.util = u.clone())
 }
 
 /// Enumerate the solution space at each delay threshold (utilization held
 /// fixed). The paper's §4: at ≥50 % utilization there are 245 solutions at
 /// ≤8×RTT, 9 at ≤3.6×RTT, and none at ≤3×RTT.
 pub fn sweep_delay(base: &SynthOptions, delays: &[Rat]) -> Vec<SweepRow> {
-    delays
-        .iter()
-        .map(|d| {
-            let mut opts = base.clone();
-            opts.thresholds.delay = d.clone();
-            SweepRow { thresholds: opts.thresholds.clone(), result: enumerate_all(&opts) }
-        })
-        .collect()
+    sweep_with(base, delays, |th, d| th.delay = d.clone())
 }
 
 /// Render sweep rows as a Markdown table (used by the bench binaries and
@@ -71,7 +131,13 @@ mod tests {
     fn tiny_base() -> SynthOptions {
         SynthOptions {
             shape: TemplateShape { lookback: 2, use_cwnd: false, domain: CoeffDomain::Small },
-            net: NetConfig { horizon: 5, history: 3, link_rate: ccmatic_num::Rat::one(), jitter: 1, buffer: None },
+            net: NetConfig {
+                horizon: 5,
+                history: 3,
+                link_rate: ccmatic_num::Rat::one(),
+                jitter: 1,
+                buffer: None,
+            },
             thresholds: Thresholds::default(),
             mode: OptMode::RangePruningWce,
             budget: ccmatic_cegis::Budget {
@@ -79,6 +145,7 @@ mod tests {
                 max_wall: Duration::from_secs(300),
             },
             wce_precision: rat(1, 2),
+            incremental: true,
         }
     }
 
@@ -105,5 +172,24 @@ mod tests {
             rows[0].result.solutions.len() >= rows[1].result.solutions.len(),
             "solution count must shrink as the utilization target rises"
         );
+    }
+
+    #[test]
+    fn sweep_is_deterministic_across_thread_counts() {
+        let base = tiny_base();
+        let values = [int(8), int(4), int(3), int(2)];
+        let set = |th: &mut Thresholds, d: &Rat| th.delay = d.clone();
+        let serial = sweep_with_threads(&base, &values, set, 1);
+        let parallel = sweep_with_threads(&base, &values, set, 4);
+        assert_eq!(serial.len(), parallel.len());
+        for (i, (a, b)) in serial.iter().zip(&parallel).enumerate() {
+            assert_eq!(a.thresholds.delay, b.thresholds.delay, "row {i}: order differs");
+            assert_eq!(a.thresholds.delay, values[i], "row {i}: not in input order");
+            assert_eq!(
+                a.result.solutions, b.result.solutions,
+                "row {i}: solution set depends on thread count"
+            );
+            assert_eq!(a.result.complete, b.result.complete, "row {i}: completeness differs");
+        }
     }
 }

@@ -60,6 +60,8 @@ pub struct SynthOptions {
     pub budget: Budget,
     /// WCE binary-search precision.
     pub wce_precision: Rat,
+    /// Use the verifier's incremental (push/pop scope) path.
+    pub incremental: bool,
 }
 
 impl Default for SynthOptions {
@@ -71,6 +73,7 @@ impl Default for SynthOptions {
             mode: OptMode::RangePruningWce,
             budget: Budget::default(),
             wce_precision: Rat::new(1i64.into(), 4i64.into()),
+            incremental: true,
         }
     }
 }
@@ -129,6 +132,7 @@ pub fn build_loop(opts: &SynthOptions) -> (GenAdapter, VerAdapter) {
         thresholds: opts.thresholds.clone(),
         worst_case: opts.mode.worst_case(),
         wce_precision: opts.wce_precision.clone(),
+        incremental: opts.incremental,
     });
     (GenAdapter(generator), VerAdapter(verifier))
 }
@@ -157,11 +161,18 @@ mod tests {
     fn quick_opts(mode: OptMode) -> SynthOptions {
         SynthOptions {
             shape: TemplateShape { lookback: 3, use_cwnd: false, domain: CoeffDomain::Small },
-            net: NetConfig { horizon: 6, history: 4, link_rate: Rat::one(), jitter: 1, buffer: None },
+            net: NetConfig {
+                horizon: 6,
+                history: 4,
+                link_rate: Rat::one(),
+                jitter: 1,
+                buffer: None,
+            },
             thresholds: Thresholds::default(),
             mode,
             budget: Budget { max_iterations: 400, max_wall: Duration::from_secs(240) },
             wce_precision: Rat::new(1i64.into(), 2i64.into()),
+            incremental: true,
         }
     }
 
@@ -178,6 +189,7 @@ mod tests {
                     thresholds: opts.thresholds.clone(),
                     worst_case: false,
                     wce_precision: opts.wce_precision.clone(),
+                    incremental: true,
                 });
                 assert!(v.verify(&spec).is_ok(), "synthesized CCA failed re-verification: {spec}");
             }
@@ -193,14 +205,9 @@ mod tests {
         // bytes delivered over a recent window + constant.
         let opts = quick_opts(OptMode::RangePruningWce);
         let result = synthesize(&opts);
-        let Outcome::Solution(spec) = result.outcome else {
-            panic!("no solution")
-        };
+        let Outcome::Solution(spec) = result.outcome else { panic!("no solution") };
         let tap_sum = spec.beta.iter().fold(Rat::zero(), |acc, b| &acc + b);
-        assert!(
-            tap_sum.is_zero(),
-            "rate taps should cancel (rate-proportional rule), got {spec}"
-        );
+        assert!(tap_sum.is_zero(), "rate taps should cancel (rate-proportional rule), got {spec}");
         assert!(spec.gamma > int(0), "needs a positive additive term, got {spec}");
     }
 }

@@ -117,12 +117,7 @@ impl CcaSpec {
     /// non-zero tap; the paper reports "six use 2 RTTs, six use 3").
     pub fn history_used(&self) -> usize {
         let deepest = |v: &[Rat]| {
-            v.iter()
-                .enumerate()
-                .rev()
-                .find(|(_, c)| !c.is_zero())
-                .map(|(i, _)| i + 1)
-                .unwrap_or(0)
+            v.iter().enumerate().rev().find(|(_, c)| !c.is_zero()).map(|(i, _)| i + 1).unwrap_or(0)
         };
         deepest(&self.alpha).max(deepest(&self.beta))
     }

@@ -8,14 +8,29 @@
 //! `minₜ (tokens(t) − S(t))`, found by binary search over solver calls —
 //! each such trace prunes the largest possible range of candidate CCAs in
 //! the generator.
+//!
+//! # Incremental mode
+//!
+//! The network model (link behaviour, sender bookkeeping, ¬desired, and the
+//! WCE band bounds) is identical for every candidate; only the template
+//! equalities change. With [`VerifyConfig::incremental`] (the default) the
+//! verifier encodes the network model *once* into a long-lived solver's base
+//! scope. Each `verify` call then pushes an assertion scope, asserts the
+//! candidate's template constraints, checks, and pops — and the WCE binary
+//! search runs as scoped re-checks on the same solver instead of building a
+//! fresh solver per probe. Theory lemmas over base atoms survive the pops,
+//! so successive candidates (and successive WCE probes) start warm.
 
 use crate::template::CcaSpec;
 use ccac_model::{
-    alloc_net_vars, desired_property, network_constraints, sender_constraints, NetConfig,
-    NetVars, Thresholds, Trace,
+    alloc_net_vars, desired_property, network_constraints, sender_constraints, NetConfig, NetVars,
+    Thresholds, Trace,
 };
 use ccmatic_num::Rat;
-use ccmatic_smt::{maximize, Context, LinExpr, MaximizeOutcome, MaximizeParams, SatResult, Solver, Term};
+use ccmatic_smt::{
+    maximize, maximize_scoped, Context, LinExpr, MaximizeOutcome, MaximizeParams, RealVar,
+    SatResult, Solver, Term,
+};
 
 /// Verification parameters.
 #[derive(Clone, Debug)]
@@ -28,6 +43,12 @@ pub struct VerifyConfig {
     pub worst_case: bool,
     /// Bracket precision for the WCE binary search.
     pub wce_precision: Rat,
+    /// Reuse one solver across candidates via push/pop assertion scopes
+    /// instead of re-encoding the network model from scratch every call.
+    /// Both paths are semantically identical (see `tests/verifier_scopes.rs`
+    /// differentials); the from-scratch path is kept for exactly that
+    /// comparison.
+    pub incremental: bool,
 }
 
 impl Default for VerifyConfig {
@@ -37,26 +58,47 @@ impl Default for VerifyConfig {
             thresholds: Thresholds::default(),
             worst_case: false,
             wce_precision: Rat::new(1i64.into(), 4i64.into()),
+            incremental: true,
         }
     }
+}
+
+/// The persistent encoding used by incremental mode: the network model sits
+/// in the solver's base scope; candidates come and go in pushed scopes.
+struct IncState {
+    ctx: Context,
+    nv: NetVars,
+    solver: Solver,
+    /// The WCE objective variable `m` with `m ≤ tokens(t) − S(t)` for all
+    /// `t` asserted at base scope; `None` when `worst_case` is off.
+    band: Option<RealVar>,
 }
 
 /// The verifier oracle. Counts its own solver probes so the Table-1 harness
 /// can report verifier-call statistics (§4: "verifier calls are typically
 /// fast").
 pub struct CcaVerifier {
-    /// Configuration used for every query.
+    /// Configuration used for every query. Mutating `net`, `thresholds`, or
+    /// `worst_case` after the first `verify` call requires [`CcaVerifier::reset`]
+    /// to rebuild the cached incremental encoding.
     pub cfg: VerifyConfig,
     /// Total verify() invocations.
     pub calls: u64,
     /// Total underlying solver probes (> calls when WCE binary search runs).
     pub solver_probes: u64,
+    /// Lazily-built incremental state (`cfg.incremental` only).
+    inc: Option<IncState>,
 }
 
 impl CcaVerifier {
     /// Build a verifier.
     pub fn new(cfg: VerifyConfig) -> Self {
-        CcaVerifier { cfg, calls: 0, solver_probes: 0 }
+        CcaVerifier { cfg, calls: 0, solver_probes: 0, inc: None }
+    }
+
+    /// Drop the cached incremental encoding (required after mutating `cfg`).
+    pub fn reset(&mut self) {
+        self.inc = None;
     }
 
     /// Encode the template rule with *concrete* coefficients over the trace
@@ -79,7 +121,7 @@ impl CcaVerifier {
     }
 
     /// Build the violation query `feasible ∧ ¬desired` and return it with
-    /// the trace variables.
+    /// the trace variables (from-scratch path).
     fn violation_query(&self, ctx: &mut Context, spec: &CcaSpec) -> (NetVars, Term) {
         let nv = alloc_net_vars(ctx, &self.cfg.net);
         let net = network_constraints(ctx, &nv);
@@ -91,6 +133,17 @@ impl CcaVerifier {
         (nv, q)
     }
 
+    /// The WCE bracket parameters for this network shape.
+    fn wce_params(&self) -> MaximizeParams {
+        let hi = Rat::from((self.cfg.net.t_max() + self.cfg.net.history as i64).max(1));
+        MaximizeParams {
+            lo: Rat::zero(),
+            hi,
+            precision: self.cfg.wce_precision.clone(),
+            conflict_budget: None,
+        }
+    }
+
     /// Check the candidate. `Ok(())` certifies it against every admitted
     /// trace; `Err(trace)` is a concrete counterexample.
     pub fn verify(&mut self, spec: &CcaSpec) -> Result<(), Trace> {
@@ -98,11 +151,19 @@ impl CcaVerifier {
         // The template needs S(t−1−lookback) for t = 0; the caller must
         // allocate enough history.
         debug_assert!(
-            self.cfg.net.history >= spec.beta.len() + 1,
+            self.cfg.net.history > spec.beta.len(),
             "history {} too shallow for lookback {}",
             self.cfg.net.history,
             spec.beta.len()
         );
+        if self.cfg.incremental {
+            self.verify_incremental(spec)
+        } else {
+            self.verify_from_scratch(spec)
+        }
+    }
+
+    fn verify_from_scratch(&mut self, spec: &CcaSpec) -> Result<(), Trace> {
         let mut ctx = Context::new();
         let (nv, query) = self.violation_query(&mut ctx, spec);
         if self.cfg.worst_case {
@@ -116,13 +177,7 @@ impl CcaVerifier {
                 cs.push(ctx.le(LinExpr::var(m), band));
             }
             let base = ctx.and(cs);
-            let hi = Rat::from((self.cfg.net.t_max() + self.cfg.net.history as i64).max(1));
-            let params = MaximizeParams {
-                lo: Rat::zero(),
-                hi,
-                precision: self.cfg.wce_precision.clone(),
-                conflict_budget: None,
-            };
+            let params = self.wce_params();
             match maximize(&mut ctx, base, &LinExpr::var(m), &params) {
                 MaximizeOutcome::Infeasible => {
                     self.solver_probes += 1;
@@ -146,6 +201,62 @@ impl CcaVerifier {
             }
         }
     }
+
+    fn verify_incremental(&mut self, spec: &CcaSpec) -> Result<(), Trace> {
+        if self.inc.is_none() {
+            let mut ctx = Context::new();
+            let nv = alloc_net_vars(&mut ctx, &self.cfg.net);
+            let net = network_constraints(&mut ctx, &nv);
+            let snd = sender_constraints(&mut ctx, &nv);
+            let parts = desired_property(&mut ctx, &nv, &self.cfg.thresholds);
+            let bad = ctx.not(parts.desired);
+            let mut solver = Solver::new();
+            solver.assert(&ctx, net);
+            solver.assert(&ctx, snd);
+            solver.assert(&ctx, bad);
+            let band = if self.cfg.worst_case {
+                let m = ctx.real_var("band");
+                for t in 0..=self.cfg.net.t_max() {
+                    let band = nv.tokens(t) - LinExpr::var(nv.s(t));
+                    let le = ctx.le(LinExpr::var(m), band);
+                    solver.assert(&ctx, le);
+                }
+                Some(m)
+            } else {
+                None
+            };
+            self.inc = Some(IncState { ctx, nv, solver, band });
+        }
+        let params = self.wce_params();
+        let st = self.inc.as_mut().expect("just built");
+
+        st.solver.push();
+        let tmpl = Self::template_constraints(&mut st.ctx, &st.nv, spec);
+        st.solver.assert(&st.ctx, tmpl);
+        let verdict = if let Some(m) = st.band {
+            match maximize_scoped(&mut st.ctx, &mut st.solver, &LinExpr::var(m), &params) {
+                MaximizeOutcome::Infeasible => {
+                    self.solver_probes += 1;
+                    Ok(())
+                }
+                MaximizeOutcome::Feasible { model, probes, .. } => {
+                    self.solver_probes += probes as u64;
+                    Err(Trace::from_model(&model, &st.nv))
+                }
+            }
+        } else {
+            self.solver_probes += 1;
+            match st.solver.check(&st.ctx) {
+                SatResult::Unsat => Ok(()),
+                SatResult::Sat => Err(Trace::from_model(st.solver.model().unwrap(), &st.nv)),
+                SatResult::Unknown => {
+                    unreachable!("verifier runs without a conflict budget")
+                }
+            }
+        };
+        st.solver.pop();
+        verdict
+    }
 }
 
 #[cfg(test)]
@@ -156,10 +267,17 @@ mod tests {
 
     fn small_cfg() -> VerifyConfig {
         VerifyConfig {
-            net: NetConfig { horizon: 6, history: 5, link_rate: Rat::one(), jitter: 1, buffer: None },
+            net: NetConfig {
+                horizon: 6,
+                history: 5,
+                link_rate: Rat::one(),
+                jitter: 1,
+                buffer: None,
+            },
             thresholds: Thresholds::default(),
             worst_case: false,
             wce_precision: Rat::new(1i64.into(), 4i64.into()),
+            incremental: true,
         }
     }
 
@@ -213,5 +331,27 @@ mod tests {
         };
         assert!(band(&t2) >= band(&t1), "WCE trace must have at least as wide a band");
         assert!(wce.solver_probes > 1, "WCE uses binary-search probes");
+    }
+
+    #[test]
+    fn repeated_candidates_reuse_one_encoding() {
+        // Several verify calls on one incremental verifier must agree with
+        // fresh from-scratch verifiers, candidate by candidate.
+        let specs = [
+            known::rocc(),
+            known::const_cwnd(Rat::zero()),
+            known::const_cwnd(int(20)),
+            known::copy_cwnd(),
+        ];
+        let mut inc = CcaVerifier::new(small_cfg());
+        for spec in &specs {
+            let mut scratch = CcaVerifier::new(VerifyConfig { incremental: false, ..small_cfg() });
+            assert_eq!(
+                inc.verify(spec).is_ok(),
+                scratch.verify(spec).is_ok(),
+                "incremental and from-scratch verdicts diverged on {spec}"
+            );
+        }
+        assert_eq!(inc.calls, specs.len() as u64);
     }
 }

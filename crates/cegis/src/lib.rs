@@ -297,10 +297,7 @@ mod tests {
             });
         });
         assert!(matches!(r.outcome, Outcome::Solution(2)));
-        assert_eq!(
-            log,
-            vec!["P1:0", "R1:0:0", "P2:1", "R2:1:1", "P3:2", "C3:2"],
-        );
+        assert_eq!(log, vec!["P1:0", "R1:0:0", "P2:1", "R2:1:1", "P3:2", "C3:2"],);
     }
 
     #[test]

@@ -91,9 +91,9 @@ impl BigInt {
         let (long, short) = if a.len() >= b.len() { (a, b) } else { (b, a) };
         let mut out = Vec::with_capacity(long.len() + 1);
         let mut carry = 0u64;
-        for i in 0..long.len() {
+        for (i, &l) in long.iter().enumerate() {
             let s = short.get(i).copied().unwrap_or(0);
-            let (x, c1) = long[i].overflowing_add(s);
+            let (x, c1) = l.overflowing_add(s);
             let (x, c2) = x.overflowing_add(carry);
             carry = (c1 as u64) + (c2 as u64);
             out.push(x);
@@ -109,9 +109,9 @@ impl BigInt {
         debug_assert!(Self::cmp_mag(a, b) != Ordering::Less);
         let mut out = Vec::with_capacity(a.len());
         let mut borrow = 0u64;
-        for i in 0..a.len() {
+        for (i, &av) in a.iter().enumerate() {
             let s = b.get(i).copied().unwrap_or(0);
-            let (x, b1) = a[i].overflowing_sub(s);
+            let (x, b1) = av.overflowing_sub(s);
             let (x, b2) = x.overflowing_sub(borrow);
             borrow = (b1 as u64) + (b2 as u64);
             out.push(x);
@@ -236,10 +236,7 @@ impl BigInt {
         }
         let (q, r) = Self::divmod_mag(&self.mag, &other.mag);
         let q_sign = self.sign * other.sign;
-        (
-            BigInt::from_parts(q_sign, q),
-            BigInt::from_parts(self.sign, r),
-        )
+        (BigInt::from_parts(q_sign, q), BigInt::from_parts(self.sign, r))
     }
 
     /// Greatest common divisor of the absolute values (always non-negative;
@@ -278,7 +275,7 @@ impl BigInt {
                 if self.sign > 0 && m <= i64::MAX as u64 {
                     Some(m as i64)
                 } else if self.sign < 0 && m <= (i64::MAX as u64) + 1 {
-                    Some((m as i128 * -1) as i64)
+                    Some((-(m as i128)) as i64)
                 } else {
                     None
                 }
@@ -650,7 +647,9 @@ mod tests {
 
     #[test]
     fn parse_display_roundtrip() {
-        for s in ["0", "1", "-1", "123456789012345678901234567890", "-987654321098765432109876543210"] {
+        for s in
+            ["0", "1", "-1", "123456789012345678901234567890", "-987654321098765432109876543210"]
+        {
             let v = BigInt::from_decimal(s).unwrap();
             assert_eq!(v.to_string(), s);
         }

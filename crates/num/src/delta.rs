@@ -89,29 +89,21 @@ impl PartialOrd for DeltaRat {
 impl Ord for DeltaRat {
     fn cmp(&self, other: &Self) -> Ordering {
         // Lexicographic: δ is smaller than any positive rational.
-        self.real
-            .cmp(&other.real)
-            .then_with(|| self.delta.cmp(&other.delta))
+        self.real.cmp(&other.real).then_with(|| self.delta.cmp(&other.delta))
     }
 }
 
 impl Add for &DeltaRat {
     type Output = DeltaRat;
     fn add(self, other: &DeltaRat) -> DeltaRat {
-        DeltaRat {
-            real: &self.real + &other.real,
-            delta: &self.delta + &other.delta,
-        }
+        DeltaRat { real: &self.real + &other.real, delta: &self.delta + &other.delta }
     }
 }
 
 impl Sub for &DeltaRat {
     type Output = DeltaRat;
     fn sub(self, other: &DeltaRat) -> DeltaRat {
-        DeltaRat {
-            real: &self.real - &other.real,
-            delta: &self.delta - &other.delta,
-        }
+        DeltaRat { real: &self.real - &other.real, delta: &self.delta - &other.delta }
     }
 }
 

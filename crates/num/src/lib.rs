@@ -20,10 +20,12 @@
 mod bigint;
 mod delta;
 mod rational;
+pub mod rng;
 
 pub use bigint::BigInt;
 pub use delta::DeltaRat;
 pub use rational::Rat;
+pub use rng::SmallRng;
 
 /// Convenience constructor: the rational `n / d`.
 ///

@@ -226,20 +226,14 @@ impl Neg for &Rat {
 impl Add for &Rat {
     type Output = Rat;
     fn add(self, other: &Rat) -> Rat {
-        Rat::new(
-            &self.num * &other.den + &other.num * &self.den,
-            &self.den * &other.den,
-        )
+        Rat::new(&self.num * &other.den + &other.num * &self.den, &self.den * &other.den)
     }
 }
 
 impl Sub for &Rat {
     type Output = Rat;
     fn sub(self, other: &Rat) -> Rat {
-        Rat::new(
-            &self.num * &other.den - &other.num * &self.den,
-            &self.den * &other.den,
-        )
+        Rat::new(&self.num * &other.den - &other.num * &self.den, &self.den * &other.den)
     }
 }
 

@@ -1,0 +1,105 @@
+//! A tiny deterministic pseudo-random generator for tests and simulators.
+//!
+//! The workspace must build with no external crates (the build environment
+//! has no registry access), so randomized tests and the jitter simulator use
+//! this SplitMix64 generator instead of `rand`. SplitMix64 passes BigCrush,
+//! is seedable, and is two lines of code — more than enough statistical
+//! quality for shrink-free randomized testing and link-jitter schedules.
+
+/// Deterministic 64-bit PRNG (SplitMix64, Steele et al., OOPSLA '14).
+#[derive(Clone, Debug)]
+pub struct SmallRng {
+    state: u64,
+}
+
+impl SmallRng {
+    /// Seeded generator; the same seed always yields the same stream.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        SmallRng { state: seed }
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `f64` in `[0, 1)` (53 bits of entropy).
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `i64` in the half-open range `[lo, hi)`.
+    ///
+    /// # Panics
+    /// Panics if `lo >= hi`.
+    pub fn gen_range_i64(&mut self, lo: i64, hi: i64) -> i64 {
+        assert!(lo < hi, "empty range {lo}..{hi}");
+        let span = hi.wrapping_sub(lo) as u64;
+        // Modulo bias is < span / 2^64 — irrelevant at test-sized spans.
+        lo.wrapping_add((self.next_u64() % span) as i64)
+    }
+
+    /// Uniform `usize` in the half-open range `[lo, hi)`.
+    ///
+    /// # Panics
+    /// Panics if `lo >= hi`.
+    pub fn gen_range_usize(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo < hi, "empty range {lo}..{hi}");
+        lo + (self.next_u64() % (hi - lo) as u64) as usize
+    }
+
+    /// Bernoulli draw: true with probability `p`.
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SmallRng::seed_from_u64(43);
+        assert_ne!(SmallRng::seed_from_u64(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = SmallRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x = r.gen_range_i64(-5, 5);
+            assert!((-5..5).contains(&x));
+            let u = r.gen_range_usize(3, 10);
+            assert!((3..10).contains(&u));
+            let f = r.next_f64();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn range_hits_every_value() {
+        let mut r = SmallRng::seed_from_u64(1);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            seen[r.gen_range_usize(0, 10)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "uniform draw should cover 0..10");
+    }
+
+    #[test]
+    fn bernoulli_rate_is_plausible() {
+        let mut r = SmallRng::seed_from_u64(9);
+        let hits = (0..10_000).filter(|_| r.gen_bool(0.3)).count();
+        assert!((2_700..3_300).contains(&hits), "got {hits} of 10000 at p=0.3");
+    }
+}

@@ -1,162 +1,204 @@
-//! Property-based tests for the exact-arithmetic substrate.
+//! Randomized property tests for the exact-arithmetic substrate.
 //!
 //! These compare BigInt/Rat operations against i128 reference arithmetic on
 //! ranges where i128 cannot overflow, and check algebraic laws on ranges
-//! where it can.
+//! where it can. Each property runs a few hundred seeded-deterministic
+//! cases (no external property-testing crate: the registry is unreachable
+//! in this build environment).
 
-use ccmatic_num::{BigInt, DeltaRat, Rat};
-use proptest::prelude::*;
+use ccmatic_num::{BigInt, DeltaRat, Rat, SmallRng};
+
+const CASES: usize = 256;
 
 fn bi(v: i128) -> BigInt {
     BigInt::from(v)
 }
 
-proptest! {
-    #[test]
-    fn add_matches_i128(a in -1_000_000_000_000i128..1_000_000_000_000, b in -1_000_000_000_000i128..1_000_000_000_000) {
-        prop_assert_eq!(&bi(a) + &bi(b), bi(a + b));
-    }
+fn any_i64(rng: &mut SmallRng) -> i64 {
+    rng.next_u64() as i64
+}
 
-    #[test]
-    fn sub_matches_i128(a in -1_000_000_000_000i128..1_000_000_000_000, b in -1_000_000_000_000i128..1_000_000_000_000) {
-        prop_assert_eq!(&bi(a) - &bi(b), bi(a - b));
-    }
+fn any_i128(rng: &mut SmallRng) -> i128 {
+    ((rng.next_u64() as i128) << 64) | rng.next_u64() as i128
+}
 
-    #[test]
-    fn mul_matches_i128(a in -1_000_000_000i128..1_000_000_000, b in -1_000_000_000i128..1_000_000_000) {
-        prop_assert_eq!(&bi(a) * &bi(b), bi(a * b));
+#[test]
+fn add_sub_mul_match_i128() {
+    let mut rng = SmallRng::seed_from_u64(1);
+    for _ in 0..CASES {
+        let a = rng.gen_range_i64(-1_000_000_000_000, 1_000_000_000_000) as i128;
+        let b = rng.gen_range_i64(-1_000_000_000_000, 1_000_000_000_000) as i128;
+        assert_eq!(&bi(a) + &bi(b), bi(a + b));
+        assert_eq!(&bi(a) - &bi(b), bi(a - b));
+        let am = rng.gen_range_i64(-1_000_000_000, 1_000_000_000) as i128;
+        let bm = rng.gen_range_i64(-1_000_000_000, 1_000_000_000) as i128;
+        assert_eq!(&bi(am) * &bi(bm), bi(am * bm));
     }
+}
 
-    #[test]
-    fn divmod_matches_i128(a in -1_000_000_000_000i128..1_000_000_000_000, b in -1_000_000i128..1_000_000) {
-        prop_assume!(b != 0);
+#[test]
+fn divmod_matches_i128() {
+    let mut rng = SmallRng::seed_from_u64(2);
+    for _ in 0..CASES {
+        let a = rng.gen_range_i64(-1_000_000_000_000, 1_000_000_000_000) as i128;
+        let b = rng.gen_range_i64(-1_000_000, 1_000_000) as i128;
+        if b == 0 {
+            continue;
+        }
         let (q, r) = bi(a).divmod(&bi(b));
-        prop_assert_eq!(q, bi(a / b));
-        prop_assert_eq!(r, bi(a % b));
+        assert_eq!(q, bi(a / b));
+        assert_eq!(r, bi(a % b));
     }
+}
 
-    #[test]
-    fn divmod_reconstructs(a in any::<i64>(), b in any::<i64>()) {
-        prop_assume!(b != 0);
+#[test]
+fn divmod_reconstructs() {
+    let mut rng = SmallRng::seed_from_u64(3);
+    for _ in 0..CASES {
+        let (a, b) = (any_i64(&mut rng), any_i64(&mut rng));
+        if b == 0 {
+            continue;
+        }
         let (a, b) = (BigInt::from(a), BigInt::from(b));
         let (q, r) = a.divmod(&b);
-        prop_assert_eq!(&(&q * &b) + &r, a.clone());
-        // |r| < |b|
-        prop_assert!(r.abs() < b.abs());
+        assert_eq!(&(&q * &b) + &r, a.clone());
+        assert!(r.abs() < b.abs());
     }
+}
 
-    #[test]
-    fn mul_associative_big(a in any::<i64>(), b in any::<i64>(), c in any::<i64>()) {
-        let (a, b, c) = (BigInt::from(a), BigInt::from(b), BigInt::from(c));
-        prop_assert_eq!(&(&a * &b) * &c, &a * &(&b * &c));
+#[test]
+fn ring_laws_hold_on_full_i64_range() {
+    let mut rng = SmallRng::seed_from_u64(4);
+    for _ in 0..CASES {
+        let a = BigInt::from(any_i64(&mut rng));
+        let b = BigInt::from(any_i64(&mut rng));
+        let c = BigInt::from(any_i64(&mut rng));
+        assert_eq!(&(&a * &b) * &c, &a * &(&b * &c), "associativity");
+        assert_eq!(&a + &b, &b + &a, "commutativity");
+        assert_eq!(&a * &(&b + &c), &(&a * &b) + &(&a * &c), "distributivity");
     }
+}
 
-    #[test]
-    fn add_commutes_big(a in any::<i64>(), b in any::<i64>()) {
-        let (a, b) = (BigInt::from(a), BigInt::from(b));
-        prop_assert_eq!(&a + &b, &b + &a);
-    }
-
-    #[test]
-    fn distributive_big(a in any::<i64>(), b in any::<i64>(), c in any::<i64>()) {
-        let (a, b, c) = (BigInt::from(a), BigInt::from(b), BigInt::from(c));
-        prop_assert_eq!(&a * &(&b + &c), &(&a * &b) + &(&a * &c));
-    }
-
-    #[test]
-    fn gcd_divides_both(a in any::<i64>(), b in any::<i64>()) {
-        let (a, b) = (BigInt::from(a), BigInt::from(b));
+#[test]
+fn gcd_divides_both() {
+    let mut rng = SmallRng::seed_from_u64(5);
+    for _ in 0..CASES {
+        let a = BigInt::from(any_i64(&mut rng));
+        let b = BigInt::from(any_i64(&mut rng));
         let g = a.gcd(&b);
         if !g.is_zero() {
-            prop_assert!(a.divmod(&g).1.is_zero());
-            prop_assert!(b.divmod(&g).1.is_zero());
+            assert!(a.divmod(&g).1.is_zero());
+            assert!(b.divmod(&g).1.is_zero());
         } else {
-            prop_assert!(a.is_zero() && b.is_zero());
+            assert!(a.is_zero() && b.is_zero());
         }
     }
+}
 
-    #[test]
-    fn display_parse_roundtrip(a in any::<i128>()) {
+#[test]
+fn display_parse_roundtrip() {
+    let mut rng = SmallRng::seed_from_u64(6);
+    for _ in 0..CASES {
+        let a = any_i128(&mut rng);
         let v = BigInt::from(a);
         let s = v.to_string();
-        prop_assert_eq!(BigInt::from_decimal(&s).unwrap(), v);
-        prop_assert_eq!(s, a.to_string());
+        assert_eq!(BigInt::from_decimal(&s).unwrap(), v);
+        assert_eq!(s, a.to_string());
     }
+}
 
-    #[test]
-    fn ordering_matches_i128(a in any::<i128>(), b in any::<i128>()) {
-        prop_assert_eq!(bi(a).cmp(&bi(b)), a.cmp(&b));
+#[test]
+fn ordering_matches_i128() {
+    let mut rng = SmallRng::seed_from_u64(7);
+    for _ in 0..CASES {
+        let (a, b) = (any_i128(&mut rng), any_i128(&mut rng));
+        assert_eq!(bi(a).cmp(&bi(b)), a.cmp(&b));
     }
+}
 
-    #[test]
-    fn rat_field_laws(
-        an in -1000i64..1000, ad in 1i64..100,
-        bn in -1000i64..1000, bd in 1i64..100,
-        cn in -1000i64..1000, cd in 1i64..100,
-    ) {
-        let a = Rat::new(BigInt::from(an), BigInt::from(ad));
-        let b = Rat::new(BigInt::from(bn), BigInt::from(bd));
-        let c = Rat::new(BigInt::from(cn), BigInt::from(cd));
-        // (a + b) + c == a + (b + c)
-        prop_assert_eq!(&(&a + &b) + &c, &a + &(&b + &c));
-        // a * (b + c) == a*b + a*c
-        prop_assert_eq!(&a * &(&b + &c), &(&a * &b) + &(&a * &c));
-        // a - a == 0
-        prop_assert!((&a - &a).is_zero());
-        // a * recip(a) == 1 when a != 0
+fn small_rat(rng: &mut SmallRng) -> Rat {
+    Rat::new(BigInt::from(rng.gen_range_i64(-1000, 1000)), BigInt::from(rng.gen_range_i64(1, 100)))
+}
+
+#[test]
+fn rat_field_laws() {
+    let mut rng = SmallRng::seed_from_u64(8);
+    for _ in 0..CASES {
+        let a = small_rat(&mut rng);
+        let b = small_rat(&mut rng);
+        let c = small_rat(&mut rng);
+        assert_eq!(&(&a + &b) + &c, &a + &(&b + &c));
+        assert_eq!(&a * &(&b + &c), &(&a * &b) + &(&a * &c));
+        assert!((&a - &a).is_zero());
         if !a.is_zero() {
-            prop_assert_eq!(&a * &a.recip(), Rat::one());
+            assert_eq!(&a * &a.recip(), Rat::one());
         }
     }
+}
 
-    #[test]
-    fn rat_ordering_consistent_with_f64(
-        an in -1000i64..1000, ad in 1i64..100,
-        bn in -1000i64..1000, bd in 1i64..100,
-    ) {
+#[test]
+fn rat_ordering_consistent_with_f64() {
+    let mut rng = SmallRng::seed_from_u64(9);
+    for _ in 0..CASES {
+        let an = rng.gen_range_i64(-1000, 1000);
+        let ad = rng.gen_range_i64(1, 100);
+        let bn = rng.gen_range_i64(-1000, 1000);
+        let bd = rng.gen_range_i64(1, 100);
         let a = Rat::new(BigInt::from(an), BigInt::from(ad));
         let b = Rat::new(BigInt::from(bn), BigInt::from(bd));
         let fa = an as f64 / ad as f64;
         let fb = bn as f64 / bd as f64;
         if (fa - fb).abs() > 1e-9 {
-            prop_assert_eq!(a < b, fa < fb);
+            assert_eq!(a < b, fa < fb);
         }
     }
+}
 
-    #[test]
-    fn rat_floor_ceil_bracket(an in -10_000i64..10_000, ad in 1i64..100) {
-        let a = Rat::new(BigInt::from(an), BigInt::from(ad));
+#[test]
+fn rat_floor_ceil_bracket() {
+    let mut rng = SmallRng::seed_from_u64(10);
+    for _ in 0..CASES {
+        let a = Rat::new(
+            BigInt::from(rng.gen_range_i64(-10_000, 10_000)),
+            BigInt::from(rng.gen_range_i64(1, 100)),
+        );
         let fl = Rat::from(a.floor());
         let ce = Rat::from(a.ceil());
-        prop_assert!(fl <= a && a <= ce);
-        prop_assert!(&ce - &fl <= Rat::one());
+        assert!(fl <= a && a <= ce);
+        assert!(&ce - &fl <= Rat::one());
     }
+}
 
-    #[test]
-    fn delta_order_is_total_and_translation_invariant(
-        r1 in -100i64..100, d1 in -5i64..5,
-        r2 in -100i64..100, d2 in -5i64..5,
-        tr in -50i64..50, td in -3i64..3,
-    ) {
-        let a = DeltaRat::new(Rat::from(r1), Rat::from(d1));
-        let b = DeltaRat::new(Rat::from(r2), Rat::from(d2));
-        let t = DeltaRat::new(Rat::from(tr), Rat::from(td));
-        prop_assert_eq!((&a + &t).cmp(&(&b + &t)), a.cmp(&b));
+fn small_delta(rng: &mut SmallRng) -> DeltaRat {
+    DeltaRat::new(Rat::from(rng.gen_range_i64(-100, 100)), Rat::from(rng.gen_range_i64(-5, 5)))
+}
+
+#[test]
+fn delta_order_is_total_and_translation_invariant() {
+    let mut rng = SmallRng::seed_from_u64(11);
+    for _ in 0..CASES {
+        let a = small_delta(&mut rng);
+        let b = small_delta(&mut rng);
+        let t = DeltaRat::new(
+            Rat::from(rng.gen_range_i64(-50, 50)),
+            Rat::from(rng.gen_range_i64(-3, 3)),
+        );
+        assert_eq!((&a + &t).cmp(&(&b + &t)), a.cmp(&b));
     }
+}
 
-    #[test]
-    fn delta_eval_preserves_order_for_small_delta(
-        r1 in -100i64..100, d1 in -5i64..5,
-        r2 in -100i64..100, d2 in -5i64..5,
-    ) {
-        let a = DeltaRat::new(Rat::from(r1), Rat::from(d1));
-        let b = DeltaRat::new(Rat::from(r2), Rat::from(d2));
+#[test]
+fn delta_eval_preserves_order_for_small_delta() {
+    let mut rng = SmallRng::seed_from_u64(12);
+    for _ in 0..CASES {
+        let a = small_delta(&mut rng);
+        let b = small_delta(&mut rng);
         // For delta small enough, strict order over DeltaRat implies
         // non-strict order of the evaluations. (1/1000 is small enough
         // given real parts are integers and |delta coeff| <= 5.)
         let dv = Rat::new(BigInt::from(1i64), BigInt::from(1000i64));
         if a < b {
-            prop_assert!(a.eval(&dv) <= b.eval(&dv));
+            assert!(a.eval(&dv) <= b.eval(&dv));
         }
     }
 }

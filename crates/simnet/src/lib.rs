@@ -27,6 +27,8 @@ pub mod multiflow;
 pub mod runner;
 
 pub use cca::{AimdCca, Cca, ConstCwnd, LinearCca, Observation, ThresholdCca};
-pub use link::{AdversarialSawtooth, IdealLink, LinkConfig, LinkSchedule, RandomJitter, WastePolicy};
+pub use link::{
+    AdversarialSawtooth, IdealLink, LinkConfig, LinkSchedule, RandomJitter, WastePolicy,
+};
 pub use multiflow::{run_shared_link, FlowResult, MultiFlowConfig, MultiFlowResult};
 pub use runner::{run_simulation, SimConfig, SimResult, StepRecord};

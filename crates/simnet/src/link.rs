@@ -1,7 +1,6 @@
 //! The token-bucket link with bounded non-congestive delay.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use ccmatic_num::SmallRng;
 
 /// Static link parameters (mirrors `ccac_model::NetConfig`).
 #[derive(Clone, Debug)]
@@ -88,19 +87,19 @@ impl LinkSchedule for AdversarialSawtooth {
 /// Uniformly random position in the band, seeded for reproducibility.
 #[derive(Clone, Debug)]
 pub struct RandomJitter {
-    rng: StdRng,
+    rng: SmallRng,
 }
 
 impl RandomJitter {
     /// Seeded RNG so runs are reproducible.
     pub fn new(seed: u64) -> Self {
-        RandomJitter { rng: StdRng::seed_from_u64(seed) }
+        RandomJitter { rng: SmallRng::seed_from_u64(seed) }
     }
 }
 
 impl LinkSchedule for RandomJitter {
     fn lambda(&mut self, _t: usize) -> f64 {
-        self.rng.gen_range(0.0..=1.0)
+        self.rng.next_f64()
     }
     fn name(&self) -> String {
         "random".into()

@@ -112,9 +112,8 @@ pub fn run_shared_link(
     }
 
     let window = (cfg.rounds - cfg.warmup).max(1) as f64;
-    let throughputs: Vec<f64> = (0..n)
-        .map(|i| (served[i] - served_at_warmup[i]) / (cfg.link.rate * window))
-        .collect();
+    let throughputs: Vec<f64> =
+        (0..n).map(|i| (served[i] - served_at_warmup[i]) / (cfg.link.rate * window)).collect();
     let sum: f64 = throughputs.iter().sum();
     let sum_sq: f64 = throughputs.iter().map(|x| x * x).sum();
     let jain_index = if sum_sq > 1e-12 { sum * sum / (n as f64 * sum_sq) } else { 1.0 };

@@ -127,7 +127,8 @@ mod tests {
     #[test]
     fn le_is_direct() {
         // x + 1 <= 3  →  x <= 2, positive polarity
-        let (d, neg) = atom(&(x() + LinExpr::constant(int(1))), &LinExpr::constant(int(3)), Rel::Le);
+        let (d, neg) =
+            atom(&(x() + LinExpr::constant(int(1))), &LinExpr::constant(int(3)), Rel::Le);
         assert!(!neg);
         assert!(!d.strict);
         assert_eq!(d.bound, int(2));

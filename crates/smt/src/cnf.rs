@@ -11,6 +11,14 @@ use crate::sat::{Lit, SatSolver, Var};
 use crate::term::{BoolVar, Context, Term, TermData};
 use std::collections::HashMap;
 
+/// One memoization-table insertion, recorded so a scope pop can undo it.
+enum UndoOp {
+    TermLit(Term),
+    BoolVar(BoolVar),
+    Atom(AtomId),
+    ConstTrue,
+}
+
 /// Incremental CNF builder bridging [`Context`] terms and the SAT core.
 #[derive(Default)]
 pub struct CnfBuilder {
@@ -20,12 +28,57 @@ pub struct CnfBuilder {
     /// Registration order of atoms: `(sat var, atom id)`.
     atom_bindings: Vec<(Var, AtomId)>,
     const_true: Option<Lit>,
+    /// Insertions made inside open scopes, so `pop` can unmemoize encodings
+    /// whose SAT variables the solver is about to discard.
+    undo: Vec<UndoOp>,
+    /// Undo-trail length at each open `push`.
+    frames: Vec<usize>,
 }
 
 impl CnfBuilder {
     /// Empty builder.
     pub fn new() -> Self {
         CnfBuilder::default()
+    }
+
+    /// Open a scope: memoization entries created from here on are removed
+    /// by the matching [`CnfBuilder::pop`].
+    pub fn push(&mut self) {
+        self.frames.push(self.undo.len());
+    }
+
+    /// Close the innermost scope, forgetting every term/bool/atom encoding
+    /// created inside it (their SAT variables are dropped by the paired
+    /// [`SatSolver::pop`], so the memo entries would dangle).
+    ///
+    /// # Panics
+    /// Panics if no scope is open.
+    pub fn pop(&mut self) {
+        let mark = self.frames.pop().expect("pop without matching push");
+        while self.undo.len() > mark {
+            match self.undo.pop().unwrap() {
+                UndoOp::TermLit(t) => {
+                    self.term_lits.remove(&t);
+                }
+                UndoOp::BoolVar(b) => {
+                    self.bool_vars.remove(&b);
+                }
+                UndoOp::Atom(a) => {
+                    self.atom_vars.remove(&a);
+                    self.atom_bindings.pop();
+                }
+                UndoOp::ConstTrue => {
+                    self.const_true = None;
+                }
+            }
+        }
+    }
+
+    fn record(&mut self, op: UndoOp) {
+        // Base-scope insertions are permanent; no need to log them.
+        if !self.frames.is_empty() {
+            self.undo.push(op);
+        }
     }
 
     /// Atoms registered so far, in first-seen order.
@@ -58,6 +111,7 @@ impl CnfBuilder {
         let l = Lit::pos(v);
         sat.add_clause(vec![l]);
         self.const_true = Some(l);
+        self.record(UndoOp::ConstTrue);
         l
     }
 
@@ -71,7 +125,15 @@ impl CnfBuilder {
             TermData::True => self.true_lit(sat),
             TermData::False => self.true_lit(sat).negated(),
             TermData::BoolVar(b) => {
-                let v = *self.bool_vars.entry(b).or_insert_with(|| sat.new_var());
+                let v = match self.bool_vars.get(&b) {
+                    Some(&v) => v,
+                    None => {
+                        let v = sat.new_var();
+                        self.bool_vars.insert(b, v);
+                        self.record(UndoOp::BoolVar(b));
+                        v
+                    }
+                };
                 Lit::pos(v)
             }
             TermData::Atom(a) => {
@@ -81,6 +143,7 @@ impl CnfBuilder {
                         let v = sat.new_var();
                         self.atom_vars.insert(a, v);
                         self.atom_bindings.push((v, a));
+                        self.record(UndoOp::Atom(a));
                         v
                     }
                 };
@@ -117,6 +180,7 @@ impl CnfBuilder {
             }
         };
         self.term_lits.insert(t, lit);
+        self.record(UndoOp::TermLit(t));
         lit
     }
 }
@@ -140,7 +204,9 @@ mod tests {
         cnf.assert_term(&ctx, &mut sat, f);
         assert_eq!(sat.solve(&mut NoTheory), Some(SolveResult::Sat));
         // a false, b true forced.
-        let (TermData::BoolVar(av), TermData::BoolVar(bv)) = (ctx.data(a).clone(), ctx.data(b).clone()) else {
+        let (TermData::BoolVar(av), TermData::BoolVar(bv)) =
+            (ctx.data(a).clone(), ctx.data(b).clone())
+        else {
             panic!()
         };
         assert!(!sat.value(cnf.bool_var_binding(av).unwrap()));
@@ -190,6 +256,33 @@ mod tests {
         // Second assert reuses `sub`'s encoding: only the new And node.
         assert_eq!(sat.num_vars(), vars_after_first + 1);
         assert_eq!(sat.solve(&mut NoTheory), Some(SolveResult::Sat));
+    }
+
+    #[test]
+    fn pop_unmemoizes_scope_encodings() {
+        let mut ctx = Context::new();
+        let x = ctx.real_var("x");
+        let base = ctx.le(ctx.var(x), ctx.constant(int(3)));
+        let scoped = ctx.ge(ctx.var(x), ctx.constant(int(5)));
+        let mut sat = SatSolver::new();
+        let mut cnf = CnfBuilder::new();
+        cnf.assert_term(&ctx, &mut sat, base);
+        assert_eq!(cnf.atom_bindings().len(), 1);
+        sat.push();
+        cnf.push();
+        cnf.assert_term(&ctx, &mut sat, scoped);
+        assert_eq!(cnf.atom_bindings().len(), 2);
+        cnf.pop();
+        sat.pop();
+        assert_eq!(cnf.atom_bindings().len(), 1);
+        // Re-asserting after the pop re-encodes with fresh SAT variables.
+        sat.push();
+        cnf.push();
+        cnf.assert_term(&ctx, &mut sat, scoped);
+        assert_eq!(cnf.atom_bindings().len(), 2);
+        assert!(cnf.atom_bindings()[1].0 .0 < sat.num_vars());
+        cnf.pop();
+        sat.pop();
     }
 
     #[test]

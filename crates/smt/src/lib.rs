@@ -57,6 +57,6 @@ pub mod solver;
 pub mod term;
 
 pub use linexpr::LinExpr;
-pub use opt::{maximize, MaximizeOutcome, MaximizeParams};
+pub use opt::{maximize, maximize_scoped, MaximizeOutcome, MaximizeParams};
 pub use solver::{Model, SatResult, Solver, SolverStats};
 pub use term::{Context, RealVar, Term};

@@ -41,6 +41,13 @@ struct BoundVal {
     tag: Tag,
 }
 
+/// Snapshot of the tableau structure taken at a `push` (bounds are not
+/// saved: the SMT bridge re-asserts them from scratch on every check).
+struct SimplexFrame {
+    rows: Vec<Option<BTreeMap<SimVar, Rat>>>,
+    value: Vec<DeltaRat>,
+}
+
 /// The simplex solver state.
 pub struct Simplex {
     /// `rows[v] = Some(row)` iff `v` is basic; the row maps nonbasic vars to
@@ -49,6 +56,8 @@ pub struct Simplex {
     lower: Vec<Option<BoundVal>>,
     upper: Vec<Option<BoundVal>>,
     value: Vec<DeltaRat>,
+    /// Open assertion scopes.
+    frames: Vec<SimplexFrame>,
     /// Statistics: total pivots performed.
     pub pivots: u64,
 }
@@ -62,7 +71,39 @@ impl Default for Simplex {
 impl Simplex {
     /// Empty solver.
     pub fn new() -> Self {
-        Simplex { rows: Vec::new(), lower: Vec::new(), upper: Vec::new(), value: Vec::new(), pivots: 0 }
+        Simplex {
+            rows: Vec::new(),
+            lower: Vec::new(),
+            upper: Vec::new(),
+            value: Vec::new(),
+            frames: Vec::new(),
+            pivots: 0,
+        }
+    }
+
+    /// Open a scope: snapshot the tableau so slack definitions and pivots
+    /// made from here on can be rolled back by [`Simplex::pop`]. (Pivoting
+    /// rewrites base-variable rows in place, so a snapshot — not a length
+    /// mark — is required; the clone is tiny next to the pivoting work a
+    /// scope performs.)
+    pub fn push(&mut self) {
+        self.frames.push(SimplexFrame { rows: self.rows.clone(), value: self.value.clone() });
+    }
+
+    /// Close the innermost scope: restore the tableau to its push-time
+    /// shape and drop every bound (the SMT bridge re-asserts bounds from
+    /// the live atom set on each check).
+    ///
+    /// # Panics
+    /// Panics if no scope is open.
+    pub fn pop(&mut self) {
+        let frame = self.frames.pop().expect("pop without matching push");
+        self.rows = frame.rows;
+        self.value = frame.value;
+        let n = self.rows.len();
+        self.lower.truncate(n);
+        self.upper.truncate(n);
+        self.reset_bounds();
     }
 
     /// Allocate a fresh (nonbasic, unbounded) variable with value 0.
@@ -124,7 +165,12 @@ impl Simplex {
 
     /// Assert `v ≤ bound`. Returns a conflict if it contradicts the current
     /// lower bound on `v`.
-    pub fn assert_upper(&mut self, v: SimVar, bound: DeltaRat, tag: Tag) -> Result<(), TheoryConflict> {
+    pub fn assert_upper(
+        &mut self,
+        v: SimVar,
+        bound: DeltaRat,
+        tag: Tag,
+    ) -> Result<(), TheoryConflict> {
         let i = v.0 as usize;
         if let Some(u) = &self.upper[i] {
             if u.value <= bound {
@@ -145,7 +191,12 @@ impl Simplex {
 
     /// Assert `v ≥ bound`. Returns a conflict if it contradicts the current
     /// upper bound on `v`.
-    pub fn assert_lower(&mut self, v: SimVar, bound: DeltaRat, tag: Tag) -> Result<(), TheoryConflict> {
+    pub fn assert_lower(
+        &mut self,
+        v: SimVar,
+        bound: DeltaRat,
+        tag: Tag,
+    ) -> Result<(), TheoryConflict> {
         let i = v.0 as usize;
         if let Some(l) = &self.lower[i] {
             if l.value >= bound {
@@ -541,17 +592,42 @@ mod tests {
     }
 
     #[test]
+    fn pop_restores_tableau_shape() {
+        let mut s = Simplex::new();
+        let x = s.new_var();
+        let y = s.new_var();
+        let sxy = s.define_slack(&[(x, int(1)), (y, int(1))]);
+        s.assert_lower(sxy, dr(int(4)), 0).unwrap();
+        s.check().unwrap();
+        s.push();
+        // Scope: a new slack plus bounds that force pivoting on base rows.
+        let sxmy = s.define_slack(&[(x, int(1)), (y, int(-1))]);
+        s.assert_upper(sxmy, dr(int(0)), 1).unwrap();
+        s.assert_upper(x, dr(int(1)), 2).unwrap();
+        s.check().unwrap();
+        s.pop();
+        assert_eq!(s.num_vars(), 3, "scope slack must be dropped");
+        // The base system solves again after the rollback.
+        s.assert_lower(sxy, dr(int(4)), 0).unwrap();
+        s.check().unwrap();
+        let vals = s.concrete_values();
+        assert!(&vals[0] + &vals[1] >= int(4));
+    }
+
+    #[test]
     fn many_random_systems_match_feasibility_oracle() {
         // Random interval systems on 2 vars: a·x + b·y ∈ [lo, hi]. Compare
         // against a coarse grid-search oracle for satisfiability. The grid
         // uses quarter steps so any system satisfiable on the grid must be
         // accepted by the simplex (completeness direction only).
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        use ccmatic_num::SmallRng;
+        let mut rng = SmallRng::seed_from_u64(3);
         for _ in 0..40 {
-            let n_cons = rng.gen_range(1..5);
+            let n_cons = rng.gen_range_usize(1, 5);
             let cons: Vec<(i64, i64, i64)> = (0..n_cons)
-                .map(|_| (rng.gen_range(-2..3), rng.gen_range(-2..3), rng.gen_range(-4..5)))
+                .map(|_| {
+                    (rng.gen_range_i64(-2, 3), rng.gen_range_i64(-2, 3), rng.gen_range_i64(-4, 5))
+                })
                 .collect();
             // Oracle: any grid point satisfying all a·x+b·y <= c?
             let mut grid_sat = false;

@@ -100,6 +100,68 @@ pub fn maximize(
     MaximizeOutcome::Feasible { value: best_value, model: best_model, probes }
 }
 
+/// Like [`maximize`], but over a solver whose base constraints are already
+/// asserted: each binary-search probe opens a scope and asserts `obj ≥ mid`,
+/// so the network model is encoded once and lemmas learned in one probe
+/// speed up the next. Satisfiable probes *keep* their scope — the bound they
+/// assert is implied by every later threshold (the search only moves up),
+/// so leaving it in place is sound and preserves everything learned while
+/// finding the model; only unsatisfiable probes retract. The solver is
+/// returned at its original scope depth.
+pub fn maximize_scoped(
+    ctx: &mut Context,
+    solver: &mut Solver,
+    objective: &LinExpr,
+    params: &MaximizeParams,
+) -> MaximizeOutcome {
+    let mut probes = 0u32;
+    let mut kept = 0u32;
+    let saved_budget = solver.conflict_budget;
+    let mut probe = |ctx: &mut Context, solver: &mut Solver, threshold: &Rat| -> Option<Model> {
+        probes += 1;
+        solver.push();
+        solver.conflict_budget = params.conflict_budget;
+        let obj_ge = ctx.ge(objective.clone(), LinExpr::constant(threshold.clone()));
+        solver.assert(ctx, obj_ge);
+        match solver.check(ctx) {
+            SatResult::Sat => {
+                kept += 1;
+                solver.model().cloned()
+            }
+            _ => {
+                solver.pop();
+                None
+            }
+        }
+    };
+
+    let first = probe(ctx, solver, &params.lo);
+    let outcome = match first {
+        None => MaximizeOutcome::Infeasible,
+        Some(first) => {
+            let mut best_value = first.eval(objective);
+            let mut best_model = first;
+            let mut hi = params.hi.clone();
+            while &hi - &best_value > params.precision {
+                let mid = Rat::midpoint(&best_value, &hi);
+                match probe(ctx, solver, &mid) {
+                    Some(m) => {
+                        best_value = m.eval(objective);
+                        best_model = m;
+                    }
+                    None => hi = mid,
+                }
+            }
+            MaximizeOutcome::Feasible { value: best_value, model: best_model, probes }
+        }
+    };
+    for _ in 0..kept {
+        solver.pop();
+    }
+    solver.conflict_budget = saved_budget;
+    outcome
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -164,6 +226,44 @@ mod tests {
             }
             MaximizeOutcome::Infeasible => panic!(),
         }
+    }
+
+    #[test]
+    fn scoped_maximize_matches_fresh() {
+        // Same LP as `maximize_simple_lp`, probed through push/pop scopes on
+        // one long-lived solver; also checks the solver comes back usable.
+        let mut ctx = Context::new();
+        let x = ctx.real_var("x");
+        let y = ctx.real_var("y");
+        let c1 = ctx.le(ctx.var(x) + ctx.var(y), ctx.constant(int(10)));
+        let c2 = ctx.ge(ctx.var(y), ctx.constant(int(4)));
+        let base = ctx.and(vec![c1, c2]);
+        let params = MaximizeParams {
+            lo: int(-100),
+            hi: int(100),
+            precision: rat(1, 100),
+            conflict_budget: None,
+        };
+        let mut solver = Solver::new();
+        solver.assert(&ctx, base);
+        match maximize_scoped(&mut ctx, &mut solver, &LinExpr::var(x), &params) {
+            MaximizeOutcome::Feasible { value, model, probes } => {
+                assert!(value > rat(599, 100) && value <= int(6), "value {value}");
+                assert!(&model.real(x) + &model.real(y) <= int(10));
+                assert!(probes > 1, "binary search should take multiple probes");
+            }
+            MaximizeOutcome::Infeasible => panic!("feasible LP reported infeasible"),
+        }
+        assert_eq!(solver.depth(), 0);
+        assert_eq!(solver.check(&ctx), SatResult::Sat);
+
+        // Infeasible base through the scoped path too.
+        let kill = ctx.gt(ctx.var(x) + ctx.var(y), ctx.constant(int(50)));
+        solver.assert(&ctx, kill);
+        assert!(matches!(
+            maximize_scoped(&mut ctx, &mut solver, &LinExpr::var(x), &params),
+            MaximizeOutcome::Infeasible
+        ));
     }
 
     #[test]

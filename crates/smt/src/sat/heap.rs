@@ -100,6 +100,24 @@ impl ActivityHeap {
         }
     }
 
+    /// Drop every element with id ≥ `bound` (used when popping an assertion
+    /// scope discards the variables created inside it). Survivors keep
+    /// their priorities; the heap property is restored bottom-up.
+    pub fn truncate_ids(&mut self, bound: usize) {
+        self.heap.retain(|&id| id < bound);
+        for id in bound..self.pos.len() {
+            self.pos[id] = ABSENT;
+        }
+        self.pos.truncate(bound);
+        self.prio.truncate(bound);
+        for i in 0..self.heap.len() {
+            self.pos[self.heap[i]] = i;
+        }
+        for i in (0..self.heap.len() / 2).rev() {
+            self.sift_down(i);
+        }
+    }
+
     /// Number of elements currently in the heap.
     pub fn len(&self) -> usize {
         self.heap.len()
@@ -199,11 +217,29 @@ mod tests {
     }
 
     #[test]
-    fn random_heap_matches_sort() {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+    fn truncate_ids_drops_high_ids_and_keeps_order() {
         let mut h = ActivityHeap::new();
-        let prios: Vec<f64> = (0..100).map(|_| rng.gen_range(0.0..100.0)).collect();
+        for i in 0..20 {
+            h.insert(i, (i * 7 % 13) as f64);
+        }
+        h.truncate_ids(10);
+        assert_eq!(h.len(), 10);
+        assert!(!h.contains(15));
+        let mut popped = Vec::new();
+        while let Some(x) = h.pop_max() {
+            popped.push(x);
+        }
+        let mut expect: Vec<usize> = (0..10).collect();
+        expect.sort_by_key(|&a| std::cmp::Reverse(a * 7 % 13));
+        assert_eq!(popped, expect);
+    }
+
+    #[test]
+    fn random_heap_matches_sort() {
+        use ccmatic_num::SmallRng;
+        let mut rng = SmallRng::seed_from_u64(42);
+        let mut h = ActivityHeap::new();
+        let prios: Vec<f64> = (0..100).map(|_| rng.next_f64() * 100.0).collect();
         for (i, &p) in prios.iter().enumerate() {
             h.insert(i, p);
         }

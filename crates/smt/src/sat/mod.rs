@@ -10,6 +10,24 @@
 //! The solver also accepts a *theory hook*: when a full assignment is
 //! reached, the hook may veto it with a conflict clause (lazy SMT). See
 //! [`TheoryHook`].
+//!
+//! # Assertion scopes
+//!
+//! [`SatSolver::push`] opens a scope; [`SatSolver::pop`] discards every
+//! variable and input clause added since the matching push. Learned clauses
+//! are *retained* across a pop when they are derivable from the surviving
+//! prefix alone. Retention is decided by **epochs**: every clause carries
+//! the scope depth its derivation depends on (input clauses: the depth they
+//! were added at; learned clauses: the max epoch over all resolved premises
+//! and consumed level-0 facts; theory lemmas: the max creation depth of
+//! their variables, since the theory's bound assertions are re-derived from
+//! scratch on every check). A clause with epoch ≤ d is a logical consequence
+//! of the assertions present at depth d, so keeping it after popping to
+//! depth d cannot flip a Sat answer to Unsat — and dropping the rest keeps
+//! the solver sound. Level-0 facts (the unit store) carry the same epochs
+//! and are filtered identically; after a pop the watch lists are rebuilt
+//! and propagation restarts from the trail head, so every surviving unit is
+//! re-examined.
 
 mod heap;
 
@@ -95,10 +113,7 @@ pub trait TheoryHook {
     /// conflict clause here prunes the subtree early; the clause must be
     /// false under the current partial assignment. The default accepts
     /// everything (pure lazy solving).
-    fn partial_check(
-        &mut self,
-        _assignment: &dyn Fn(Var) -> Option<bool>,
-    ) -> Result<(), Vec<Lit>> {
+    fn partial_check(&mut self, _assignment: &dyn Fn(Var) -> Option<bool>) -> Result<(), Vec<Lit>> {
         Ok(())
     }
 }
@@ -124,6 +139,16 @@ pub enum SolveResult {
 #[derive(Clone)]
 struct Clause {
     lits: Vec<Lit>,
+    /// Deepest assertion scope this clause's derivation depends on; the
+    /// clause survives a pop to depth `d` iff `epoch ≤ d`.
+    epoch: u32,
+}
+
+/// Per-push bookkeeping needed to roll the solver back.
+#[derive(Clone, Copy)]
+struct ScopeFrame {
+    /// Variable count at push time; vars ≥ this are dropped on pop.
+    num_vars: u32,
 }
 
 /// Cumulative counters, useful for reproducing the paper's scalability
@@ -161,10 +186,19 @@ pub struct SatSolver {
     activity: Vec<f64>,
     act_inc: f64,
     order: ActivityHeap,
-    /// Clauses proven unsatisfiable at level 0 (empty clause added).
-    unsat_forever: bool,
-    /// Units queued at level 0 by `add_clause` before `solve` runs.
-    pending_units: Vec<Lit>,
+    /// Scope depth at which unsatisfiability was derived; popping below it
+    /// clears the verdict. `Some(_)` means the current clause set is unsat.
+    unsat_at: Option<u32>,
+    /// Units queued at level 0 by `add_clause` before `solve` runs, with
+    /// their derivation epochs.
+    pending_units: Vec<(Lit, u32)>,
+    /// Scope depth each variable was created at.
+    var_epoch: Vec<u32>,
+    /// Derivation epoch of a variable's level-0 assignment (meaningful only
+    /// while the variable is assigned at level 0).
+    level0_epoch: Vec<u32>,
+    /// Open assertion scopes.
+    frames: Vec<ScopeFrame>,
     /// Statistics.
     pub stats: SatStats,
     /// Optional conflict budget; `solve` gives up (`None` result) past it.
@@ -197,8 +231,11 @@ impl SatSolver {
             activity: Vec::new(),
             act_inc: 1.0,
             order: ActivityHeap::new(),
-            unsat_forever: false,
+            unsat_at: None,
             pending_units: Vec::new(),
+            var_epoch: Vec::new(),
+            level0_epoch: Vec::new(),
+            frames: Vec::new(),
             stats: SatStats::default(),
             conflict_budget: None,
         }
@@ -213,10 +250,89 @@ impl SatSolver {
         self.level.push(0);
         self.reason.push(None);
         self.activity.push(0.0);
+        self.var_epoch.push(self.depth());
+        self.level0_epoch.push(0);
         self.watches.push(Vec::new());
         self.watches.push(Vec::new());
         self.order.insert(v.0 as usize, 0.0);
         v
+    }
+
+    /// Current scope depth (number of open pushes).
+    pub fn depth(&self) -> u32 {
+        self.frames.len() as u32
+    }
+
+    /// True iff the current clause set has been proven unsatisfiable.
+    pub fn is_unsat(&self) -> bool {
+        self.unsat_at.is_some()
+    }
+
+    fn set_unsat(&mut self, epoch: u32) {
+        self.unsat_at = Some(self.unsat_at.map_or(epoch, |e| e.min(epoch)));
+    }
+
+    /// Open an assertion scope: clauses and variables added from here on are
+    /// discarded by the matching [`SatSolver::pop`].
+    pub fn push(&mut self) {
+        self.frames.push(ScopeFrame { num_vars: self.num_vars });
+    }
+
+    /// Close the innermost scope, dropping its variables and input clauses.
+    /// Learned clauses and level-0 facts whose derivations only involve the
+    /// surviving prefix (epoch ≤ new depth) are kept.
+    ///
+    /// # Panics
+    /// Panics if no scope is open.
+    pub fn pop(&mut self) {
+        let frame = self.frames.pop().expect("pop without matching push");
+        let new_depth = self.frames.len() as u32;
+        self.backtrack_to(0);
+        // Filter the level-0 trail: keep facts about surviving variables
+        // whose derivations survive.
+        let trail = std::mem::take(&mut self.trail);
+        for l in trail {
+            let v = l.var().0 as usize;
+            // Clause indices shift below; level-0 reasons are never
+            // dereferenced (analysis skips level-0 literals), so drop them.
+            self.reason[v] = None;
+            if l.var().0 < frame.num_vars && self.level0_epoch[v] <= new_depth {
+                self.trail.push(l);
+            } else {
+                self.assign[v] = LBool::Undef;
+                if l.var().0 < frame.num_vars {
+                    self.order.insert(v, self.activity[v]);
+                }
+            }
+        }
+        // Drop per-variable state of the popped variables.
+        let n = frame.num_vars as usize;
+        self.num_vars = frame.num_vars;
+        self.assign.truncate(n);
+        self.phase.truncate(n);
+        self.level.truncate(n);
+        self.reason.truncate(n);
+        self.activity.truncate(n);
+        self.var_epoch.truncate(n);
+        self.level0_epoch.truncate(n);
+        self.order.truncate_ids(n);
+        // Keep only clauses derivable from the surviving prefix. The epoch
+        // invariant (clause epoch ≥ every literal's variable epoch)
+        // guarantees no survivor mentions a dropped variable.
+        self.clauses.retain(|c| c.epoch <= new_depth);
+        // Rebuild the watch lists wholesale and re-run propagation from the
+        // trail head: every falsified watch is rediscovered because its
+        // negation sits on the retained level-0 trail.
+        self.watches = vec![Vec::new(); 2 * n];
+        for (idx, c) in self.clauses.iter().enumerate() {
+            self.watches[c.lits[0].index()].push(idx);
+            self.watches[c.lits[1].index()].push(idx);
+        }
+        self.prop_head = 0;
+        self.pending_units.retain(|&(_, e)| e <= new_depth);
+        if self.unsat_at.is_some_and(|e| e > new_depth) {
+            self.unsat_at = None;
+        }
     }
 
     /// Number of variables allocated.
@@ -253,9 +369,13 @@ impl SatSolver {
     /// duplicate and tautological clauses are handled. Returns `false` if
     /// the clause set is now trivially unsatisfiable.
     pub fn add_clause(&mut self, mut lits: Vec<Lit>) -> bool {
-        if self.unsat_forever {
+        if self.is_unsat() {
             return false;
         }
+        // The clause is an input assertion of the current scope. (Dropped
+        // level-0-false literals only consume facts with epoch ≤ depth, so
+        // the current depth still dominates the full derivation.)
+        let epoch = self.depth();
         // The solver may be mid-model from a previous solve; new clauses are
         // integrated at level 0.
         self.backtrack_to(0);
@@ -278,32 +398,68 @@ impl SatSolver {
         }
         match keep.len() {
             0 => {
-                self.unsat_forever = true;
+                self.set_unsat(epoch);
                 false
             }
             1 => {
-                self.pending_units.push(keep[0]);
+                self.pending_units.push((keep[0], epoch));
                 true
             }
             _ => {
                 let idx = self.clauses.len();
                 self.watches[keep[0].index()].push(idx);
                 self.watches[keep[1].index()].push(idx);
-                self.clauses.push(Clause { lits: keep });
+                self.clauses.push(Clause { lits: keep, epoch });
                 true
             }
         }
     }
 
     fn enqueue(&mut self, l: Lit, reason: Option<usize>) {
+        // At level 0 the fact's derivation epoch is the reason clause's
+        // epoch joined with the epochs of the facts that falsified its other
+        // literals; without a reason, conservatively the current depth.
+        let epoch = if self.trail_lim.is_empty() {
+            match reason {
+                Some(ci) => {
+                    let mut e = self.clauses[ci].epoch;
+                    for &x in &self.clauses[ci].lits {
+                        if x != l {
+                            e = e.max(self.level0_epoch[x.var().0 as usize]);
+                        }
+                    }
+                    e
+                }
+                None => self.depth(),
+            }
+        } else {
+            0
+        };
+        self.enqueue_with_epoch(l, reason, epoch);
+    }
+
+    fn enqueue_with_epoch(&mut self, l: Lit, reason: Option<usize>, epoch: u32) {
         let v = l.var().0 as usize;
         debug_assert_eq!(self.assign[v], LBool::Undef);
         self.assign[v] = if l.is_neg() { LBool::False } else { LBool::True };
         self.phase[v] = !l.is_neg();
         self.level[v] = self.trail_lim.len() as u32;
         self.reason[v] = reason;
+        if self.trail_lim.is_empty() {
+            self.level0_epoch[v] = epoch;
+        }
         self.trail.push(l);
         self.stats.propagations += 1;
+    }
+
+    /// Join of a clause's epoch with the level-0 facts falsifying it — the
+    /// derivation epoch of a conflict detected at decision level 0.
+    fn level0_conflict_epoch(&self, ci: usize) -> u32 {
+        let mut e = self.clauses[ci].epoch;
+        for &l in &self.clauses[ci].lits {
+            e = e.max(self.level0_epoch[l.var().0 as usize]);
+        }
+        e
     }
 
     /// Propagate all queued assignments; returns a conflicting clause index
@@ -375,8 +531,9 @@ impl SatSolver {
     }
 
     /// First-UIP conflict analysis. Returns the learned clause (asserting
-    /// literal first) and the backjump level.
-    fn analyze(&mut self, conflict: usize) -> (Vec<Lit>, u32) {
+    /// literal first), the backjump level, and the derivation epoch (the
+    /// join over every resolved premise and consumed level-0 fact).
+    fn analyze(&mut self, conflict: usize) -> (Vec<Lit>, u32, u32) {
         let current_level = self.trail_lim.len() as u32;
         let mut learned: Vec<Lit> = Vec::new();
         let mut seen = vec![false; self.num_vars as usize];
@@ -384,8 +541,10 @@ impl SatSolver {
         let mut trail_idx = self.trail.len();
         let mut reason_clause = conflict;
         let mut asserting: Option<Lit> = None;
+        let mut epoch = 0u32;
 
         loop {
+            epoch = epoch.max(self.clauses[reason_clause].epoch);
             let lits: Vec<Lit> = self.clauses[reason_clause].lits.clone();
             // Skip the asserting literal itself when walking a reason clause.
             for l in lits {
@@ -393,7 +552,12 @@ impl SatSolver {
                     continue;
                 }
                 let v = l.var().0 as usize;
-                if seen[v] || self.level[v] == 0 {
+                if seen[v] {
+                    continue;
+                }
+                if self.level[v] == 0 {
+                    // The resolution consumes this level-0 fact.
+                    epoch = epoch.max(self.level0_epoch[v]);
                     continue;
                 }
                 seen[v] = true;
@@ -418,11 +582,11 @@ impl SatSolver {
                             .map(|x| self.level[x.var().0 as usize])
                             .max()
                             .unwrap_or(0);
-                        return (learned, backjump);
+                        return (learned, backjump, epoch);
                     }
                     asserting = Some(l);
-                    reason_clause = self.reason[l.var().0 as usize]
-                        .expect("UIP literal must have a reason");
+                    reason_clause =
+                        self.reason[l.var().0 as usize].expect("UIP literal must have a reason");
                     break;
                 }
             }
@@ -456,22 +620,24 @@ impl SatSolver {
     }
 
     /// Learn a clause produced by conflict analysis or the theory hook and
-    /// backjump appropriately. Returns `false` if this proves unsat.
-    fn learn(&mut self, learned: Vec<Lit>, backjump: u32) -> bool {
+    /// backjump appropriately. `epoch` is the clause's derivation epoch.
+    /// Returns `false` if this proves unsat.
+    fn learn(&mut self, learned: Vec<Lit>, backjump: u32, epoch: u32) -> bool {
         self.stats.conflicts += 1;
         self.act_inc *= ACT_DECAY;
         if learned.is_empty() {
-            self.unsat_forever = true;
+            self.set_unsat(epoch);
             return false;
         }
         self.backtrack_to(backjump);
         if learned.len() == 1 {
             if self.lit_value(learned[0]) == LBool::False {
-                self.unsat_forever = true;
+                let e = epoch.max(self.level0_epoch[learned[0].var().0 as usize]);
+                self.set_unsat(e);
                 return false;
             }
             if self.lit_value(learned[0]) == LBool::Undef {
-                self.enqueue(learned[0], None);
+                self.enqueue_with_epoch(learned[0], None, epoch);
             }
             return true;
         }
@@ -479,7 +645,7 @@ impl SatSolver {
         self.watches[learned[0].index()].push(idx);
         self.watches[learned[1].index()].push(idx);
         let assert_lit = learned[0];
-        self.clauses.push(Clause { lits: learned });
+        self.clauses.push(Clause { lits: learned, epoch });
         if self.lit_value(assert_lit) == LBool::Undef {
             self.enqueue(assert_lit, Some(idx));
         }
@@ -511,8 +677,18 @@ impl SatSolver {
             clause.iter().all(|&l| self.lit_value(l) == LBool::False),
             "theory conflict clause must be false under the current assignment"
         );
+        // A theory lemma is valid whenever its atoms exist: the theory
+        // re-derives its bounds from the live atom set on every check, so
+        // the lemma's epoch is the max creation depth of its variables.
+        // This is the retention workhorse — lemmas over base-scope atoms
+        // survive every candidate pop.
+        let epoch = clause
+            .iter()
+            .map(|l| self.var_epoch[l.var().0 as usize])
+            .max()
+            .unwrap_or_else(|| self.depth());
         if clause.is_empty() {
-            self.unsat_forever = true;
+            self.set_unsat(epoch);
             return false;
         }
         // Keep the two highest-level literals in watch positions so the
@@ -520,7 +696,8 @@ impl SatSolver {
         clause.sort_by_key(|l| std::cmp::Reverse(self.level[l.var().0 as usize]));
         let max_level = self.level[clause[0].var().0 as usize];
         if max_level == 0 {
-            self.unsat_forever = true;
+            let e = clause.iter().fold(epoch, |e, l| e.max(self.level0_epoch[l.var().0 as usize]));
+            self.set_unsat(e);
             return false;
         }
         self.backtrack_to(max_level);
@@ -528,34 +705,39 @@ impl SatSolver {
             // Unit theory clause: fall back to direct learning (backjump so
             // the literal becomes assignable).
             self.backtrack_to(max_level - 1);
-            return self.learn(clause, max_level - 1);
+            return self.learn(clause, max_level - 1, epoch);
         }
         let idx = self.clauses.len();
         self.watches[clause[0].index()].push(idx);
         self.watches[clause[1].index()].push(idx);
-        self.clauses.push(Clause { lits: clause });
-        let (learned, backjump) = self.analyze(idx);
-        self.learn(learned, backjump)
+        self.clauses.push(Clause { lits: clause, epoch });
+        let (learned, backjump, learned_epoch) = self.analyze(idx);
+        self.learn(learned, backjump, learned_epoch)
     }
 
     /// Solve the current clause set, consulting `theory` on partial and
     /// complete assignments. Returns `None` if the conflict budget was
     /// exhausted.
     pub fn solve(&mut self, theory: &mut dyn TheoryHook) -> Option<SolveResult> {
-        if self.unsat_forever {
+        if self.is_unsat() {
             return Some(SolveResult::Unsat);
         }
         self.backtrack_to(0);
         // Flush pending level-0 units.
         let units = std::mem::take(&mut self.pending_units);
-        for u in units {
+        for (u, epoch) in units {
             match self.lit_value(u) {
-                LBool::True => {}
+                LBool::True => {
+                    // Keep the stronger (older) epoch for the fact.
+                    let v = u.var().0 as usize;
+                    self.level0_epoch[v] = self.level0_epoch[v].min(epoch);
+                }
                 LBool::False => {
-                    self.unsat_forever = true;
+                    let e = epoch.max(self.level0_epoch[u.var().0 as usize]);
+                    self.set_unsat(e);
                     return Some(SolveResult::Unsat);
                 }
-                LBool::Undef => self.enqueue(u, None),
+                LBool::Undef => self.enqueue_with_epoch(u, None, epoch),
             }
         }
         let mut conflicts_at_start = self.stats.conflicts;
@@ -564,11 +746,12 @@ impl SatSolver {
         loop {
             if let Some(ci) = self.propagate() {
                 if self.trail_lim.is_empty() {
-                    self.unsat_forever = true;
+                    let e = self.level0_conflict_epoch(ci);
+                    self.set_unsat(e);
                     return Some(SolveResult::Unsat);
                 }
-                let (learned, backjump) = self.analyze(ci);
-                if !self.learn(learned, backjump) {
+                let (learned, backjump, epoch) = self.analyze(ci);
+                if !self.learn(learned, backjump, epoch) {
                     return Some(SolveResult::Unsat);
                 }
                 if let Some(budget) = self.conflict_budget {
@@ -685,20 +868,20 @@ mod tests {
         // 3 pigeons, 2 holes: var p_ij = pigeon i in hole j.
         let mut s = SatSolver::new();
         let mut p = [[Var(0); 2]; 3];
-        for i in 0..3 {
-            for j in 0..2 {
-                p[i][j] = s.new_var();
+        for row in p.iter_mut() {
+            for slot in row.iter_mut() {
+                *slot = s.new_var();
             }
         }
         // Each pigeon in some hole.
-        for i in 0..3 {
-            s.add_clause(vec![Lit::pos(p[i][0]), Lit::pos(p[i][1])]);
+        for row in &p {
+            s.add_clause(vec![Lit::pos(row[0]), Lit::pos(row[1])]);
         }
         // No two pigeons share a hole.
-        for j in 0..2 {
-            for i1 in 0..3 {
-                for i2 in (i1 + 1)..3 {
-                    s.add_clause(vec![Lit::neg(p[i1][j]), Lit::neg(p[i2][j])]);
+        for (i1, row1) in p.iter().enumerate() {
+            for row2 in &p[i1 + 1..] {
+                for (&a, &b) in row1.iter().zip(row2) {
+                    s.add_clause(vec![Lit::neg(a), Lit::neg(b)]);
                 }
             }
         }
@@ -718,10 +901,8 @@ mod tests {
                 Some(SolveResult::Sat) => {
                     count += 1;
                     assert!(count <= 8, "more models than the space allows");
-                    let block: Vec<Lit> = vars
-                        .iter()
-                        .map(|&v| Lit::with_sign(v, !s.value(v)))
-                        .collect();
+                    let block: Vec<Lit> =
+                        vars.iter().map(|&v| Lit::with_sign(v, !s.value(v))).collect();
                     s.add_clause(block);
                 }
                 Some(SolveResult::Unsat) => break,
@@ -759,17 +940,13 @@ mod tests {
     #[test]
     fn random_3sat_consistency() {
         // Cross-check on small random 3-SAT instances against brute force.
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        use ccmatic_num::SmallRng;
+        let mut rng = SmallRng::seed_from_u64(7);
         for _ in 0..50 {
             let n = 8usize;
-            let m = rng.gen_range(10..40);
+            let m = rng.gen_range_usize(10, 40);
             let clauses: Vec<Vec<(usize, bool)>> = (0..m)
-                .map(|_| {
-                    (0..3)
-                        .map(|_| (rng.gen_range(0..n), rng.gen_bool(0.5)))
-                        .collect()
-                })
+                .map(|_| (0..3).map(|_| (rng.gen_range_usize(0, n), rng.gen_bool(0.5))).collect())
                 .collect();
             // Brute force.
             let mut brute_sat = false;
@@ -810,6 +987,133 @@ mod tests {
         let expect = [1u64, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8];
         for (i, &e) in expect.iter().enumerate() {
             assert_eq!(SatSolver::luby(i as u64), e, "luby({i})");
+        }
+    }
+
+    #[test]
+    fn pop_discards_scope_clauses() {
+        let mut s = SatSolver::new();
+        let a = s.new_var();
+        s.add_clause(vec![Lit::pos(a)]);
+        s.push();
+        s.add_clause(vec![Lit::neg(a)]);
+        assert_eq!(s.solve(&mut NoTheory), Some(SolveResult::Unsat));
+        s.pop();
+        assert_eq!(s.solve(&mut NoTheory), Some(SolveResult::Sat));
+        assert!(s.value(a));
+    }
+
+    #[test]
+    fn pop_discards_scope_variables() {
+        let mut s = SatSolver::new();
+        let a = s.new_var();
+        s.add_clause(vec![Lit::pos(a)]);
+        s.push();
+        let b = s.new_var();
+        s.add_clause(vec![Lit::neg(a), Lit::pos(b)]);
+        assert_eq!(s.solve(&mut NoTheory), Some(SolveResult::Sat));
+        assert!(s.value(b));
+        s.pop();
+        assert_eq!(s.num_vars(), 1);
+        assert_eq!(s.solve(&mut NoTheory), Some(SolveResult::Sat));
+        assert!(s.value(a));
+    }
+
+    #[test]
+    fn nested_scopes_unwind_independently() {
+        let mut s = SatSolver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        s.add_clause(vec![Lit::pos(a), Lit::pos(b)]);
+        s.push();
+        s.add_clause(vec![Lit::neg(a)]);
+        s.push();
+        s.add_clause(vec![Lit::neg(b)]);
+        assert_eq!(s.solve(&mut NoTheory), Some(SolveResult::Unsat));
+        s.pop();
+        assert_eq!(s.solve(&mut NoTheory), Some(SolveResult::Sat));
+        assert!(!s.value(a) && s.value(b));
+        s.pop();
+        assert_eq!(s.solve(&mut NoTheory), Some(SolveResult::Sat));
+    }
+
+    #[test]
+    fn base_learned_units_survive_pop() {
+        // A chain forcing a=true lives in the base scope; a scoped
+        // contradiction must not poison the base after pop.
+        let mut s = SatSolver::new();
+        let vars: Vec<Var> = (0..6).map(|_| s.new_var()).collect();
+        s.add_clause(vec![Lit::pos(vars[0])]);
+        for w in vars.windows(2) {
+            s.add_clause(vec![Lit::neg(w[0]), Lit::pos(w[1])]);
+        }
+        assert_eq!(s.solve(&mut NoTheory), Some(SolveResult::Sat));
+        for depth in 0..3 {
+            s.push();
+            s.add_clause(vec![Lit::neg(vars[5 - depth])]);
+            assert_eq!(s.solve(&mut NoTheory), Some(SolveResult::Unsat), "depth {depth}");
+            s.pop();
+            assert_eq!(s.solve(&mut NoTheory), Some(SolveResult::Sat), "after pop {depth}");
+            assert!(vars.iter().all(|&v| s.value(v)));
+        }
+    }
+
+    #[test]
+    fn pop_matches_fresh_solver_on_random_instances() {
+        // Differential: base ∪ scoped clauses, pop, then base ∪ new scoped
+        // clauses must answer like a fresh solver on the same set.
+        use ccmatic_num::SmallRng;
+        let mut rng = SmallRng::seed_from_u64(99);
+        for round in 0..30 {
+            let n = 6usize;
+            let gen_clauses = |rng: &mut SmallRng, m: usize| -> Vec<Vec<(usize, bool)>> {
+                (0..m)
+                    .map(|_| {
+                        (0..3).map(|_| (rng.gen_range_usize(0, n), rng.gen_bool(0.5))).collect()
+                    })
+                    .collect()
+            };
+            let base = gen_clauses(&mut rng, 8);
+            let scope_a = gen_clauses(&mut rng, 6);
+            let scope_b = gen_clauses(&mut rng, 6);
+
+            let solve_fresh = |sets: &[&Vec<Vec<(usize, bool)>>]| {
+                let mut s = SatSolver::new();
+                let vars: Vec<Var> = (0..n).map(|_| s.new_var()).collect();
+                for set in sets {
+                    for cl in set.iter() {
+                        s.add_clause(cl.iter().map(|&(v, p)| Lit::with_sign(vars[v], p)).collect());
+                    }
+                }
+                s.solve(&mut NoTheory).unwrap()
+            };
+
+            let mut s = SatSolver::new();
+            let vars: Vec<Var> = (0..n).map(|_| s.new_var()).collect();
+            for cl in &base {
+                s.add_clause(cl.iter().map(|&(v, p)| Lit::with_sign(vars[v], p)).collect());
+            }
+            s.push();
+            for cl in &scope_a {
+                s.add_clause(cl.iter().map(|&(v, p)| Lit::with_sign(vars[v], p)).collect());
+            }
+            assert_eq!(
+                s.solve(&mut NoTheory).unwrap(),
+                solve_fresh(&[&base, &scope_a]),
+                "round {round}: scope A"
+            );
+            s.pop();
+            s.push();
+            for cl in &scope_b {
+                s.add_clause(cl.iter().map(|&(v, p)| Lit::with_sign(vars[v], p)).collect());
+            }
+            assert_eq!(
+                s.solve(&mut NoTheory).unwrap(),
+                solve_fresh(&[&base, &scope_b]),
+                "round {round}: scope B after pop"
+            );
+            s.pop();
+            assert_eq!(s.solve(&mut NoTheory).unwrap(), solve_fresh(&[&base]), "round {round}");
         }
     }
 }

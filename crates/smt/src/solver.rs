@@ -85,7 +85,11 @@ pub struct Solver {
     /// Parallel to `cnf.atom_bindings()`: the simplex variable bounded by
     /// each atom.
     atom_slacks: Vec<SimVar>,
+    /// `atom_slacks` length at each open `push`.
+    scope_marks: Vec<usize>,
     model: Option<Model>,
+    /// `check` invocations over the solver's lifetime.
+    checks: u64,
     /// Optional conflict budget for `check` (None = unlimited).
     pub conflict_budget: Option<u64>,
 }
@@ -105,7 +109,9 @@ impl Solver {
             simplex: Simplex::new(),
             real_to_sim: HashMap::new(),
             atom_slacks: Vec::new(),
+            scope_marks: Vec::new(),
             model: None,
+            checks: 0,
             conflict_budget: None,
         }
     }
@@ -114,6 +120,39 @@ impl Solver {
     pub fn assert(&mut self, ctx: &Context, t: Term) {
         self.model = None;
         self.cnf.assert_term(ctx, &mut self.sat, t);
+    }
+
+    /// Open an assertion scope across the whole stack (SAT core, CNF memo
+    /// tables, simplex tableau). Assertions made from here on are retracted
+    /// by the matching [`Solver::pop`]; anything asserted before survives,
+    /// as do learned clauses that only depend on it.
+    pub fn push(&mut self) {
+        self.sat.push();
+        self.cnf.push();
+        self.simplex.push();
+        self.scope_marks.push(self.atom_slacks.len());
+    }
+
+    /// Retract every assertion made since the matching [`Solver::push`].
+    ///
+    /// # Panics
+    /// Panics if no scope is open.
+    pub fn pop(&mut self) {
+        let mark = self.scope_marks.pop().expect("pop without matching push");
+        self.model = None;
+        self.sat.pop();
+        self.cnf.pop();
+        self.simplex.pop();
+        self.atom_slacks.truncate(mark);
+        // Real variables first seen inside the scope mapped to simplex vars
+        // that no longer exist; forget them so a later assert re-allocates.
+        let live = self.simplex.num_vars() as u32;
+        self.real_to_sim.retain(|_, s| s.0 < live);
+    }
+
+    /// Number of open scopes.
+    pub fn depth(&self) -> u32 {
+        self.scope_marks.len() as u32
     }
 
     /// Register in the simplex any atoms that appeared since the last check.
@@ -128,11 +167,8 @@ impl Solver {
                 debug_assert_eq!(c, Rat::one(), "canonical atoms have leading coefficient 1");
                 self.sim_var(v)
             } else {
-                let terms: Vec<(SimVar, Rat)> = data
-                    .expr
-                    .iter()
-                    .map(|(v, c)| (self.sim_var(v), c.clone()))
-                    .collect();
+                let terms: Vec<(SimVar, Rat)> =
+                    data.expr.iter().map(|(v, c)| (self.sim_var(v), c.clone())).collect();
                 self.simplex.define_slack(&terms)
             };
             self.atom_slacks.push(slack);
@@ -150,6 +186,7 @@ impl Solver {
 
     /// Decide satisfiability of the asserted formula.
     pub fn check(&mut self, ctx: &Context) -> SatResult {
+        self.checks += 1;
         self.model = None;
         self.register_new_atoms(ctx);
         self.sat.conflict_budget = self.conflict_budget;
@@ -251,7 +288,7 @@ impl Solver {
     /// Solver statistics.
     pub fn stats(&self) -> SolverStats {
         SolverStats {
-            checks: 0,
+            checks: self.checks,
             decisions: self.sat.stats.decisions,
             conflicts: self.sat.stats.conflicts,
             theory_checks: self.sat.stats.theory_checks,
@@ -357,10 +394,7 @@ mod tests {
         let first = ctx.eq(ctx.var(vars[0]), ctx.constant(int(1)));
         s.assert(&ctx, first);
         for w in vars.windows(2) {
-            let step = ctx.eq(
-                ctx.var(w[1]),
-                ctx.var(w[0]) + ctx.constant(int(1)),
-            );
+            let step = ctx.eq(ctx.var(w[1]), ctx.var(w[0]) + ctx.constant(int(1)));
             s.assert(&ctx, step);
         }
         assert_eq!(s.check(&ctx), SatResult::Sat);
@@ -399,5 +433,103 @@ mod tests {
         let mut s = Solver::new();
         assert_eq!(s.check(&ctx), SatResult::Sat);
         assert!(s.model().is_some());
+    }
+
+    #[test]
+    fn stats_count_checks() {
+        let mut ctx = Context::new();
+        let x = ctx.real_var("x");
+        let c = ctx.ge(ctx.var(x), ctx.constant(int(1)));
+        let mut s = Solver::new();
+        assert_eq!(s.stats().checks, 0);
+        s.assert(&ctx, c);
+        s.check(&ctx);
+        s.check(&ctx);
+        s.check(&ctx);
+        assert_eq!(s.stats().checks, 3);
+    }
+
+    #[test]
+    fn scoped_assertions_are_retracted() {
+        let mut ctx = Context::new();
+        let x = ctx.real_var("x");
+        let base = ctx.ge(ctx.var(x), ctx.constant(int(2)));
+        let mut s = Solver::new();
+        s.assert(&ctx, base);
+        assert_eq!(s.check(&ctx), SatResult::Sat);
+
+        s.push();
+        let cap = ctx.lt(ctx.var(x), ctx.constant(int(1)));
+        s.assert(&ctx, cap);
+        assert_eq!(s.check(&ctx), SatResult::Unsat);
+        s.pop();
+
+        // Base constraint alone is satisfiable again.
+        assert_eq!(s.check(&ctx), SatResult::Sat);
+        assert!(s.model().unwrap().real(x) >= int(2));
+
+        // A different scoped constraint gets a consistent view.
+        s.push();
+        let cap5 = ctx.le(ctx.var(x), ctx.constant(int(5)));
+        s.assert(&ctx, cap5);
+        assert_eq!(s.check(&ctx), SatResult::Sat);
+        let v = s.model().unwrap().real(x);
+        assert!(v >= int(2) && v <= int(5));
+        s.pop();
+    }
+
+    #[test]
+    fn scoped_fresh_variables_are_forgotten() {
+        let mut ctx = Context::new();
+        let x = ctx.real_var("x");
+        let base = ctx.ge(ctx.var(x), ctx.constant(int(0)));
+        let mut s = Solver::new();
+        s.assert(&ctx, base);
+        assert_eq!(s.check(&ctx), SatResult::Sat);
+
+        // y is first seen inside a scope; its simplex var dies with the pop.
+        let y = ctx.real_var("y");
+        s.push();
+        let link = ctx.eq(ctx.var(y), ctx.var(x) + ctx.constant(int(7)));
+        let ybig = ctx.ge(ctx.var(y), ctx.constant(int(100)));
+        s.assert(&ctx, link);
+        s.assert(&ctx, ybig);
+        assert_eq!(s.check(&ctx), SatResult::Sat);
+        assert!(s.model().unwrap().real(x) >= int(93));
+        s.pop();
+
+        // After the pop, y is unconstrained again and re-usable.
+        s.push();
+        let ysmall = ctx.le(ctx.var(y), ctx.constant(int(-50)));
+        s.assert(&ctx, ysmall);
+        assert_eq!(s.check(&ctx), SatResult::Sat);
+        assert!(s.model().unwrap().real(y) <= int(-50));
+        s.pop();
+        assert_eq!(s.check(&ctx), SatResult::Sat);
+    }
+
+    #[test]
+    fn nested_scopes_compose() {
+        let mut ctx = Context::new();
+        let x = ctx.real_var("x");
+        let mut s = Solver::new();
+        let base = ctx.ge(ctx.var(x), ctx.constant(int(0)));
+        s.assert(&ctx, base);
+        s.push();
+        let le10 = ctx.le(ctx.var(x), ctx.constant(int(10)));
+        s.assert(&ctx, le10);
+        s.push();
+        let ge20 = ctx.ge(ctx.var(x), ctx.constant(int(20)));
+        s.assert(&ctx, ge20);
+        assert_eq!(s.check(&ctx), SatResult::Unsat);
+        s.pop();
+        assert_eq!(s.check(&ctx), SatResult::Sat);
+        assert!(s.model().unwrap().real(x) <= int(10));
+        s.pop();
+        assert_eq!(s.depth(), 0);
+        let ge20b = ctx.ge(ctx.var(x), ctx.constant(int(20)));
+        s.assert(&ctx, ge20b);
+        assert_eq!(s.check(&ctx), SatResult::Sat);
+        assert!(s.model().unwrap().real(x) >= int(20));
     }
 }

@@ -1,29 +1,34 @@
-//! Property-based tests of the SMT solver with *constructed* ground truth:
+//! Randomized tests of the SMT solver with *constructed* ground truth:
 //! instances that are feasible or infeasible by construction, so soundness
-//! and completeness are checked without an oracle solver.
+//! and completeness are checked without an oracle solver. (Loop-based with
+//! a seeded local PRNG — no external property-testing crate is available in
+//! this build environment.)
 
-use ccmatic_num::{int, rat, Rat};
+use ccmatic_num::{int, rat, Rat, SmallRng};
 use ccmatic_smt::{Context, LinExpr, SatResult, Solver};
-use proptest::prelude::*;
 
-/// Strategy: a random point x* in Q³ with quarter-grid coordinates.
-fn point() -> impl Strategy<Value = Vec<Rat>> {
-    proptest::collection::vec((-24i64..24).prop_map(|n| rat(n, 4)), 3)
+const CASES: usize = 64;
+
+/// A random point x* in Q³ with quarter-grid coordinates.
+fn point(rng: &mut SmallRng) -> Vec<Rat> {
+    (0..3).map(|_| rat(rng.gen_range_i64(-24, 24), 4)).collect()
 }
 
-/// Strategy: random constraint rows (integer coefficients).
-fn rows(n: usize) -> impl Strategy<Value = Vec<Vec<i64>>> {
-    proptest::collection::vec(proptest::collection::vec(-3i64..4, 3), n)
+/// Random constraint rows (integer coefficients in [-3, 3]).
+fn rows(rng: &mut SmallRng, n: usize) -> Vec<Vec<i64>> {
+    (0..n).map(|_| (0..3).map(|_| rng.gen_range_i64(-3, 4)).collect()).collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Feasible by construction: every constraint is `a·x ≤ a·x* + slack`
-    /// with slack ≥ 0, so x* is a witness. The solver must say Sat and its
-    /// model must satisfy every constraint.
-    #[test]
-    fn feasible_by_construction(xstar in point(), coeffs in rows(6), slacks in proptest::collection::vec(0i64..8, 6)) {
+/// Feasible by construction: every constraint is `a·x ≤ a·x* + slack`
+/// with slack ≥ 0, so x* is a witness. The solver must say Sat and its
+/// model must satisfy every constraint.
+#[test]
+fn feasible_by_construction() {
+    let mut rng = SmallRng::seed_from_u64(101);
+    for _ in 0..CASES {
+        let xstar = point(&mut rng);
+        let coeffs = rows(&mut rng, 6);
+        let slacks: Vec<i64> = (0..6).map(|_| rng.gen_range_i64(0, 8)).collect();
         let mut ctx = Context::new();
         let vars: Vec<_> = (0..3).map(|i| ctx.real_var(format!("x{i}"))).collect();
         let mut solver = Solver::new();
@@ -37,7 +42,7 @@ proptest! {
             let t = ctx.le(lhs, LinExpr::constant(bound));
             solver.assert(&ctx, t);
         }
-        prop_assert_eq!(solver.check(&ctx), SatResult::Sat);
+        assert_eq!(solver.check(&ctx), SatResult::Sat);
         let m = solver.model().unwrap();
         for (row, slack) in coeffs.iter().zip(&slacks) {
             let mut lhs = Rat::zero();
@@ -46,22 +51,22 @@ proptest! {
                 lhs += &(&int(c) * &m.real(vars[i]));
                 bound += &(&int(c) * &xstar[i]);
             }
-            prop_assert!(lhs <= bound, "model violates a constraint");
+            assert!(lhs <= bound, "model violates a constraint");
         }
     }
+}
 
-    /// Infeasible by construction: inject the contradictory pair
-    /// `e ≤ b ∧ e ≥ b + 1` among arbitrary satisfiable noise. The solver
-    /// must say Unsat no matter the noise.
-    #[test]
-    fn infeasible_by_construction(
-        xstar in point(),
-        noise in rows(4),
-        pair_row in proptest::collection::vec(-3i64..4, 3),
-        b in -10i64..10,
-    ) {
-        // Skip the degenerate all-zero contradiction row (0 ≤ b ∧ 0 ≥ b+1
-        // is still unsat, but canonicalization folds it — also fine; keep it).
+/// Infeasible by construction: inject the contradictory pair
+/// `e ≤ b ∧ e ≥ b + 1` among arbitrary satisfiable noise. The solver
+/// must say Unsat no matter the noise.
+#[test]
+fn infeasible_by_construction() {
+    let mut rng = SmallRng::seed_from_u64(102);
+    for _ in 0..CASES {
+        let xstar = point(&mut rng);
+        let noise = rows(&mut rng, 4);
+        let pair_row: Vec<i64> = (0..3).map(|_| rng.gen_range_i64(-3, 4)).collect();
+        let b = rng.gen_range_i64(-10, 10);
         let mut ctx = Context::new();
         let vars: Vec<_> = (0..3).map(|i| ctx.real_var(format!("x{i}"))).collect();
         let mut solver = Solver::new();
@@ -76,7 +81,8 @@ proptest! {
             let t = ctx.le(lhs, LinExpr::constant(bound));
             solver.assert(&ctx, t);
         }
-        // The contradiction.
+        // The contradiction (the all-zero row folds to `0 ≤ b ∧ 0 ≥ b+1`,
+        // which is still unsat — also fine).
         let mut e = LinExpr::zero();
         for (i, &c) in pair_row.iter().enumerate() {
             e = e + LinExpr::term(vars[i], int(c));
@@ -85,32 +91,41 @@ proptest! {
         let ge = ctx.ge(e, LinExpr::constant(int(b + 1)));
         solver.assert(&ctx, le);
         solver.assert(&ctx, ge);
-        prop_assert_eq!(solver.check(&ctx), SatResult::Unsat);
+        assert_eq!(solver.check(&ctx), SatResult::Unsat);
     }
+}
 
-    /// Disjunction completeness: `⋁ᵢ (x = kᵢ)` over distinct constants is
-    /// always satisfiable, and the model picks one of the kᵢ.
-    #[test]
-    fn disjunction_of_points(ks in proptest::collection::btree_set(-20i64..20, 1..6)) {
-        let ks: Vec<i64> = ks.into_iter().collect();
+/// Disjunction completeness: `⋁ᵢ (x = kᵢ)` over distinct constants is
+/// always satisfiable, and the model picks one of the kᵢ.
+#[test]
+fn disjunction_of_points() {
+    let mut rng = SmallRng::seed_from_u64(103);
+    for _ in 0..CASES {
+        let mut ks: Vec<i64> =
+            (0..rng.gen_range_usize(1, 6)).map(|_| rng.gen_range_i64(-20, 20)).collect();
+        ks.sort_unstable();
+        ks.dedup();
         let mut ctx = Context::new();
         let x = ctx.real_var("x");
-        let arms: Vec<_> = ks
-            .iter()
-            .map(|&k| ctx.eq(LinExpr::var(x), LinExpr::constant(int(k))))
-            .collect();
+        let arms: Vec<_> =
+            ks.iter().map(|&k| ctx.eq(LinExpr::var(x), LinExpr::constant(int(k)))).collect();
         let f = ctx.or(arms);
         let mut solver = Solver::new();
         solver.assert(&ctx, f);
-        prop_assert_eq!(solver.check(&ctx), SatResult::Sat);
+        assert_eq!(solver.check(&ctx), SatResult::Sat);
         let v = solver.model().unwrap().real(x);
-        prop_assert!(ks.iter().any(|&k| v == int(k)), "model {v} not among the points");
+        assert!(ks.iter().any(|&k| v == int(k)), "model {v} not among the points");
     }
+}
 
-    /// Incremental consistency: checking twice, or adding an already-implied
-    /// constraint, never changes a Sat verdict to Unsat.
-    #[test]
-    fn incremental_monotone_consistency(xstar in point(), coeffs in rows(3)) {
+/// Incremental consistency: checking twice, or adding an already-implied
+/// constraint, never changes a Sat verdict to Unsat.
+#[test]
+fn incremental_monotone_consistency() {
+    let mut rng = SmallRng::seed_from_u64(104);
+    for _ in 0..CASES {
+        let xstar = point(&mut rng);
+        let coeffs = rows(&mut rng, 3);
         let mut ctx = Context::new();
         let vars: Vec<_> = (0..3).map(|i| ctx.real_var(format!("x{i}"))).collect();
         let mut solver = Solver::new();
@@ -124,19 +139,25 @@ proptest! {
             let t = ctx.le(lhs, LinExpr::constant(bound));
             solver.assert(&ctx, t);
         }
-        prop_assert_eq!(solver.check(&ctx), SatResult::Sat);
+        assert_eq!(solver.check(&ctx), SatResult::Sat);
         // Re-check: same verdict.
-        prop_assert_eq!(solver.check(&ctx), SatResult::Sat);
+        assert_eq!(solver.check(&ctx), SatResult::Sat);
         // Add a tautology and check again.
         let x0 = ctx.le(LinExpr::var(vars[0]), LinExpr::var(vars[0]) + LinExpr::constant(int(1)));
         solver.assert(&ctx, x0);
-        prop_assert_eq!(solver.check(&ctx), SatResult::Sat);
+        assert_eq!(solver.check(&ctx), SatResult::Sat);
     }
+}
 
-    /// Negation soundness: for any conjunction of atoms over one variable,
-    /// F and ¬F can't both be satisfiable *with the same model value*.
-    #[test]
-    fn negation_exclusive_on_models(bounds in proptest::collection::vec((-10i64..10, 0u8..4), 1..5)) {
+/// Model soundness for conjunctions of one-variable atoms: whenever the
+/// solver reports Sat, its model value satisfies every bound literally.
+#[test]
+fn negation_exclusive_on_models() {
+    let mut rng = SmallRng::seed_from_u64(105);
+    for _ in 0..CASES {
+        let bounds: Vec<(i64, u8)> = (0..rng.gen_range_usize(1, 5))
+            .map(|_| (rng.gen_range_i64(-10, 10), rng.gen_range_i64(0, 4) as u8))
+            .collect();
         let mut ctx = Context::new();
         let x = ctx.real_var("x");
         let atoms: Vec<_> = bounds
@@ -165,7 +186,7 @@ proptest! {
                     2 => v >= int(b),
                     _ => v > int(b),
                 };
-                prop_assert!(ok, "model {v} violates bound ({b}, kind {kind})");
+                assert!(ok, "model {v} violates bound ({b}, kind {kind})");
             }
         }
     }

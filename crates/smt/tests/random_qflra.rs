@@ -6,9 +6,8 @@
 //! witnesses); whenever the solver reports Sat, its model must actually
 //! satisfy the formula (soundness, checked exactly).
 
-use ccmatic_num::{int, rat, Rat};
+use ccmatic_num::{int, rat, Rat, SmallRng};
 use ccmatic_smt::{Context, LinExpr, SatResult, Solver, Term};
-use rand::{Rng, SeedableRng};
 
 /// A randomly generated formula AST we can both encode and evaluate.
 #[derive(Debug, Clone)]
@@ -19,19 +18,19 @@ enum F {
     Or(Vec<F>),
 }
 
-fn gen_formula(rng: &mut impl Rng, depth: u32) -> F {
+fn gen_formula(rng: &mut SmallRng, depth: u32) -> F {
     if depth == 0 || rng.gen_bool(0.45) {
         return F::Atom {
-            a: rng.gen_range(-2..3),
-            b: rng.gen_range(-2..3),
-            c: rng.gen_range(-4..5),
-            rel: rng.gen_range(0..4),
+            a: rng.gen_range_i64(-2, 3),
+            b: rng.gen_range_i64(-2, 3),
+            c: rng.gen_range_i64(-4, 5),
+            rel: rng.gen_range_i64(0, 4) as u8,
         };
     }
-    match rng.gen_range(0..3) {
+    match rng.gen_range_i64(0, 3) {
         0 => F::Not(Box::new(gen_formula(rng, depth - 1))),
-        1 => F::And((0..rng.gen_range(2..4)).map(|_| gen_formula(rng, depth - 1)).collect()),
-        _ => F::Or((0..rng.gen_range(2..4)).map(|_| gen_formula(rng, depth - 1)).collect()),
+        1 => F::And((0..rng.gen_range_usize(2, 4)).map(|_| gen_formula(rng, depth - 1)).collect()),
+        _ => F::Or((0..rng.gen_range_usize(2, 4)).map(|_| gen_formula(rng, depth - 1)).collect()),
     }
 }
 
@@ -82,7 +81,7 @@ fn eval(f: &F, x: &Rat, y: &Rat) -> bool {
 
 #[test]
 fn random_formulas_vs_grid_oracle() {
-    let mut rng = rand::rngs::StdRng::seed_from_u64(20220930);
+    let mut rng = SmallRng::seed_from_u64(20220930);
     let mut sat_count = 0;
     let mut unsat_count = 0;
     for round in 0..120 {
@@ -137,11 +136,7 @@ fn deep_nesting_stress() {
     let mut acc = ctx.gt(ctx.var(x), ctx.constant(int(0)));
     for i in 1..40 {
         let bound = ctx.lt(ctx.var(x), ctx.constant(int(i)));
-        acc = if i % 2 == 0 {
-            ctx.or(vec![acc, bound])
-        } else {
-            ctx.and(vec![acc, bound])
-        };
+        acc = if i % 2 == 0 { ctx.or(vec![acc, bound]) } else { ctx.and(vec![acc, bound]) };
     }
     let mut solver = Solver::new();
     solver.assert(&ctx, acc);

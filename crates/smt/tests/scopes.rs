@@ -1,0 +1,242 @@
+//! Differential testing of assertion scopes.
+//!
+//! The contract: a solver that does `push; assert S; check; pop` must answer
+//! every subsequent query exactly as a fresh solver that never saw `S`, and
+//! the scoped check itself must agree with a fresh solver over base ∧ S.
+//! We verify both on hand-picked layerings and on random small QF-LRA
+//! formulas, interleaving scoped probes with base-level growth the way the
+//! CEGIS verifier does.
+
+use ccmatic_num::{int, Rat, SmallRng};
+use ccmatic_smt::{Context, LinExpr, SatResult, Solver, Term};
+
+/// A random formula AST over two real variables (same shape as the
+/// `random_qflra` oracle test).
+#[derive(Debug, Clone)]
+enum F {
+    Atom { a: i64, b: i64, c: i64, rel: u8 },
+    Not(Box<F>),
+    And(Vec<F>),
+    Or(Vec<F>),
+}
+
+fn gen_formula(rng: &mut SmallRng, depth: u32) -> F {
+    if depth == 0 || rng.gen_bool(0.45) {
+        return F::Atom {
+            a: rng.gen_range_i64(-2, 3),
+            b: rng.gen_range_i64(-2, 3),
+            c: rng.gen_range_i64(-4, 5),
+            rel: rng.gen_range_i64(0, 4) as u8,
+        };
+    }
+    match rng.gen_range_i64(0, 3) {
+        0 => F::Not(Box::new(gen_formula(rng, depth - 1))),
+        1 => F::And((0..rng.gen_range_usize(2, 4)).map(|_| gen_formula(rng, depth - 1)).collect()),
+        _ => F::Or((0..rng.gen_range_usize(2, 4)).map(|_| gen_formula(rng, depth - 1)).collect()),
+    }
+}
+
+fn encode(ctx: &mut Context, f: &F, x: ccmatic_smt::RealVar, y: ccmatic_smt::RealVar) -> Term {
+    match f {
+        F::Atom { a, b, c, rel } => {
+            let lhs = LinExpr::term(x, int(*a)) + LinExpr::term(y, int(*b));
+            let rhs = LinExpr::constant(int(*c));
+            match rel {
+                0 => ctx.le(lhs, rhs),
+                1 => ctx.lt(lhs, rhs),
+                2 => ctx.ge(lhs, rhs),
+                _ => ctx.gt(lhs, rhs),
+            }
+        }
+        F::Not(g) => {
+            let t = encode(ctx, g, x, y);
+            ctx.not(t)
+        }
+        F::And(gs) => {
+            let ts: Vec<Term> = gs.iter().map(|g| encode(ctx, g, x, y)).collect();
+            ctx.and(ts)
+        }
+        F::Or(gs) => {
+            let ts: Vec<Term> = gs.iter().map(|g| encode(ctx, g, x, y)).collect();
+            ctx.or(ts)
+        }
+    }
+}
+
+fn eval(f: &F, x: &Rat, y: &Rat) -> bool {
+    match f {
+        F::Atom { a, b, c, rel } => {
+            let lhs = &(x * &int(*a)) + &(y * &int(*b));
+            let rhs = int(*c);
+            match rel {
+                0 => lhs <= rhs,
+                1 => lhs < rhs,
+                2 => lhs >= rhs,
+                _ => lhs > rhs,
+            }
+        }
+        F::Not(g) => !eval(g, x, y),
+        F::And(gs) => gs.iter().all(|g| eval(g, x, y)),
+        F::Or(gs) => gs.iter().any(|g| eval(g, x, y)),
+    }
+}
+
+/// Check the conjunction of `parts` with a fresh solver.
+fn fresh_check(ctx: &Context, parts: &[Term]) -> SatResult {
+    let mut s = Solver::new();
+    for &t in parts {
+        s.assert(ctx, t);
+    }
+    s.check(ctx)
+}
+
+#[test]
+fn scoped_probe_matches_fresh_solver_handpicked() {
+    let mut ctx = Context::new();
+    let x = ctx.real_var("x");
+    let y = ctx.real_var("y");
+    let base = vec![
+        ctx.ge(ctx.var(x), ctx.constant(int(0))),
+        ctx.le(ctx.var(x) + ctx.var(y), ctx.constant(int(10))),
+    ];
+    let probes = vec![
+        ctx.ge(ctx.var(y), ctx.constant(int(20))), // unsat with base
+        ctx.ge(ctx.var(y), ctx.constant(int(5))),  // sat
+        ctx.lt(ctx.var(x), ctx.constant(int(0))),  // unsat (contradicts base)
+        ctx.eq(ctx.var(y), ctx.var(x) + ctx.constant(int(3))), // sat
+    ];
+
+    let mut inc = Solver::new();
+    for &t in &base {
+        inc.assert(&ctx, t);
+    }
+    for &p in &probes {
+        inc.push();
+        inc.assert(&ctx, p);
+        let got = inc.check(&ctx);
+        inc.pop();
+        let mut parts = base.clone();
+        parts.push(p);
+        assert_eq!(got, fresh_check(&ctx, &parts), "probe {p:?} diverged from fresh solver");
+        // The popped solver must still agree with the bare base.
+        assert_eq!(inc.check(&ctx), fresh_check(&ctx, &base));
+    }
+}
+
+#[test]
+fn scoped_probes_match_fresh_solver_on_random_formulas() {
+    let mut rng = SmallRng::seed_from_u64(777);
+    for round in 0..40 {
+        let mut ctx = Context::new();
+        let x = ctx.real_var("x");
+        let y = ctx.real_var("y");
+        let base_f = gen_formula(&mut rng, 2);
+        let base_t = encode(&mut ctx, &base_f, x, y);
+
+        let mut inc = Solver::new();
+        inc.assert(&ctx, base_t);
+        let base_verdict = inc.check(&ctx);
+        assert_eq!(base_verdict, fresh_check(&ctx, &[base_t]), "round {round}: base diverged");
+
+        // Several scoped probes against the same base, so learned clauses
+        // from earlier probes are live when later ones run.
+        for probe_idx in 0..4 {
+            let probe_f = gen_formula(&mut rng, 2);
+            let probe_t = encode(&mut ctx, &probe_f, x, y);
+            inc.push();
+            inc.assert(&ctx, probe_t);
+            let got = inc.check(&ctx);
+            if got == SatResult::Sat {
+                let m = inc.model().unwrap();
+                let (xv, yv) = (m.real(x), m.real(y));
+                assert!(
+                    eval(&base_f, &xv, &yv) && eval(&probe_f, &xv, &yv),
+                    "round {round} probe {probe_idx}: scoped model is not a real model"
+                );
+            }
+            inc.pop();
+            assert_eq!(
+                got,
+                fresh_check(&ctx, &[base_t, probe_t]),
+                "round {round} probe {probe_idx}: scoped verdict diverged from fresh solver"
+            );
+        }
+
+        // After all pops the solver still answers the bare base correctly.
+        assert_eq!(inc.check(&ctx), base_verdict, "round {round}: base verdict drifted");
+    }
+}
+
+#[test]
+fn base_growth_interleaved_with_scopes() {
+    // CEGIS shape: the base accumulates blocking constraints between scoped
+    // probes. Every intermediate answer must match a fresh solver.
+    let mut rng = SmallRng::seed_from_u64(4242);
+    for round in 0..25 {
+        let mut ctx = Context::new();
+        let x = ctx.real_var("x");
+        let y = ctx.real_var("y");
+        let mut base_parts: Vec<Term> = Vec::new();
+        let mut inc = Solver::new();
+        for step in 0..3 {
+            let grow_f = gen_formula(&mut rng, 1);
+            let grow_t = encode(&mut ctx, &grow_f, x, y);
+            inc.assert(&ctx, grow_t);
+            base_parts.push(grow_t);
+
+            let probe_f = gen_formula(&mut rng, 2);
+            let probe_t = encode(&mut ctx, &probe_f, x, y);
+            inc.push();
+            inc.assert(&ctx, probe_t);
+            let got = inc.check(&ctx);
+            inc.pop();
+
+            let mut parts = base_parts.clone();
+            parts.push(probe_t);
+            assert_eq!(
+                got,
+                fresh_check(&ctx, &parts),
+                "round {round} step {step}: scoped verdict diverged"
+            );
+            assert_eq!(
+                inc.check(&ctx),
+                fresh_check(&ctx, &base_parts),
+                "round {round} step {step}: base verdict diverged after pop"
+            );
+        }
+    }
+}
+
+#[test]
+fn nested_scope_probes_match_fresh() {
+    let mut rng = SmallRng::seed_from_u64(31337);
+    for round in 0..20 {
+        let mut ctx = Context::new();
+        let x = ctx.real_var("x");
+        let y = ctx.real_var("y");
+        let f0 = gen_formula(&mut rng, 2);
+        let f1 = gen_formula(&mut rng, 2);
+        let f2 = gen_formula(&mut rng, 1);
+        let t0 = encode(&mut ctx, &f0, x, y);
+        let t1 = encode(&mut ctx, &f1, x, y);
+        let t2 = encode(&mut ctx, &f2, x, y);
+
+        let mut inc = Solver::new();
+        inc.assert(&ctx, t0);
+        inc.push();
+        inc.assert(&ctx, t1);
+        let v01 = inc.check(&ctx);
+        inc.push();
+        inc.assert(&ctx, t2);
+        let v012 = inc.check(&ctx);
+        inc.pop();
+        let v01_again = inc.check(&ctx);
+        inc.pop();
+        let v0 = inc.check(&ctx);
+
+        assert_eq!(v01, fresh_check(&ctx, &[t0, t1]), "round {round}: ⟨0,1⟩");
+        assert_eq!(v012, fresh_check(&ctx, &[t0, t1, t2]), "round {round}: ⟨0,1,2⟩");
+        assert_eq!(v01_again, v01, "round {round}: inner pop corrupted middle scope");
+        assert_eq!(v0, fresh_check(&ctx, &[t0]), "round {round}: base after full unwind");
+    }
+}

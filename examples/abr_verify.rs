@@ -22,10 +22,7 @@ fn check(label: &str, cfg: &AbrConfig) {
 fn main() {
     println!("ABR threshold rule: fetch HIGH when buffer ≥ θ, else LOW.\n");
 
-    check(
-        "ample bandwidth (band ≥ high rung), θ = 2:",
-        &AbrConfig::default(),
-    );
+    check("ample bandwidth (band ≥ high rung), θ = 2:", &AbrConfig::default());
     check(
         "marginal bandwidth (sustains low only), θ = 0 (greedy):",
         &AbrConfig {

@@ -20,12 +20,9 @@ fn main() {
     println!("# Identifying assumptions (§2)\n");
     println!("Each line below is a machine-proven, human-interpretable constraint —");
     println!("the paper's \"a network can delay packets by at most …\" form.\n");
-    for spec in [
-        known::rocc(),
-        known::eq_iii(),
-        known::const_cwnd(int(1)),
-        known::const_cwnd(int(10)),
-    ] {
+    for spec in
+        [known::rocc(), known::eq_iii(), known::const_cwnd(int(1)), known::const_cwnd(int(10))]
+    {
         println!("{}", describe(&spec, &net, &th, &precision));
     }
 

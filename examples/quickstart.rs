@@ -24,6 +24,7 @@ fn main() {
         mode: OptMode::RangePruningWce,
         budget: Budget { max_iterations: 500, max_wall: Duration::from_secs(300) },
         wce_precision: rat(1, 2),
+        incremental: true,
     };
     println!(
         "Synthesizing a CCA: search space {} candidates, targets util ≥ {} / queue ≤ {} BDP\n",
@@ -33,8 +34,8 @@ fn main() {
     );
 
     let (mut generator, mut verifier) = build_loop(&opts);
-    let result = run_with_progress(&mut generator, &mut verifier, &opts.budget, |event| {
-        match event {
+    let result =
+        run_with_progress(&mut generator, &mut verifier, &opts.budget, |event| match event {
             Event::Proposed(i, spec) => println!("[{i:>3}] generator proposes  {spec}"),
             Event::Refuted(i, _, cex) => println!(
                 "[{i:>3}] verifier refutes    (util {:.2}, max queue {:.2})",
@@ -42,8 +43,7 @@ fn main() {
                 cex.max_queue().to_f64()
             ),
             Event::Certified(i, spec) => println!("[{i:>3}] verifier CERTIFIES  {spec} ✓"),
-        }
-    });
+        });
 
     match result.outcome {
         Outcome::Solution(spec) => {

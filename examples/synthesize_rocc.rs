@@ -11,10 +11,10 @@
 
 use ccac_model::Thresholds;
 use ccmatic::enumerate::enumerate_all;
+use ccmatic::known;
 use ccmatic::synth::{OptMode, SynthOptions};
 use ccmatic::template::TemplateShape;
 use ccmatic::verifier::{CcaVerifier, VerifyConfig};
-use ccmatic::known;
 use ccmatic_cegis::Budget;
 use ccmatic_num::rat;
 use std::time::Duration;
@@ -35,6 +35,7 @@ fn main() {
         thresholds: opts.thresholds.clone(),
         worst_case: false,
         wce_precision: opts.wce_precision.clone(),
+        incremental: true,
     });
     let rocc = known::rocc();
     match verifier.verify(&rocc) {

@@ -25,6 +25,7 @@ fn main() {
         mode: OptMode::RangePruningWce,
         budget: Budget { max_iterations: 3000, max_wall: Duration::from_secs(600) },
         wce_precision: rat(1, 2),
+        incremental: true,
     };
 
     println!("## Delay sweep (util ≥ 1/2 fixed)\n");

@@ -11,6 +11,8 @@ use ccmatic_simnet::{
     LinearCca, LinkSchedule, MultiFlowConfig, RandomJitter, SimConfig,
 };
 
+type FlowSetup = (&'static str, Box<dyn Fn() -> Vec<Box<dyn Cca>>>);
+
 fn main() {
     let mut rows: Vec<(String, String, f64, f64, f64)> = Vec::new();
 
@@ -32,13 +34,7 @@ fn main() {
             let mut cca = make_cca();
             let mut sched = make_sched();
             let res = run_simulation(cca.as_mut(), sched.as_mut(), &SimConfig::default());
-            rows.push((
-                cca.name(),
-                sched.name(),
-                res.utilization,
-                res.max_queue,
-                res.avg_queue,
-            ));
+            rows.push((cca.name(), sched.name(), res.utilization, res.max_queue, res.avg_queue));
         }
     }
 
@@ -51,25 +47,31 @@ fn main() {
         let verdict = if *util >= 0.5 && *maxq <= 4.0 { " ✓" } else { " ✗" };
         println!(
             "{:<42} {:<20} {:>7.1}% {:>10.2} {:>10.2}{verdict}",
-            cca, sched, util * 100.0, maxq, avgq
+            cca,
+            sched,
+            util * 100.0,
+            maxq,
+            avgq
         );
     }
-    println!(
-        "\n✓ = meets the synthesis target (util ≥ 50%, queue ≤ 4 BDP) on that schedule."
-    );
+    println!("\n✓ = meets the synthesis target (util ≥ 50%, queue ≤ 4 BDP) on that schedule.");
     println!("RoCC and Eq.(iii) hold everywhere; constant windows fail one side or the");
     println!("other, mirroring the verifier's proofs/counterexamples.");
 
     // §4.1's starvation discussion: two flows sharing one bottleneck.
     println!("\nShared bottleneck (two flows, ideal link):");
-    let pairs: Vec<(&str, Box<dyn Fn() -> Vec<Box<dyn Cca>>>)> = vec![
+    let pairs: Vec<FlowSetup> = vec![
         (
             "RoCC vs RoCC",
-            Box::new(|| vec![Box::new(LinearCca::rocc()) as Box<dyn Cca>, Box::new(LinearCca::rocc())]),
+            Box::new(|| {
+                vec![Box::new(LinearCca::rocc()) as Box<dyn Cca>, Box::new(LinearCca::rocc())]
+            }),
         ),
         (
             "RoCC vs const cwnd = 30",
-            Box::new(|| vec![Box::new(LinearCca::rocc()) as Box<dyn Cca>, Box::new(ConstCwnd(30.0))]),
+            Box::new(|| {
+                vec![Box::new(LinearCca::rocc()) as Box<dyn Cca>, Box::new(ConstCwnd(30.0))]
+            }),
         ),
     ];
     for (label, make) in pairs {

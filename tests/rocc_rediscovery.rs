@@ -10,10 +10,11 @@ use ccmatic_num::{int, rat, Rat};
 
 fn paper_verifier() -> CcaVerifier {
     CcaVerifier::new(VerifyConfig {
-        net: NetConfig::default(), // horizon 9, history 5, C = 1, D = 1
+        net: NetConfig::default(),         // horizon 9, history 5, C = 1, D = 1
         thresholds: Thresholds::default(), // util ≥ 1/2, delay ≤ 4
         worst_case: false,
         wce_precision: rat(1, 2),
+        incremental: true,
     })
 }
 
@@ -79,11 +80,8 @@ fn rocc_with_smaller_increment_still_verifies() {
     // Robustness of the family: the γ = +1 additive term can halve and the
     // rule still meets the default thresholds.
     let mut v = paper_verifier();
-    let spec = CcaSpec {
-        alpha: vec![],
-        beta: vec![int(1), int(0), int(-1), int(0)],
-        gamma: rat(1, 2),
-    };
+    let spec =
+        CcaSpec { alpha: vec![], beta: vec![int(1), int(0), int(-1), int(0)], gamma: rat(1, 2) };
     assert!(v.verify(&spec).is_ok(), "ack(t−1) − ack(t−3) + 1/2 should also verify");
 }
 
@@ -94,11 +92,8 @@ fn two_rtt_window_variant_verifies() {
     // this tighter rule risks starvation — accept either verdict but
     // require a *witness* when refuted (no solver flakiness).
     let mut v = paper_verifier();
-    let spec = CcaSpec {
-        alpha: vec![],
-        beta: vec![int(1), int(-1), int(0), int(0)],
-        gamma: int(1),
-    };
+    let spec =
+        CcaSpec { alpha: vec![], beta: vec![int(1), int(-1), int(0), int(0)], gamma: int(1) };
     match v.verify(&spec) {
         Ok(()) => {}
         Err(cex) => {
