@@ -18,7 +18,8 @@ fn main() {
         assert!(cell.solved);
     });
     bench_case("table1/no_cwnd_small/rp_wce_scratch", 1, 5, || {
-        let cell = run_cell_with(&row, OptMode::RangePruningWce, Duration::from_secs(120), false);
+        let cell =
+            run_cell_with(&row, OptMode::RangePruningWce, Duration::from_secs(120), false, 1);
         assert!(cell.solved);
     });
     bench_case("table1/no_cwnd_small/rp", 1, 5, || {

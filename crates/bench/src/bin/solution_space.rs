@@ -44,6 +44,7 @@ fn main() {
             },
             wce_precision: rat(1, 2),
             incremental: true,
+            threads: 1,
         };
         println!(
             "\n## {} / {} — {} candidates",

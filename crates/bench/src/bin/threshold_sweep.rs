@@ -65,6 +65,7 @@ fn main() {
         budget: Budget { max_iterations: 1_000_000, max_wall: Duration::from_secs(budget_secs) },
         wce_precision: rat(1, 2),
         incremental: true,
+        threads: 1,
     };
 
     let threads = sweep_threads();

@@ -5,6 +5,7 @@
 //! ccmatic synth   [--space no-cwnd-small|no-cwnd-large|cwnd-small|cwnd-large]
 //!                 [--mode baseline|rp|rp-wce] [--util F] [--delay F]
 //!                 [--budget-secs N] [--horizon N] [--lookback N]
+//!                 [--threads N]   (default: CCMATIC_SYNTH_THREADS, else all cores)
 //! ccmatic verify  --cca "b1,b2,b3,b4,g"   (β taps then γ; rationals like 3/2)
 //! ccmatic enumerate [same space/threshold flags]
 //! ccmatic assume  --cca "…"
@@ -44,6 +45,7 @@ fn usage() -> ExitCode {
          flags: --space no-cwnd-small|no-cwnd-large|cwnd-small|cwnd-large\n\
          \x20      --mode baseline|rp|rp-wce   --util F --delay F\n\
          \x20      --budget-secs N --horizon N --lookback N --jitter N\n\
+         \x20      --threads N  (synth fan-out; default $CCMATIC_SYNTH_THREADS, else cores)\n\
          \x20      --cca \"b1,b2,…,g\"  --cca-b \"…\"  (β taps then γ)"
     );
     ExitCode::FAILURE
@@ -110,6 +112,10 @@ fn main() -> ExitCode {
         "rp" => OptMode::RangePruning,
         _ => OptMode::RangePruningWce,
     };
+    let threads = args
+        .get("--threads")
+        .and_then(|v| v.parse::<usize>().ok().filter(|&n| n > 0))
+        .unwrap_or_else(|| ccmatic::env::env_threads_or_cores("CCMATIC_SYNTH_THREADS"));
     let opts = SynthOptions {
         shape: shape.clone(),
         net: net.clone(),
@@ -118,25 +124,30 @@ fn main() -> ExitCode {
         budget: Budget { max_iterations: 1_000_000, max_wall: Duration::from_secs(budget_secs) },
         wce_precision: rat(1, 2),
         incremental: true,
+        threads,
     };
 
     match cmd.as_str() {
         "synth" => {
             eprintln!(
-                "synthesizing over {} candidates ({} mode, util ≥ {}, delay ≤ {})…",
+                "synthesizing over {} candidates ({} mode, util ≥ {}, delay ≤ {}, {} thread{})…",
                 shape.search_space_size(),
                 mode.label(),
                 th.util,
-                th.delay
+                th.delay,
+                threads,
+                if threads == 1 { "" } else { "s" }
             );
             let r = synthesize(&opts);
             match r.outcome {
                 Outcome::Solution(spec) => {
                     println!("SOLUTION  {spec}");
                     println!(
-                        "iterations {} · verifier probes {} · {:.1}s",
+                        "iterations {} · verifier probes {} · replay hits {} · speculative wasted {} · {:.1}s",
                         r.stats.iterations,
                         r.verifier_probes,
+                        r.stats.replay_hits,
+                        r.stats.speculative_wasted,
                         r.stats.wall.as_secs_f64()
                     );
                     ExitCode::SUCCESS

@@ -39,7 +39,7 @@ pub fn enumerate_all(opts: &SynthOptions) -> EnumerateResult {
             max_wall: deadline.saturating_duration_since(std::time::Instant::now()),
         };
         if budget.max_iterations == 0 || budget.max_wall.is_zero() {
-            let solver_probes = verifier.0.solver_probes;
+            let solver_probes = verifier.inner.solver_probes;
             return EnumerateResult { solutions, complete: false, stats, solver_probes };
         }
         let result = run(&mut generator, &mut verifier, &budget);
@@ -51,15 +51,15 @@ pub fn enumerate_all(opts: &SynthOptions) -> EnumerateResult {
         remaining = remaining.saturating_sub(result.stats.iterations);
         match result.outcome {
             Outcome::Solution(spec) => {
-                generator.0.block(&spec);
+                generator.inner.block(&spec);
                 solutions.push(spec);
             }
             Outcome::NoSolution => {
-                let solver_probes = verifier.0.solver_probes;
+                let solver_probes = verifier.inner.solver_probes;
                 return EnumerateResult { solutions, complete: true, stats, solver_probes };
             }
             Outcome::BudgetExhausted => {
-                let solver_probes = verifier.0.solver_probes;
+                let solver_probes = verifier.inner.solver_probes;
                 return EnumerateResult { solutions, complete: false, stats, solver_probes };
             }
         }
@@ -97,6 +97,7 @@ mod tests {
             },
             wce_precision: Rat::new(1i64.into(), 2i64.into()),
             incremental: true,
+            threads: 1,
         };
         let result = enumerate_all(&opts);
         assert!(result.complete, "tiny space must be exhausted within budget");

@@ -1,0 +1,67 @@
+//! Environment-variable knobs shared by the sweep and synthesis thread
+//! pools.
+//!
+//! A misspelt `CCMATIC_SWEEP_THREADS=fourty` used to be silently ignored,
+//! quietly running the sweep at a different width than the operator asked
+//! for. Unparsable values now warn once (per variable, per process) on
+//! stderr and fall back to the default.
+
+use std::sync::Mutex;
+
+/// Variables already warned about, so a sweep spawning hundreds of runs
+/// complains once rather than per run.
+static WARNED: Mutex<Vec<&'static str>> = Mutex::new(Vec::new());
+
+/// Read a positive thread count from `var`. Unset returns `None`; set but
+/// unparsable (or zero) warns once to stderr and returns `None`.
+pub fn env_threads(var: &'static str) -> Option<usize> {
+    let raw = std::env::var(var).ok()?;
+    match raw.trim().parse::<usize>() {
+        Ok(n) if n > 0 => Some(n),
+        _ => {
+            let mut warned = WARNED.lock().unwrap();
+            if !warned.contains(&var) {
+                warned.push(var);
+                eprintln!(
+                    "warning: ignoring {var}={raw:?}: expected a positive integer thread count"
+                );
+            }
+            None
+        }
+    }
+}
+
+/// `var` if set and valid, else the machine's available parallelism.
+pub fn env_threads_or_cores(var: &'static str) -> usize {
+    env_threads(var)
+        .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Each test uses its own variable name: the process environment is
+    // global and tests run concurrently.
+    #[test]
+    fn unset_is_none() {
+        assert_eq!(env_threads("CCMATIC_TEST_THREADS_UNSET"), None);
+        assert!(env_threads_or_cores("CCMATIC_TEST_THREADS_UNSET") >= 1);
+    }
+
+    #[test]
+    fn valid_value_parses() {
+        std::env::set_var("CCMATIC_TEST_THREADS_VALID", "3");
+        assert_eq!(env_threads("CCMATIC_TEST_THREADS_VALID"), Some(3));
+        assert_eq!(env_threads_or_cores("CCMATIC_TEST_THREADS_VALID"), 3);
+    }
+
+    #[test]
+    fn garbage_and_zero_fall_back() {
+        std::env::set_var("CCMATIC_TEST_THREADS_BAD", "fourty");
+        assert_eq!(env_threads("CCMATIC_TEST_THREADS_BAD"), None);
+        std::env::set_var("CCMATIC_TEST_THREADS_ZERO", "0");
+        assert_eq!(env_threads("CCMATIC_TEST_THREADS_ZERO"), None);
+        assert!(env_threads_or_cores("CCMATIC_TEST_THREADS_ZERO") >= 1);
+    }
+}

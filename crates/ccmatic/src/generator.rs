@@ -26,7 +26,8 @@
 use crate::template::{CcaSpec, TemplateShape};
 use ccac_model::{NetConfig, Thresholds, Trace};
 use ccmatic_num::Rat;
-use ccmatic_smt::{Context, LinExpr, RealVar, SatResult, Solver, Term};
+use ccmatic_smt::{Context, Interrupt, LinExpr, RealVar, SatResult, Solver, Term};
+use std::time::Instant;
 
 /// How much of the candidate space each counterexample eliminates.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -140,32 +141,35 @@ impl SmtGenerator {
     /// learned counterexample. `None` means the space is exhausted.
     pub fn propose(&mut self) -> Option<CcaSpec> {
         match self.solver.check(&self.ctx) {
-            SatResult::Sat => {
-                let model = self.solver.model().unwrap();
-                let read = |c: &Coeff| model.real(c.value);
-                let alpha = if self.shape.use_cwnd {
-                    (0..self.shape.lookback).map(|i| read(self.alpha(i).unwrap())).collect()
-                } else {
-                    Vec::new()
-                };
-                let beta = (0..self.shape.lookback).map(|i| read(self.beta(i))).collect();
-                let gamma = read(self.gamma());
-                Some(CcaSpec { alpha, beta, gamma })
-            }
+            SatResult::Sat => Some(self.read_model()),
             SatResult::Unsat => None,
             // `None` from propose is a *completeness claim* ("no candidate
             // exists"), so a budget-limited Unknown must never be mapped to
             // it. The generator never sets a conflict budget, making this
             // unreachable by construction.
             SatResult::Unknown => {
-                unreachable!("generator solver runs without a conflict budget")
+                unreachable!("generator solver runs without a conflict budget or interrupt")
             }
         }
     }
 
-    /// Exclude one exact coefficient assignment (used between solutions when
-    /// enumerating the full solution set).
-    pub fn block(&mut self, spec: &CcaSpec) {
+    /// Read the current satisfying model as a coefficient assignment.
+    fn read_model(&self) -> CcaSpec {
+        let model = self.solver.model().expect("sat check leaves a model");
+        let read = |c: &Coeff| model.real(c.value);
+        let alpha = if self.shape.use_cwnd {
+            (0..self.shape.lookback).map(|i| read(self.alpha(i).unwrap())).collect()
+        } else {
+            Vec::new()
+        };
+        let beta = (0..self.shape.lookback).map(|i| read(self.beta(i))).collect();
+        let gamma = read(self.gamma());
+        CcaSpec { alpha, beta, gamma }
+    }
+
+    /// The clause excluding one exact coefficient assignment: the negated
+    /// conjunction of its selector literals.
+    fn blocking_clause(&mut self, spec: &CcaSpec) -> Term {
         let flat = spec.flat();
         debug_assert_eq!(flat.len(), self.coeffs.len());
         let mut lits = Vec::with_capacity(flat.len());
@@ -179,8 +183,69 @@ impl SmtGenerator {
             lits.push(sel);
         }
         let nots: Vec<Term> = lits.iter().map(|&l| self.ctx.not(l)).collect();
-        let clause = self.ctx.or(nots);
+        self.ctx.or(nots)
+    }
+
+    /// Exclude one exact coefficient assignment (used between solutions when
+    /// enumerating the full solution set).
+    pub fn block(&mut self, spec: &CcaSpec) {
+        let clause = self.blocking_clause(spec);
         self.solver.assert(&self.ctx, clause);
+    }
+
+    /// Propose up to `k` mutually distinct candidates in one go, optionally
+    /// giving up at `deadline`.
+    ///
+    /// Distinctness is enforced with *scoped* blocking clauses: after each
+    /// accepted candidate the solver pushes an assertion scope and blocks
+    /// that exact assignment, so the next `check` (warm, on the same
+    /// solver) must land elsewhere. All scopes are popped before returning
+    /// — batch-mates are excluded from each other, not from the future;
+    /// candidates leave the space permanently only through learned
+    /// counterexamples or explicit [`SmtGenerator::block`].
+    ///
+    /// An empty, non-interrupted batch is the usual completeness claim (the
+    /// space is exhausted). A deadline firing mid-batch returns whatever
+    /// was gathered with `interrupted = true` claiming nothing further.
+    pub fn propose_batch(
+        &mut self,
+        k: usize,
+        deadline: Option<Instant>,
+    ) -> ccmatic_cegis::BatchProposal<CcaSpec> {
+        let mut candidates = Vec::new();
+        let mut interrupted = false;
+        let mut pushes = 0usize;
+        self.solver.interrupt = match deadline {
+            Some(d) => Interrupt::at(d),
+            None => Interrupt::none(),
+        };
+        while candidates.len() < k {
+            match self.solver.check(&self.ctx) {
+                SatResult::Sat => {
+                    let spec = self.read_model();
+                    if candidates.len() + 1 < k {
+                        self.solver.push();
+                        pushes += 1;
+                        let clause = self.blocking_clause(&spec);
+                        self.solver.assert(&self.ctx, clause);
+                    }
+                    candidates.push(spec);
+                }
+                SatResult::Unsat => break,
+                SatResult::Unknown => {
+                    interrupted = true;
+                    break;
+                }
+            }
+        }
+        for _ in 0..pushes {
+            self.solver.pop();
+        }
+        self.solver.interrupt = Interrupt::none();
+        // `Unsat` under scoped blocks with candidates in hand only means
+        // the batch drained the space's tail, not that it is empty — the
+        // empty-and-uninterrupted case is the real exhaustion claim.
+        ccmatic_cegis::BatchProposal { candidates, interrupted }
     }
 
     /// Learn a counterexample trace: assert `feasible(A, τ) ⟹ desired(A, τ)`
@@ -380,6 +445,69 @@ mod tests {
             assert!(seen.len() <= 4, "more proposals than the space size");
         }
         assert_eq!(seen.len(), 4);
+    }
+
+    #[test]
+    fn batch_proposals_are_distinct_and_temporary() {
+        let mut g = SmtGenerator::new(
+            TemplateShape::no_cwnd_small(),
+            small_net(),
+            Thresholds::default(),
+            FeasibilityMode::RangePruning,
+        );
+        let batch = g.propose_batch(4, None);
+        assert!(!batch.interrupted);
+        assert_eq!(batch.candidates.len(), 4);
+        for i in 0..batch.candidates.len() {
+            for j in (i + 1)..batch.candidates.len() {
+                assert_ne!(batch.candidates[i], batch.candidates[j], "batch-mates must differ");
+            }
+        }
+        // The scoped blocks must not outlive the batch: the space still
+        // contains all four (the next single proposal is one of them or any
+        // other member of the un-shrunk space — so a full re-batch must
+        // again find four).
+        let again = g.propose_batch(4, None);
+        assert_eq!(again.candidates.len(), 4);
+    }
+
+    #[test]
+    fn batch_drains_a_tiny_space_without_claiming_exhaustion() {
+        // {0,1}² = 4 candidates; a batch of 10 returns exactly 4 with no
+        // exhaustion claim, and blocking them all exhausts for real.
+        let shape = TemplateShape {
+            lookback: 1,
+            use_cwnd: false,
+            domain: crate::template::CoeffDomain::Custom(vec![int(0), int(1)]),
+        };
+        let net =
+            NetConfig { horizon: 3, history: 2, link_rate: Rat::one(), jitter: 1, buffer: None };
+        let mut g =
+            SmtGenerator::new(shape, net, Thresholds::default(), FeasibilityMode::RangePruning);
+        let batch = g.propose_batch(10, None);
+        assert!(!batch.interrupted);
+        assert_eq!(batch.candidates.len(), 4);
+        for spec in &batch.candidates {
+            g.block(spec);
+        }
+        let empty = g.propose_batch(10, None);
+        assert!(empty.candidates.is_empty() && !empty.interrupted);
+    }
+
+    #[test]
+    fn expired_deadline_interrupts_batch() {
+        let mut g = SmtGenerator::new(
+            TemplateShape::no_cwnd_small(),
+            small_net(),
+            Thresholds::default(),
+            FeasibilityMode::RangePruning,
+        );
+        let past = Instant::now() - std::time::Duration::from_secs(1);
+        let batch = g.propose_batch(4, Some(past));
+        assert!(batch.interrupted, "expired deadline must interrupt");
+        assert!(batch.candidates.is_empty());
+        // The generator must remain usable afterwards.
+        assert!(g.propose().is_some());
     }
 
     #[test]

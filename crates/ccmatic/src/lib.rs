@@ -56,14 +56,17 @@ pub mod brute;
 pub mod conditional;
 pub mod differential;
 pub mod enumerate;
+pub mod env;
 pub mod generator;
 pub mod known;
+pub mod replay;
 pub mod sweep;
 pub mod synth;
 pub mod template;
 pub mod verifier;
 
 pub use enumerate::{enumerate_all, EnumerateResult};
+pub use replay::TraceReplay;
 pub use synth::{synthesize, OptMode, SynthOptions, SynthResult};
 pub use template::{CcaSpec, CoeffDomain, TemplateShape};
 pub use verifier::{CcaVerifier, VerifyConfig};

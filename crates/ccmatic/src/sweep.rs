@@ -26,14 +26,10 @@ pub struct SweepRow {
     pub result: EnumerateResult,
 }
 
-/// Worker-pool size: `CCMATIC_SWEEP_THREADS` if set, else the machine's
-/// available parallelism.
+/// Worker-pool size: `CCMATIC_SWEEP_THREADS` if set and valid (unparsable
+/// values warn once on stderr), else the machine's available parallelism.
 pub fn sweep_threads() -> usize {
-    std::env::var("CCMATIC_SWEEP_THREADS")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .filter(|&n| n > 0)
-        .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1))
+    crate::env::env_threads_or_cores("CCMATIC_SWEEP_THREADS")
 }
 
 /// Enumerate the solution space once per threshold value, with `set`
@@ -146,6 +142,7 @@ mod tests {
             },
             wce_precision: rat(1, 2),
             incremental: true,
+            threads: 1,
         }
     }
 

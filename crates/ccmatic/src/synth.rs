@@ -3,11 +3,18 @@
 //! solution").
 
 use crate::generator::{FeasibilityMode, SmtGenerator};
+use crate::replay::TraceReplay;
 use crate::template::{CcaSpec, TemplateShape};
 use crate::verifier::{CcaVerifier, VerifyConfig};
 use ccac_model::{NetConfig, Thresholds, Trace};
-use ccmatic_cegis::{Budget, Generator, Outcome, Stats, Verifier};
+use ccmatic_cegis::{
+    BatchProposal, Budget, Generator, Outcome, ParallelConfig, Stats, Verdict, Verifier,
+};
 use ccmatic_num::Rat;
+use ccmatic_smt::Interrupt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
 
 /// Which of the paper's §3.1.2 optimizations to enable — the three columns
 /// of Table 1.
@@ -62,6 +69,9 @@ pub struct SynthOptions {
     pub wce_precision: Rat,
     /// Use the verifier's incremental (push/pop scope) path.
     pub incremental: bool,
+    /// Verification fan-out: 1 runs the serial loop, >1 the speculative
+    /// parallel engine with this many worker verifiers.
+    pub threads: usize,
 }
 
 impl Default for SynthOptions {
@@ -74,6 +84,7 @@ impl Default for SynthOptions {
             budget: Budget::default(),
             wce_precision: Rat::new(1i64.into(), 4i64.into()),
             incremental: true,
+            threads: 1,
         }
     }
 }
@@ -92,59 +103,153 @@ pub struct SynthResult {
 }
 
 /// Adapter: [`SmtGenerator`] as a [`ccmatic_cegis::Generator`].
-pub struct GenAdapter(pub SmtGenerator);
+///
+/// Deduplicates learned traces: the engine re-submits a counterexample it
+/// already holds whenever the replay prefilter kills a candidate with it,
+/// and asserting the same trace constraint twice only bloats the solver.
+pub struct GenAdapter {
+    /// The wrapped SMT generator.
+    pub inner: SmtGenerator,
+    learned: Vec<Trace>,
+}
+
+impl GenAdapter {
+    /// Wrap `inner` with an empty learned-trace set.
+    pub fn new(inner: SmtGenerator) -> Self {
+        GenAdapter { inner, learned: Vec::new() }
+    }
+}
 
 impl Generator for GenAdapter {
     type Candidate = CcaSpec;
     type CounterExample = Trace;
 
     fn propose(&mut self) -> Option<CcaSpec> {
-        self.0.propose()
+        self.inner.propose()
     }
 
     fn learn(&mut self, _candidate: &CcaSpec, cex: &Trace) {
-        self.0.learn(cex);
+        if self.learned.iter().any(|t| t == cex) {
+            return;
+        }
+        self.inner.learn(cex);
+        self.learned.push(cex.clone());
+    }
+
+    fn propose_batch(&mut self, k: usize, deadline: Option<Instant>) -> BatchProposal<CcaSpec> {
+        self.inner.propose_batch(k, deadline)
     }
 }
 
 /// Adapter: [`CcaVerifier`] as a [`ccmatic_cegis::Verifier`].
-pub struct VerAdapter(pub CcaVerifier);
+///
+/// Solver probes are published to a shared counter after every call, so
+/// the parallel engine (which owns one adapter per worker) can still
+/// report an aggregate probe count.
+pub struct VerAdapter {
+    /// The wrapped verifier.
+    pub inner: CcaVerifier,
+    probes: Arc<AtomicU64>,
+    reported: u64,
+}
+
+impl VerAdapter {
+    /// Wrap `inner` with a private probe counter.
+    pub fn new(inner: CcaVerifier) -> Self {
+        Self::with_probe_sink(inner, Arc::new(AtomicU64::new(0)))
+    }
+
+    /// Wrap `inner`, publishing probe counts into `probes`.
+    pub fn with_probe_sink(inner: CcaVerifier, probes: Arc<AtomicU64>) -> Self {
+        VerAdapter { inner, probes, reported: 0 }
+    }
+
+    fn publish_probes(&mut self) {
+        let current = self.inner.solver_probes;
+        self.probes.fetch_add(current - self.reported, Ordering::Relaxed);
+        self.reported = current;
+    }
+}
 
 impl Verifier for VerAdapter {
     type Candidate = CcaSpec;
     type CounterExample = Trace;
 
     fn verify(&mut self, candidate: &CcaSpec) -> Result<(), Trace> {
-        self.0.verify(candidate)
+        let result = self.inner.verify(candidate);
+        self.publish_probes();
+        result
+    }
+
+    fn verify_interruptible(
+        &mut self,
+        candidate: &CcaSpec,
+        deadline: Option<Instant>,
+        cancel: Option<&Arc<AtomicBool>>,
+    ) -> Verdict<Trace> {
+        let interrupt = Interrupt { deadline, cancel: cancel.cloned() };
+        let verdict = self.inner.verify_interruptible(candidate, &interrupt);
+        self.publish_probes();
+        verdict
     }
 }
 
-/// Build the generator/verifier pair for `opts`.
-pub fn build_loop(opts: &SynthOptions) -> (GenAdapter, VerAdapter) {
-    let generator = SmtGenerator::new(
+fn make_generator(opts: &SynthOptions) -> GenAdapter {
+    GenAdapter::new(SmtGenerator::new(
         opts.shape.clone(),
         opts.net.clone(),
         opts.thresholds.clone(),
         opts.mode.feasibility(),
-    );
-    let verifier = CcaVerifier::new(VerifyConfig {
+    ))
+}
+
+fn make_verifier(opts: &SynthOptions) -> CcaVerifier {
+    CcaVerifier::new(VerifyConfig {
         net: opts.net.clone(),
         thresholds: opts.thresholds.clone(),
         worst_case: opts.mode.worst_case(),
         wce_precision: opts.wce_precision.clone(),
         incremental: opts.incremental,
-    });
-    (GenAdapter(generator), VerAdapter(verifier))
+    })
+}
+
+/// The replay prefilter matching `opts`' generator semantics.
+pub fn make_replay(opts: &SynthOptions) -> TraceReplay {
+    TraceReplay::new(opts.net.clone(), opts.thresholds.clone(), opts.mode.feasibility())
+}
+
+/// Build the generator/verifier pair for `opts`.
+pub fn build_loop(opts: &SynthOptions) -> (GenAdapter, VerAdapter) {
+    (make_generator(opts), VerAdapter::new(make_verifier(opts)))
 }
 
 /// Run CEGIS until the first solution (or exhaustion/budget).
+///
+/// `opts.threads == 1` runs the serial loop with the concrete replay
+/// prefilter; `> 1` fans candidate batches out to that many worker
+/// verifiers through [`ccmatic_cegis::run_parallel`].
 pub fn synthesize(opts: &SynthOptions) -> SynthResult {
-    let (mut generator, mut verifier) = build_loop(opts);
-    let run = ccmatic_cegis::run(&mut generator, &mut verifier, &opts.budget);
+    let mut generator = make_generator(opts);
+    let replayer = make_replay(opts);
+    let replay = |c: &CcaSpec, cex: &Trace| replayer.refutes(c, cex);
+    let probes = Arc::new(AtomicU64::new(0));
+    let run = if opts.threads <= 1 {
+        let mut verifier = VerAdapter::with_probe_sink(make_verifier(opts), probes.clone());
+        ccmatic_cegis::run_with_replay(&mut generator, &mut verifier, replay, &opts.budget)
+    } else {
+        let cfg = ParallelConfig::new(opts.threads);
+        ccmatic_cegis::run_parallel(
+            &mut generator,
+            |_worker| VerAdapter::with_probe_sink(make_verifier(opts), probes.clone()),
+            replay,
+            &opts.budget,
+            &cfg,
+        )
+    };
     SynthResult {
         outcome: run.outcome,
         stats: run.stats,
-        verifier_probes: verifier.0.solver_probes,
+        verifier_probes: probes.load(Ordering::Relaxed),
     }
 }
 
@@ -173,6 +278,7 @@ mod tests {
             budget: Budget { max_iterations: 400, max_wall: Duration::from_secs(240) },
             wce_precision: Rat::new(1i64.into(), 2i64.into()),
             incremental: true,
+            threads: 1,
         }
     }
 

@@ -26,10 +26,11 @@ use ccac_model::{
     alloc_net_vars, desired_property, network_constraints, sender_constraints, NetConfig, NetVars,
     Thresholds, Trace,
 };
+use ccmatic_cegis::Verdict;
 use ccmatic_num::Rat;
 use ccmatic_smt::{
-    maximize, maximize_scoped, Context, LinExpr, MaximizeOutcome, MaximizeParams, RealVar,
-    SatResult, Solver, Term,
+    maximize, maximize_scoped, Context, Interrupt, LinExpr, MaximizeOutcome, MaximizeParams,
+    RealVar, SatResult, Solver, Term,
 };
 
 /// Verification parameters.
@@ -134,19 +135,37 @@ impl CcaVerifier {
     }
 
     /// The WCE bracket parameters for this network shape.
-    fn wce_params(&self) -> MaximizeParams {
+    fn wce_params(&self, interrupt: &Interrupt) -> MaximizeParams {
         let hi = Rat::from((self.cfg.net.t_max() + self.cfg.net.history as i64).max(1));
         MaximizeParams {
             lo: Rat::zero(),
             hi,
             precision: self.cfg.wce_precision.clone(),
             conflict_budget: None,
+            interrupt: interrupt.clone(),
         }
     }
 
     /// Check the candidate. `Ok(())` certifies it against every admitted
     /// trace; `Err(trace)` is a concrete counterexample.
     pub fn verify(&mut self, spec: &CcaSpec) -> Result<(), Trace> {
+        match self.verify_interruptible(spec, &Interrupt::none()) {
+            Verdict::Pass => Ok(()),
+            Verdict::Fail(trace) => Err(trace),
+            Verdict::Timeout => unreachable!("uninterrupted verify cannot time out"),
+        }
+    }
+
+    /// Like [`CcaVerifier::verify`], but giving up with [`Verdict::Timeout`]
+    /// once `interrupt` fires — polled inside the CDCL search loop, so a
+    /// deadline is honored mid-query, not just between candidates. An
+    /// interrupt firing mid-WCE-search after a violating trace was already
+    /// found still returns that trace (sound, merely not worst-case).
+    pub fn verify_interruptible(
+        &mut self,
+        spec: &CcaSpec,
+        interrupt: &Interrupt,
+    ) -> Verdict<Trace> {
         self.calls += 1;
         // The template needs S(t−1−lookback) for t = 0; the caller must
         // allocate enough history.
@@ -157,13 +176,13 @@ impl CcaVerifier {
             spec.beta.len()
         );
         if self.cfg.incremental {
-            self.verify_incremental(spec)
+            self.verify_incremental(spec, interrupt)
         } else {
-            self.verify_from_scratch(spec)
+            self.verify_from_scratch(spec, interrupt)
         }
     }
 
-    fn verify_from_scratch(&mut self, spec: &CcaSpec) -> Result<(), Trace> {
+    fn verify_from_scratch(&mut self, spec: &CcaSpec, interrupt: &Interrupt) -> Verdict<Trace> {
         let mut ctx = Context::new();
         let (nv, query) = self.violation_query(&mut ctx, spec);
         if self.cfg.worst_case {
@@ -177,32 +196,35 @@ impl CcaVerifier {
                 cs.push(ctx.le(LinExpr::var(m), band));
             }
             let base = ctx.and(cs);
-            let params = self.wce_params();
+            let params = self.wce_params(interrupt);
             match maximize(&mut ctx, base, &LinExpr::var(m), &params) {
                 MaximizeOutcome::Infeasible => {
                     self.solver_probes += 1;
-                    Ok(())
+                    Verdict::Pass
                 }
                 MaximizeOutcome::Feasible { model, probes, .. } => {
                     self.solver_probes += probes as u64;
-                    Err(Trace::from_model(&model, &nv))
+                    Verdict::Fail(Trace::from_model(&model, &nv))
+                }
+                MaximizeOutcome::Aborted => {
+                    self.solver_probes += 1;
+                    Verdict::Timeout
                 }
             }
         } else {
             self.solver_probes += 1;
             let mut solver = Solver::new();
+            solver.interrupt = interrupt.clone();
             solver.assert(&ctx, query);
             match solver.check(&ctx) {
-                SatResult::Unsat => Ok(()),
-                SatResult::Sat => Err(Trace::from_model(solver.model().unwrap(), &nv)),
-                SatResult::Unknown => {
-                    unreachable!("verifier runs without a conflict budget")
-                }
+                SatResult::Unsat => Verdict::Pass,
+                SatResult::Sat => Verdict::Fail(Trace::from_model(solver.model().unwrap(), &nv)),
+                SatResult::Unknown => Verdict::Timeout,
             }
         }
     }
 
-    fn verify_incremental(&mut self, spec: &CcaSpec) -> Result<(), Trace> {
+    fn verify_incremental(&mut self, spec: &CcaSpec, interrupt: &Interrupt) -> Verdict<Trace> {
         if self.inc.is_none() {
             let mut ctx = Context::new();
             let nv = alloc_net_vars(&mut ctx, &self.cfg.net);
@@ -227,7 +249,7 @@ impl CcaVerifier {
             };
             self.inc = Some(IncState { ctx, nv, solver, band });
         }
-        let params = self.wce_params();
+        let params = self.wce_params(interrupt);
         let st = self.inc.as_mut().expect("just built");
 
         st.solver.push();
@@ -237,21 +259,28 @@ impl CcaVerifier {
             match maximize_scoped(&mut st.ctx, &mut st.solver, &LinExpr::var(m), &params) {
                 MaximizeOutcome::Infeasible => {
                     self.solver_probes += 1;
-                    Ok(())
+                    Verdict::Pass
                 }
                 MaximizeOutcome::Feasible { model, probes, .. } => {
                     self.solver_probes += probes as u64;
-                    Err(Trace::from_model(&model, &st.nv))
+                    Verdict::Fail(Trace::from_model(&model, &st.nv))
+                }
+                MaximizeOutcome::Aborted => {
+                    self.solver_probes += 1;
+                    Verdict::Timeout
                 }
             }
         } else {
             self.solver_probes += 1;
-            match st.solver.check(&st.ctx) {
-                SatResult::Unsat => Ok(()),
-                SatResult::Sat => Err(Trace::from_model(st.solver.model().unwrap(), &st.nv)),
-                SatResult::Unknown => {
-                    unreachable!("verifier runs without a conflict budget")
+            let saved = std::mem::replace(&mut st.solver.interrupt, interrupt.clone());
+            let res = st.solver.check(&st.ctx);
+            st.solver.interrupt = saved;
+            match res {
+                SatResult::Unsat => Verdict::Pass,
+                SatResult::Sat => {
+                    Verdict::Fail(Trace::from_model(st.solver.model().unwrap(), &st.nv))
                 }
+                SatResult::Unknown => Verdict::Timeout,
             }
         };
         st.solver.pop();

@@ -1,0 +1,139 @@
+//! Differential tests: the speculative parallel engine must agree with the
+//! serial CEGIS loop on every observable outcome.
+//!
+//! What "agree" means here: the outcome *kind* (solution / no-solution /
+//! budget) is deterministic across thread counts, and any solution
+//! re-verifies against a fresh verifier. Solution *identity* is not
+//! asserted — worker solvers keep warm heuristic state, so different
+//! fan-outs may surface different (equally valid) members of the solution
+//! set, exactly as the engine's determinism model documents.
+
+use ccac_model::{NetConfig, Thresholds};
+use ccmatic::synth::{synthesize, OptMode, SynthOptions, SynthResult};
+use ccmatic::template::{CcaSpec, CoeffDomain, TemplateShape};
+use ccmatic::verifier::{CcaVerifier, VerifyConfig};
+use ccmatic_cegis::{Budget, Outcome};
+use ccmatic_num::Rat;
+use std::time::{Duration, Instant};
+
+fn base_opts(shape: TemplateShape, net: NetConfig, threads: usize) -> SynthOptions {
+    SynthOptions {
+        shape,
+        net,
+        thresholds: Thresholds::default(),
+        mode: OptMode::RangePruningWce,
+        budget: Budget { max_iterations: 500, max_wall: Duration::from_secs(240) },
+        wce_precision: Rat::new(1i64.into(), 2i64.into()),
+        incremental: true,
+        threads,
+    }
+}
+
+fn small_opts(threads: usize) -> SynthOptions {
+    base_opts(
+        TemplateShape { lookback: 3, use_cwnd: false, domain: CoeffDomain::Small },
+        NetConfig { horizon: 6, history: 4, link_rate: Rat::one(), jitter: 1, buffer: None },
+        threads,
+    )
+}
+
+fn outcome_kind(o: &Outcome<CcaSpec>) -> &'static str {
+    match o {
+        Outcome::Solution(_) => "solution",
+        Outcome::NoSolution => "no-solution",
+        Outcome::BudgetExhausted => "budget",
+    }
+}
+
+/// `verifier_calls == (iterations − replay_hits − empty_final_round)
+/// + speculative_wasted` — the engine's documented accounting identity.
+fn assert_stats_invariant(r: &SynthResult, threads: usize) {
+    let empty_final = u64::from(matches!(r.outcome, Outcome::NoSolution));
+    assert_eq!(
+        r.stats.verifier_calls,
+        r.stats.iterations - r.stats.replay_hits - empty_final + r.stats.speculative_wasted,
+        "stats identity broken at {threads} threads: {:?}",
+        r.stats
+    );
+}
+
+fn reverify(opts: &SynthOptions, spec: &CcaSpec, threads: usize) {
+    let mut v = CcaVerifier::new(VerifyConfig {
+        net: opts.net.clone(),
+        thresholds: opts.thresholds.clone(),
+        worst_case: false,
+        wce_precision: opts.wce_precision.clone(),
+        incremental: true,
+    });
+    assert!(
+        v.verify(spec).is_ok(),
+        "solution from {threads}-thread run failed re-verification: {spec}"
+    );
+}
+
+#[test]
+fn solution_outcome_agrees_across_thread_counts() {
+    let mut kinds = Vec::new();
+    for threads in [1usize, 2, 4] {
+        let opts = small_opts(threads);
+        let r = synthesize(&opts);
+        assert_stats_invariant(&r, threads);
+        if let Outcome::Solution(spec) = &r.outcome {
+            reverify(&opts, spec, threads);
+        }
+        kinds.push((threads, outcome_kind(&r.outcome)));
+    }
+    // The small no-cwnd space is known to contain RoCC-like solutions.
+    for (threads, kind) in &kinds {
+        assert_eq!(*kind, "solution", "{threads}-thread run: {kinds:?}");
+    }
+}
+
+#[test]
+fn no_solution_verdict_agrees_across_thread_counts() {
+    // Demanding 100% utilization with a zero queue bound excludes the whole
+    // tiny space; every fan-out must *prove* emptiness, not time out.
+    let mut opts = base_opts(
+        TemplateShape { lookback: 2, use_cwnd: false, domain: CoeffDomain::Small },
+        NetConfig { horizon: 5, history: 3, link_rate: Rat::one(), jitter: 1, buffer: None },
+        1,
+    );
+    opts.thresholds = Thresholds { util: Rat::one(), delay: Rat::zero() };
+    for threads in [1usize, 2, 4] {
+        opts.threads = threads;
+        let r = synthesize(&opts);
+        assert_eq!(
+            outcome_kind(&r.outcome),
+            "no-solution",
+            "{threads}-thread run: {:?}",
+            r.outcome
+        );
+        assert_stats_invariant(&r, threads);
+    }
+}
+
+#[test]
+fn wall_budget_interrupts_mid_query_on_large_domain() {
+    // The Large-domain WCE searches run far past 5 s per query; without the
+    // in-solver interrupt the loop could only notice the deadline between
+    // iterations, minutes late. Accept a ~3 s grace for the fixpoint-poll
+    // granularity and scheduling.
+    for threads in [1usize, 2] {
+        let mut opts = base_opts(
+            TemplateShape { lookback: 4, use_cwnd: false, domain: CoeffDomain::Large },
+            NetConfig { horizon: 9, history: 5, link_rate: Rat::one(), jitter: 1, buffer: None },
+            threads,
+        );
+        opts.budget = Budget { max_iterations: 1_000_000, max_wall: Duration::from_secs(5) };
+        let start = Instant::now();
+        let r = synthesize(&opts);
+        let elapsed = start.elapsed();
+        assert!(
+            elapsed < Duration::from_secs(8),
+            "{threads}-thread run overshot its 5s wall budget: {elapsed:?}"
+        );
+        if let Outcome::Solution(spec) = &r.outcome {
+            reverify(&opts, spec, threads);
+        }
+    }
+}

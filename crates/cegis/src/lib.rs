@@ -16,7 +16,35 @@
 //! loop drives CCA synthesis ([`ccmatic`](../ccmatic/index.html)), ABR
 //! verification tuning, and the unit-test toy domains below.
 
+pub mod parallel;
+
+pub use parallel::{run_parallel, ParallelConfig};
+
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Result of one batched (and possibly deadline-limited) proposal.
+#[derive(Debug)]
+pub struct BatchProposal<C> {
+    /// Up to `k` mutually distinct candidates, each consistent with every
+    /// learned counterexample. Fewer than `k` (but more than zero) means
+    /// the space holds fewer than `k` remaining candidates; zero with
+    /// `interrupted == false` means the space is exhausted (a completeness
+    /// claim: no solution exists).
+    pub candidates: Vec<C>,
+    /// The deadline fired mid-search; no exhaustion claim is made. Any
+    /// candidates gathered before the interrupt are still valid.
+    pub interrupted: bool,
+}
+
+impl<C> BatchProposal<C> {
+    /// A single-candidate (or exhausted) proposal, for generators without
+    /// native batching.
+    pub fn single(c: Option<C>) -> Self {
+        BatchProposal { candidates: c.into_iter().collect(), interrupted: false }
+    }
+}
 
 /// Proposes candidates consistent with all counterexamples learned so far.
 pub trait Generator {
@@ -30,8 +58,37 @@ pub trait Generator {
     /// proves no solution exists).
     fn propose(&mut self) -> Option<Self::Candidate>;
 
-    /// Incorporate a counterexample that broke `candidate`.
+    /// Incorporate a counterexample that broke `candidate`. The engine may
+    /// re-submit a counterexample it already learned (when the concrete
+    /// replay prefilter kills a candidate with an old trace); generators
+    /// are free to deduplicate.
     fn learn(&mut self, candidate: &Self::Candidate, cex: &Self::CounterExample);
+
+    /// Produce up to `k` mutually distinct candidates, optionally giving up
+    /// at `deadline`. The default ignores batching and the deadline and
+    /// defers to [`Generator::propose`]; SMT-backed generators override it
+    /// with scoped blocking clauses so one warm solver yields the whole
+    /// batch.
+    fn propose_batch(
+        &mut self,
+        k: usize,
+        deadline: Option<Instant>,
+    ) -> BatchProposal<Self::Candidate> {
+        let _ = (k, deadline);
+        BatchProposal::single(self.propose())
+    }
+}
+
+/// A verifier's answer for one candidate.
+#[derive(Clone, Debug)]
+pub enum Verdict<X> {
+    /// The candidate satisfies the specification for all traces.
+    Pass,
+    /// A concrete trace breaking the candidate.
+    Fail(X),
+    /// The deadline or cancellation fired before the verifier decided; no
+    /// claim is made either way.
+    Timeout,
 }
 
 /// Checks candidates against the full (usually infinite) trace space.
@@ -44,6 +101,23 @@ pub trait Verifier {
     /// Return `Ok(())` if the candidate satisfies the specification for all
     /// traces, or a counterexample that breaks it.
     fn verify(&mut self, candidate: &Self::Candidate) -> Result<(), Self::CounterExample>;
+
+    /// Like [`Verifier::verify`], but giving up (with [`Verdict::Timeout`])
+    /// once `deadline` passes or `cancel` is raised. The default ignores
+    /// both and blocks until `verify` finishes — correct, but unable to
+    /// honor a wall budget mid-query.
+    fn verify_interruptible(
+        &mut self,
+        candidate: &Self::Candidate,
+        deadline: Option<Instant>,
+        cancel: Option<&Arc<AtomicBool>>,
+    ) -> Verdict<Self::CounterExample> {
+        let _ = (deadline, cancel);
+        match self.verify(candidate) {
+            Ok(()) => Verdict::Pass,
+            Err(cex) => Verdict::Fail(cex),
+        }
+    }
 }
 
 /// Budget limits for a CEGIS run.
@@ -75,6 +149,14 @@ pub struct Stats {
     /// called multiple times per iteration, e.g. worst-case-counterexample
     /// binary search counts each probe via [`Stats::note_extra_verifier_calls`]).
     pub verifier_calls: u64,
+    /// Candidates killed by the concrete counterexample-replay prefilter —
+    /// refuted by re-running an already-learned trace against the
+    /// candidate's rule directly, without an SMT call.
+    pub replay_hits: u64,
+    /// Speculative verifier results discarded without being committed (the
+    /// parallel engine only: work overtaken by a lower-index sibling's
+    /// counterexample or solution).
+    pub speculative_wasted: u64,
     /// Total wall-clock of the run.
     pub wall: Duration,
 }
@@ -141,6 +223,10 @@ where
     F: FnMut(Event<'_, G::Candidate, G::CounterExample>),
 {
     let start = Instant::now();
+    // The deadline is threaded into both oracles so a single long proposal
+    // or WCE binary search cannot blow far past `max_wall` (it used to be
+    // checked only between iterations).
+    let deadline = start.checked_add(budget.max_wall);
     let mut stats = Stats::default();
     loop {
         if stats.iterations >= budget.max_iterations || start.elapsed() >= budget.max_wall {
@@ -150,34 +236,129 @@ where
         stats.iterations += 1;
 
         let g0 = Instant::now();
-        let candidate = generator.propose();
+        let proposal = generator.propose_batch(1, deadline);
         stats.generator_time += g0.elapsed();
-        let Some(candidate) = candidate else {
+        let Some(candidate) = proposal.candidates.into_iter().next() else {
             stats.wall = start.elapsed();
-            return RunResult { outcome: Outcome::NoSolution, stats };
+            let outcome =
+                if proposal.interrupted { Outcome::BudgetExhausted } else { Outcome::NoSolution };
+            return RunResult { outcome, stats };
         };
         progress(Event::Proposed(stats.iterations, &candidate));
 
         let v0 = Instant::now();
-        let verdict = verifier.verify(&candidate);
+        let verdict = verifier.verify_interruptible(&candidate, deadline, None);
         stats.verifier_time += v0.elapsed();
         stats.verifier_calls += 1;
 
         match verdict {
-            Ok(()) => {
+            Verdict::Pass => {
                 progress(Event::Certified(stats.iterations, &candidate));
                 stats.wall = start.elapsed();
                 return RunResult { outcome: Outcome::Solution(candidate), stats };
             }
-            Err(cex) => {
+            Verdict::Fail(cex) => {
                 progress(Event::Refuted(stats.iterations, &candidate, &cex));
                 let g1 = Instant::now();
                 generator.learn(&candidate, &cex);
                 stats.generator_time += g1.elapsed();
             }
+            Verdict::Timeout => {
+                stats.wall = start.elapsed();
+                return RunResult { outcome: Outcome::BudgetExhausted, stats };
+            }
         }
     }
 }
+
+/// Serial CEGIS with the concrete counterexample-replay prefilter: before
+/// paying for an SMT verifier call, re-run every learned trace against the
+/// new candidate via `replay` (`replay(c, τ) == true` means τ concretely
+/// refutes `c`). A replay kill counts as an iteration and is fed back
+/// through [`Generator::learn`] with the old trace, but costs no verifier
+/// call.
+///
+/// With an exact generator (one whose learned constraints exclude every
+/// replay-refutable candidate, like the SMT generator) the prefilter never
+/// fires on the serial path — it is a cross-check there, and pays off in
+/// the parallel engine where batch-mates are proposed before each other's
+/// counterexamples exist. A consecutive-kill cap forces an SMT call every
+/// `REPLAY_KILL_CAP` kills so inexact generators still make progress.
+pub fn run_with_replay<G, V, R>(
+    generator: &mut G,
+    verifier: &mut V,
+    replay: R,
+    budget: &Budget,
+) -> RunResult<G::Candidate>
+where
+    G: Generator,
+    V: Verifier<Candidate = G::Candidate, CounterExample = G::CounterExample>,
+    G::CounterExample: Clone,
+    R: Fn(&G::Candidate, &G::CounterExample) -> bool,
+{
+    let start = Instant::now();
+    let deadline = start.checked_add(budget.max_wall);
+    let mut stats = Stats::default();
+    let mut learned: Vec<G::CounterExample> = Vec::new();
+    let mut consecutive_kills = 0u32;
+    loop {
+        if stats.iterations >= budget.max_iterations || start.elapsed() >= budget.max_wall {
+            stats.wall = start.elapsed();
+            return RunResult { outcome: Outcome::BudgetExhausted, stats };
+        }
+        stats.iterations += 1;
+
+        let g0 = Instant::now();
+        let proposal = generator.propose_batch(1, deadline);
+        stats.generator_time += g0.elapsed();
+        let Some(candidate) = proposal.candidates.into_iter().next() else {
+            stats.wall = start.elapsed();
+            let outcome =
+                if proposal.interrupted { Outcome::BudgetExhausted } else { Outcome::NoSolution };
+            return RunResult { outcome, stats };
+        };
+
+        if consecutive_kills < REPLAY_KILL_CAP {
+            if let Some(cex) = learned.iter().find(|x| replay(&candidate, x)) {
+                stats.replay_hits += 1;
+                consecutive_kills += 1;
+                let cex = cex.clone();
+                let g1 = Instant::now();
+                generator.learn(&candidate, &cex);
+                stats.generator_time += g1.elapsed();
+                continue;
+            }
+        }
+        consecutive_kills = 0;
+
+        let v0 = Instant::now();
+        let verdict = verifier.verify_interruptible(&candidate, deadline, None);
+        stats.verifier_time += v0.elapsed();
+        stats.verifier_calls += 1;
+
+        match verdict {
+            Verdict::Pass => {
+                stats.wall = start.elapsed();
+                return RunResult { outcome: Outcome::Solution(candidate), stats };
+            }
+            Verdict::Fail(cex) => {
+                let g1 = Instant::now();
+                generator.learn(&candidate, &cex);
+                stats.generator_time += g1.elapsed();
+                learned.push(cex);
+            }
+            Verdict::Timeout => {
+                stats.wall = start.elapsed();
+                return RunResult { outcome: Outcome::BudgetExhausted, stats };
+            }
+        }
+    }
+}
+
+/// After this many consecutive replay kills, [`run_with_replay`] forces an
+/// SMT verifier call regardless, so a generator whose `learn` is weaker
+/// than the replay semantics cannot starve the loop.
+const REPLAY_KILL_CAP: u32 = 32;
 
 #[cfg(test)]
 mod tests {
@@ -298,6 +479,39 @@ mod tests {
         });
         assert!(matches!(r.outcome, Outcome::Solution(2)));
         assert_eq!(log, vec!["P1:0", "R1:0:0", "P2:1", "R2:1:1", "P3:2", "C3:2"],);
+    }
+
+    #[test]
+    fn replay_prefilter_saves_verifier_calls() {
+        // Worst-case counterexamples + baseline (one-value-per-learn)
+        // generator: the replay prefilter kills the whole failing prefix
+        // without SMT calls, with the consecutive-kill cap forcing an
+        // occasional real verification.
+        let mut g = EnumGen { remaining: (0..=100).collect(), range_pruning: false };
+        let mut v = ThresholdVerifier { hidden: 37, calls: 0, worst_case: true };
+        let r = run_with_replay(&mut g, &mut v, |c, x| c <= x, &Budget::default());
+        match r.outcome {
+            Outcome::Solution(c) => assert_eq!(c, 37),
+            other => panic!("expected solution, got {other:?}"),
+        }
+        // c0 verified (cex 36), c1..c32 replay-killed (cap), c33 verified,
+        // c34..c36 replay-killed, c37 verified and certified.
+        assert_eq!(r.stats.replay_hits, 35);
+        assert_eq!(r.stats.verifier_calls, 3);
+        assert_eq!(r.stats.iterations, 38);
+        assert_eq!(v.calls, 3);
+    }
+
+    #[test]
+    fn replay_never_fires_with_exact_generator() {
+        // Range pruning learns exactly what replay checks, so the prefilter
+        // must never fire — the serial-path cross-check the parallel engine
+        // relies on.
+        let mut g = EnumGen { remaining: (0..=100).collect(), range_pruning: true };
+        let mut v = ThresholdVerifier { hidden: 37, calls: 0, worst_case: true };
+        let r = run_with_replay(&mut g, &mut v, |c, x| c <= x, &Budget::default());
+        assert!(matches!(r.outcome, Outcome::Solution(37)));
+        assert_eq!(r.stats.replay_hits, 0);
     }
 
     #[test]

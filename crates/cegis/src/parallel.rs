@@ -1,0 +1,620 @@
+//! The speculative parallel CEGIS engine.
+//!
+//! Serial CEGIS is a strict propose→verify ping-pong, so on a multicore
+//! host all but one core idles while the verifier grinds. This engine
+//! speculates: each round the generator proposes a *batch* of `k` mutually
+//! distinct candidates (all consistent with every counterexample committed
+//! so far), a pool of worker threads verifies them concurrently, and the
+//! main thread *commits* the results strictly in batch order — exactly the
+//! order the serial loop would have processed them.
+//!
+//! Speculation is wrong whenever a lower-index batch-mate's counterexample
+//! would have changed the generator's mind about a higher-index candidate.
+//! Two mechanisms keep that cheap:
+//!
+//! * **Concrete replay prefilter** — before a worker starts (and again when
+//!   the committer reaches the slot), the candidate is re-run against every
+//!   *committed* counterexample trace via the caller's `replay` closure: a
+//!   deterministic, SMT-free evaluation of the candidate's rule on the
+//!   trace. A hit kills the candidate for pennies (`Stats::replay_hits`).
+//! * **Cancellation** — every slot carries a cancel token wired down into
+//!   the worker's solver ([`Verifier::verify_interruptible`]); when the
+//!   committer kills a slot (replay hit) or the run ends (solution /
+//!   budget), in-flight solves abort at their next propagation fixpoint.
+//!   Results that complete anyway are discarded and counted in
+//!   [`Stats::speculative_wasted`].
+//!
+//! # Determinism model
+//!
+//! The merge is deterministic: workers never touch the generator or the
+//! committed-counterexample list; only the single committer does, in batch
+//! order, and the first *committed* `Pass` (lowest batch index) wins.
+//! Workers consult only the committed list for replay (their snapshot is
+//! always a prefix of what the committer sees at commit time, so a worker
+//! skip is always justified at commit, and the committer re-derives every
+//! skip itself from the authoritative list). What is *not* bit-reproducible
+//! across thread counts is counterexample content: per-worker verifiers
+//! stay warm across calls, and which worker verifies which candidate
+//! depends on scheduling, so a refuted candidate may yield a different
+//! (equally valid) trace and steer the generator down a different — equally
+//! sound — path. Verdict kinds per candidate are semantically deterministic
+//! (a candidate passes or fails independent of solver state), which is what
+//! the differential suite in `crates/ccmatic/tests/parallel_differential.rs`
+//! pins down: outcome kinds agree across thread counts and every solution
+//! re-verifies.
+//!
+//! # Stats invariant
+//!
+//! `verifier_calls == (iterations - replay_hits - empty_final_round) +
+//! speculative_wasted`, where `empty_final_round` is 1 when the run ends by
+//! exhaustion (the final empty proposal costs an iteration, matching the
+//! serial loop) and 0 otherwise. Every committed candidate is either a
+//! replay hit or consumed exactly one SMT verdict; every uncommitted SMT
+//! verdict is wasted speculation.
+
+use crate::{Budget, Generator, Outcome, RunResult, Stats, Verdict, Verifier};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Shape of the speculative fan-out.
+#[derive(Clone, Debug)]
+pub struct ParallelConfig {
+    /// Worker threads verifying candidates concurrently. Clamped to ≥ 1.
+    pub threads: usize,
+    /// Candidates proposed per round. Defaults to `threads` via
+    /// [`ParallelConfig::new`]; a larger batch deepens speculation (more
+    /// replay kills, more wasted work), a batch of 1 degenerates to the
+    /// serial loop on a worker thread.
+    pub batch: usize,
+}
+
+impl ParallelConfig {
+    /// `threads` workers, one proposed candidate per worker per round.
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        ParallelConfig { threads, batch: threads }
+    }
+}
+
+/// One speculative candidate's lifecycle, indexed by batch position.
+enum Slot<X> {
+    /// Queued or being verified.
+    Pending,
+    /// The committer killed it (replay hit) before a verdict landed.
+    Dead,
+    /// A worker's replay prefilter killed it against the committed list.
+    Skipped,
+    /// SMT verdict available, not yet committed.
+    Done(Verdict<X>, Duration),
+    /// The committer consumed the verdict.
+    Consumed,
+}
+
+struct Job<C> {
+    index: usize,
+    candidate: C,
+}
+
+struct State<C, X> {
+    jobs: VecDeque<Job<C>>,
+    slots: Vec<Slot<X>>,
+    /// Per-slot cancel tokens for the current round.
+    tokens: Vec<Arc<AtomicBool>>,
+    /// Every committed counterexample, append-only, written only by the
+    /// committer. Workers replay candidates against a snapshot of this.
+    committed: Vec<X>,
+    in_flight: usize,
+    shutdown: bool,
+}
+
+struct Shared<C, X> {
+    state: Mutex<State<C, X>>,
+    /// Workers wait here for jobs.
+    work_ready: Condvar,
+    /// The committer waits here for slot results and quiescence.
+    result_ready: Condvar,
+}
+
+/// Run CEGIS with speculative batched verification.
+///
+/// `make_verifier(i)` builds worker `i`'s private verifier (verifiers keep
+/// warm solver state, so each worker owns one). `replay(c, τ)` must return
+/// `true` iff trace `τ` concretely refutes candidate `c` — it is the
+/// SMT-free prefilter and must agree with the verifier's semantics (a
+/// `false` is always safe; a wrong `true` would discard a viable
+/// candidate).
+pub fn run_parallel<G, V, R>(
+    generator: &mut G,
+    make_verifier: impl FnMut(usize) -> V,
+    replay: R,
+    budget: &Budget,
+    cfg: &ParallelConfig,
+) -> RunResult<G::Candidate>
+where
+    G: Generator,
+    G::Candidate: Clone + Send,
+    G::CounterExample: Clone + Send,
+    V: Verifier<Candidate = G::Candidate, CounterExample = G::CounterExample> + Send,
+    R: Fn(&G::Candidate, &G::CounterExample) -> bool + Sync,
+{
+    let threads = cfg.threads.max(1);
+    let start = Instant::now();
+    let deadline = start.checked_add(budget.max_wall);
+    let mut stats = Stats::default();
+
+    let shared: Shared<G::Candidate, G::CounterExample> = Shared {
+        state: Mutex::new(State {
+            jobs: VecDeque::new(),
+            slots: Vec::new(),
+            tokens: Vec::new(),
+            committed: Vec::new(),
+            in_flight: 0,
+            shutdown: false,
+        }),
+        work_ready: Condvar::new(),
+        result_ready: Condvar::new(),
+    };
+    let mut verifiers: Vec<V> = Vec::with_capacity(threads);
+    let mut make_verifier = make_verifier;
+    for i in 0..threads {
+        verifiers.push(make_verifier(i));
+    }
+
+    let outcome = std::thread::scope(|scope| {
+        for mut verifier in verifiers.drain(..) {
+            let shared = &shared;
+            let replay = &replay;
+            scope.spawn(move || worker_loop(shared, &mut verifier, replay, deadline));
+        }
+        let result = commit_loop(generator, &shared, &replay, budget, cfg, start, &mut stats);
+        // Shut the pool down and wait for in-flight solves to abort, so
+        // late results are accounted before the scope joins.
+        let mut st = shared.state.lock().unwrap();
+        st.shutdown = true;
+        st.jobs.clear();
+        for token in &st.tokens {
+            token.store(true, Ordering::Relaxed);
+        }
+        shared.work_ready.notify_all();
+        while st.in_flight > 0 {
+            st = shared.result_ready.wait(st).unwrap();
+        }
+        // Anything finished-but-uncommitted is wasted speculation.
+        for slot in st.slots.iter_mut() {
+            if let Slot::Done(_, dt) = slot {
+                stats.verifier_calls += 1;
+                stats.verifier_time += *dt;
+                stats.speculative_wasted += 1;
+                *slot = Slot::Consumed;
+            }
+        }
+        drop(st);
+        shared.work_ready.notify_all();
+        result
+    });
+
+    stats.wall = start.elapsed();
+    RunResult { outcome, stats }
+}
+
+fn worker_loop<C, X, V, R>(
+    shared: &Shared<C, X>,
+    verifier: &mut V,
+    replay: &R,
+    deadline: Option<Instant>,
+) where
+    C: Clone + Send,
+    X: Clone + Send,
+    V: Verifier<Candidate = C, CounterExample = X>,
+    R: Fn(&C, &X) -> bool,
+{
+    loop {
+        let (job, token) = {
+            let mut st = shared.state.lock().unwrap();
+            loop {
+                if st.shutdown && st.jobs.is_empty() {
+                    return;
+                }
+                if let Some(job) = st.jobs.pop_front() {
+                    if matches!(st.slots[job.index], Slot::Dead) {
+                        // Killed while queued; drop silently (the committer
+                        // already accounted it).
+                        continue;
+                    }
+                    // Replay against the committed list. Cheap concrete
+                    // arithmetic, so holding the lock is fine and keeps the
+                    // snapshot trivially a prefix of the commit-time list.
+                    if st.committed.iter().any(|x| replay(&job.candidate, x)) {
+                        st.slots[job.index] = Slot::Skipped;
+                        shared.result_ready.notify_all();
+                        continue;
+                    }
+                    st.in_flight += 1;
+                    let token = st.tokens[job.index].clone();
+                    break (job, token);
+                }
+                st = shared.work_ready.wait(st).unwrap();
+            }
+        };
+        let t0 = Instant::now();
+        let verdict = verifier.verify_interruptible(&job.candidate, deadline, Some(&token));
+        let dt = t0.elapsed();
+        let mut st = shared.state.lock().unwrap();
+        st.in_flight -= 1;
+        st.slots[job.index] = Slot::Done(verdict, dt);
+        shared.result_ready.notify_all();
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn commit_loop<G, R>(
+    generator: &mut G,
+    shared: &Shared<G::Candidate, G::CounterExample>,
+    replay: &R,
+    budget: &Budget,
+    cfg: &ParallelConfig,
+    start: Instant,
+    stats: &mut Stats,
+) -> Outcome<G::Candidate>
+where
+    G: Generator,
+    G::Candidate: Clone + Send,
+    G::CounterExample: Clone + Send,
+    R: Fn(&G::Candidate, &G::CounterExample) -> bool,
+{
+    let deadline = start.checked_add(budget.max_wall);
+    loop {
+        if stats.iterations >= budget.max_iterations || start.elapsed() >= budget.max_wall {
+            return Outcome::BudgetExhausted;
+        }
+        // Never speculate past the iteration budget.
+        let k = cfg.batch.max(1).min((budget.max_iterations - stats.iterations) as usize);
+
+        let g0 = Instant::now();
+        let proposal = generator.propose_batch(k, deadline);
+        stats.generator_time += g0.elapsed();
+        if proposal.candidates.is_empty() {
+            if proposal.interrupted {
+                return Outcome::BudgetExhausted;
+            }
+            // The final empty proposal costs an iteration, matching the
+            // serial loop's accounting.
+            stats.iterations += 1;
+            return Outcome::NoSolution;
+        }
+        let candidates = proposal.candidates;
+
+        // Publish the round.
+        {
+            let mut st = shared.state.lock().unwrap();
+            st.slots = (0..candidates.len()).map(|_| Slot::Pending).collect();
+            st.tokens = (0..candidates.len()).map(|_| Arc::new(AtomicBool::new(false))).collect();
+            for (index, candidate) in candidates.iter().enumerate() {
+                st.jobs.push_back(Job { index, candidate: candidate.clone() });
+            }
+            shared.work_ready.notify_all();
+        }
+
+        // Commit in batch order.
+        let mut round_outcome: Option<Outcome<G::Candidate>> = None;
+        for (index, candidate) in candidates.iter().enumerate() {
+            stats.iterations += 1;
+            // Authoritative replay check against the full committed list
+            // (which now includes this round's lower-index traces).
+            let killed = {
+                let st = shared.state.lock().unwrap();
+                st.committed.iter().position(|x| replay(candidate, x))
+            };
+            if let Some(pos) = killed {
+                stats.replay_hits += 1;
+                let cex = {
+                    let mut st = shared.state.lock().unwrap();
+                    if matches!(st.slots[index], Slot::Pending) {
+                        st.slots[index] = Slot::Dead;
+                    }
+                    st.tokens[index].store(true, Ordering::Relaxed);
+                    st.committed[pos].clone()
+                };
+                // Feed the kill back so inexact generators still converge;
+                // exact generators (the SMT one) deduplicate re-learns.
+                let g1 = Instant::now();
+                generator.learn(candidate, &cex);
+                stats.generator_time += g1.elapsed();
+                continue;
+            }
+            // Wait for this slot's verdict.
+            let verdict = {
+                let mut st = shared.state.lock().unwrap();
+                loop {
+                    match &st.slots[index] {
+                        Slot::Pending => st = shared.result_ready.wait(st).unwrap(),
+                        Slot::Skipped => break None,
+                        Slot::Done(..) => {
+                            let slot = std::mem::replace(&mut st.slots[index], Slot::Consumed);
+                            let Slot::Done(v, dt) = slot else { unreachable!() };
+                            break Some((v, dt));
+                        }
+                        Slot::Dead | Slot::Consumed => {
+                            unreachable!("committer owns kills and consumption")
+                        }
+                    }
+                }
+            };
+            let Some((verdict, dt)) = verdict else {
+                // The worker skipped it against a committed-list snapshot;
+                // that snapshot is a prefix of what we just searched, so the
+                // authoritative check above must have caught it — unless the
+                // replay closure is non-deterministic. Re-derive defensively.
+                let cex = {
+                    let st = shared.state.lock().unwrap();
+                    st.committed.iter().find(|x| replay(candidate, x)).cloned()
+                };
+                stats.replay_hits += 1;
+                if let Some(cex) = cex {
+                    let g1 = Instant::now();
+                    generator.learn(candidate, &cex);
+                    stats.generator_time += g1.elapsed();
+                }
+                continue;
+            };
+            stats.verifier_calls += 1;
+            stats.verifier_time += dt;
+            match verdict {
+                Verdict::Pass => {
+                    round_outcome = Some(Outcome::Solution(candidate.clone()));
+                    break;
+                }
+                Verdict::Fail(cex) => {
+                    let g1 = Instant::now();
+                    generator.learn(candidate, &cex);
+                    stats.generator_time += g1.elapsed();
+                    let mut st = shared.state.lock().unwrap();
+                    st.committed.push(cex);
+                }
+                Verdict::Timeout => {
+                    round_outcome = Some(Outcome::BudgetExhausted);
+                    break;
+                }
+            }
+        }
+
+        // Quiesce the round: kill leftovers, drain, account wasted work.
+        let mut st = shared.state.lock().unwrap();
+        st.jobs.clear();
+        if round_outcome.is_some() {
+            for token in &st.tokens {
+                token.store(true, Ordering::Relaxed);
+            }
+        }
+        while st.in_flight > 0 {
+            st = shared.result_ready.wait(st).unwrap();
+        }
+        for slot in st.slots.iter_mut() {
+            if let Slot::Done(_, dt) = slot {
+                stats.verifier_calls += 1;
+                stats.verifier_time += *dt;
+                stats.speculative_wasted += 1;
+                *slot = Slot::Consumed;
+            }
+        }
+        drop(st);
+        if let Some(outcome) = round_outcome {
+            return outcome;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run;
+    use std::sync::atomic::AtomicU64;
+
+    /// The toy threshold domain from the crate root tests, with worst-case
+    /// counterexamples so replay has teeth: a cex `x` refutes any candidate
+    /// `c ≤ x`.
+    struct EnumGen {
+        remaining: Vec<i64>,
+    }
+
+    impl Generator for EnumGen {
+        type Candidate = i64;
+        type CounterExample = i64;
+
+        fn propose(&mut self) -> Option<i64> {
+            self.remaining.first().copied()
+        }
+
+        fn learn(&mut self, candidate: &i64, cex: &i64) {
+            let cut = (*candidate).max(*cex);
+            self.remaining.retain(|v| *v > cut);
+        }
+
+        fn propose_batch(
+            &mut self,
+            k: usize,
+            _deadline: Option<Instant>,
+        ) -> crate::BatchProposal<i64> {
+            crate::BatchProposal {
+                candidates: self.remaining.iter().take(k).copied().collect(),
+                interrupted: false,
+            }
+        }
+    }
+
+    struct ThresholdVerifier {
+        hidden: i64,
+        calls: Arc<AtomicU64>,
+    }
+
+    impl Verifier for ThresholdVerifier {
+        type Candidate = i64;
+        type CounterExample = i64;
+
+        fn verify(&mut self, candidate: &i64) -> Result<(), i64> {
+            self.calls.fetch_add(1, Ordering::Relaxed);
+            if *candidate >= self.hidden {
+                Ok(())
+            } else {
+                Err(*candidate)
+            }
+        }
+    }
+
+    fn toy_replay(c: &i64, x: &i64) -> bool {
+        c <= x
+    }
+
+    fn run_toy(hidden: i64, space: Vec<i64>, cfg: &ParallelConfig) -> (RunResult<i64>, u64) {
+        let mut g = EnumGen { remaining: space };
+        let calls = Arc::new(AtomicU64::new(0));
+        let calls2 = calls.clone();
+        let r = run_parallel(
+            &mut g,
+            move |_| ThresholdVerifier { hidden, calls: calls2.clone() },
+            toy_replay,
+            &Budget::default(),
+            cfg,
+        );
+        (r, calls.load(Ordering::Relaxed))
+    }
+
+    fn assert_stats_invariant(r: &RunResult<i64>) {
+        let empty_final = u64::from(matches!(r.outcome, Outcome::NoSolution));
+        assert_eq!(
+            r.stats.verifier_calls,
+            r.stats.iterations - r.stats.replay_hits - empty_final + r.stats.speculative_wasted,
+            "stats invariant violated: {:?}",
+            r.stats
+        );
+    }
+
+    #[test]
+    fn parallel_finds_solution_across_thread_counts() {
+        for threads in [1, 2, 4] {
+            let (r, calls) = run_toy(37, (0..=100).collect(), &ParallelConfig::new(threads));
+            match r.outcome {
+                Outcome::Solution(c) => assert_eq!(c, 37, "threads={threads}"),
+                ref other => panic!("threads={threads}: expected solution, got {other:?}"),
+            }
+            assert_eq!(calls, r.stats.verifier_calls, "threads={threads}");
+            assert_stats_invariant(&r);
+        }
+    }
+
+    #[test]
+    fn parallel_proves_no_solution() {
+        for threads in [1, 2, 4] {
+            let (r, _) = run_toy(1000, (0..=50).collect(), &ParallelConfig::new(threads));
+            assert!(matches!(r.outcome, Outcome::NoSolution), "threads={threads}: {:?}", r.outcome);
+            assert_stats_invariant(&r);
+        }
+    }
+
+    #[test]
+    fn replay_kills_batch_mates() {
+        // With batch 4 and candidates 0..3 all failing, candidate 0's cex
+        // (= 0) refutes nothing above it, but learn() prunes everything ≤
+        // max(candidate, cex); use a wider failing prefix so the committed
+        // trace from index 0 kills indices 1..3 via replay: hidden = 100,
+        // candidates 0,1,2,3 — cex from 0 is 0, replay kills nothing. So
+        // craft the verifier cex as worst-case instead.
+        struct WorstCase {
+            hidden: i64,
+        }
+        impl Verifier for WorstCase {
+            type Candidate = i64;
+            type CounterExample = i64;
+            fn verify(&mut self, candidate: &i64) -> Result<(), i64> {
+                if *candidate >= self.hidden {
+                    Ok(())
+                } else {
+                    Err(self.hidden - 1)
+                }
+            }
+        }
+        let mut g = EnumGen { remaining: (0..=40).collect() };
+        let r = run_parallel(
+            &mut g,
+            |_| WorstCase { hidden: 37 },
+            toy_replay,
+            &Budget::default(),
+            &ParallelConfig { threads: 2, batch: 4 },
+        );
+        assert!(matches!(r.outcome, Outcome::Solution(37)), "{:?}", r.outcome);
+        // The worst-case cex 36 from batch index 0 must have replay-killed
+        // later batch-mates.
+        assert!(r.stats.replay_hits > 0, "{:?}", r.stats);
+        assert_stats_invariant(&r);
+    }
+
+    #[test]
+    fn iteration_budget_bounds_speculation() {
+        let budget = Budget { max_iterations: 5, max_wall: Duration::from_secs(3600) };
+        let mut g = EnumGen { remaining: (0..=100).collect() };
+        let calls = Arc::new(AtomicU64::new(0));
+        let calls2 = calls.clone();
+        let r = run_parallel(
+            &mut g,
+            move |_| ThresholdVerifier { hidden: 1000, calls: calls2.clone() },
+            toy_replay,
+            &budget,
+            &ParallelConfig { threads: 4, batch: 8 },
+        );
+        assert!(matches!(r.outcome, Outcome::BudgetExhausted), "{:?}", r.outcome);
+        assert!(r.stats.iterations <= 5, "{:?}", r.stats);
+        assert_stats_invariant(&r);
+    }
+
+    #[test]
+    fn timeout_verdict_ends_run_as_budget() {
+        // A verifier that honors cancellation/deadline by reporting Timeout.
+        struct Sleepy;
+        impl Verifier for Sleepy {
+            type Candidate = i64;
+            type CounterExample = i64;
+            fn verify(&mut self, _c: &i64) -> Result<(), i64> {
+                unreachable!("interruptible path only")
+            }
+            fn verify_interruptible(
+                &mut self,
+                _c: &i64,
+                deadline: Option<Instant>,
+                _cancel: Option<&Arc<AtomicBool>>,
+            ) -> Verdict<i64> {
+                if let Some(d) = deadline {
+                    while Instant::now() < d {
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                }
+                Verdict::Timeout
+            }
+        }
+        let budget = Budget { max_iterations: 1000, max_wall: Duration::from_millis(50) };
+        let mut g = EnumGen { remaining: (0..=100).collect() };
+        let t0 = Instant::now();
+        let r = run_parallel(&mut g, |_| Sleepy, toy_replay, &budget, &ParallelConfig::new(2));
+        assert!(matches!(r.outcome, Outcome::BudgetExhausted), "{:?}", r.outcome);
+        assert!(t0.elapsed() < Duration::from_secs(5), "deadline not honored");
+    }
+
+    #[test]
+    fn serial_and_parallel_agree_on_toy_domain() {
+        for hidden in [0, 17, 99, 1000] {
+            let mut gs = EnumGen { remaining: (0..=100).collect() };
+            let calls = Arc::new(AtomicU64::new(0));
+            let mut vs = ThresholdVerifier { hidden, calls: calls.clone() };
+            let serial = run(&mut gs, &mut vs, &Budget::default());
+            for threads in [1, 2, 4] {
+                let (par, _) = run_toy(hidden, (0..=100).collect(), &ParallelConfig::new(threads));
+                match (&serial.outcome, &par.outcome) {
+                    (Outcome::Solution(a), Outcome::Solution(b)) => assert_eq!(a, b),
+                    (Outcome::NoSolution, Outcome::NoSolution) => {}
+                    (a, b) => panic!("hidden={hidden} threads={threads}: {a:?} vs {b:?}"),
+                }
+            }
+        }
+    }
+}

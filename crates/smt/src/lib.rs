@@ -49,6 +49,7 @@
 
 pub mod atom;
 pub mod cnf;
+pub mod interrupt;
 pub mod linexpr;
 pub mod lra;
 pub mod opt;
@@ -56,6 +57,7 @@ pub mod sat;
 pub mod solver;
 pub mod term;
 
+pub use interrupt::Interrupt;
 pub use linexpr::LinExpr;
 pub use opt::{maximize, maximize_scoped, MaximizeOutcome, MaximizeParams};
 pub use solver::{Model, SatResult, Solver, SolverStats};

@@ -6,6 +6,7 @@
 //! This module implements exactly that loop: probe `φ ∧ obj ≥ mid`,
 //! tighten the bracket, keep the best model.
 
+use crate::interrupt::Interrupt;
 use crate::linexpr::LinExpr;
 use crate::solver::{Model, SatResult, Solver};
 use crate::term::{Context, Term};
@@ -25,6 +26,11 @@ pub struct MaximizeParams {
     pub precision: Rat,
     /// Optional per-probe conflict budget.
     pub conflict_budget: Option<u64>,
+    /// Optional deadline/cancellation polled inside every probe. When it
+    /// fires before the first probe decides, the search reports
+    /// [`MaximizeOutcome::Aborted`]; when it fires later, the best model
+    /// found so far is returned (sound, possibly sub-maximal).
+    pub interrupt: Interrupt,
 }
 
 impl Default for MaximizeParams {
@@ -34,6 +40,7 @@ impl Default for MaximizeParams {
             hi: Rat::from(1_000_000i64),
             precision: Rat::new(1i64.into(), 64i64.into()),
             conflict_budget: None,
+            interrupt: Interrupt::none(),
         }
     }
 }
@@ -44,7 +51,8 @@ pub enum MaximizeOutcome {
     /// `φ ∧ obj ≥ lo` is unsatisfiable.
     Infeasible,
     /// Best feasible objective value found (within `precision` of the
-    /// supremum) and a witnessing model.
+    /// supremum, unless the interrupt fired mid-search) and a witnessing
+    /// model.
     Feasible {
         /// The objective value achieved by `model`.
         value: Rat,
@@ -53,6 +61,11 @@ pub enum MaximizeOutcome {
         /// Number of solver probes used.
         probes: u32,
     },
+    /// The interrupt (or conflict budget) fired before the first probe
+    /// decided feasibility: no claim is made either way. Reporting this
+    /// separately from `Infeasible` is what keeps deadline-limited runs
+    /// sound — an aborted probe must never masquerade as a certificate.
+    Aborted,
 }
 
 /// Maximize `objective` subject to `base`, by binary search on solver calls.
@@ -68,21 +81,25 @@ pub fn maximize(
     params: &MaximizeParams,
 ) -> MaximizeOutcome {
     let mut probes = 0u32;
-    let mut probe = |ctx: &mut Context, threshold: &Rat| -> Option<Model> {
+    let mut probe = |ctx: &mut Context, threshold: &Rat| -> Probe {
         probes += 1;
         let mut solver = Solver::new();
         solver.conflict_budget = params.conflict_budget;
+        solver.interrupt = params.interrupt.clone();
         solver.assert(ctx, base);
         let obj_ge = ctx.ge(objective.clone(), LinExpr::constant(threshold.clone()));
         solver.assert(ctx, obj_ge);
         match solver.check(ctx) {
-            SatResult::Sat => solver.model().cloned(),
-            _ => None,
+            SatResult::Sat => Probe::Sat(solver.model().cloned().expect("sat has a model")),
+            SatResult::Unsat => Probe::Unsat,
+            SatResult::Unknown => Probe::Unknown,
         }
     };
 
-    let Some(first) = probe(ctx, &params.lo) else {
-        return MaximizeOutcome::Infeasible;
+    let first = match probe(ctx, &params.lo) {
+        Probe::Sat(m) => m,
+        Probe::Unsat => return MaximizeOutcome::Infeasible,
+        Probe::Unknown => return MaximizeOutcome::Aborted,
     };
     let mut best_value = first.eval(objective);
     let mut best_model = first;
@@ -90,14 +107,25 @@ pub fn maximize(
     while &hi - &best_value > params.precision {
         let mid = Rat::midpoint(&best_value, &hi);
         match probe(ctx, &mid) {
-            Some(m) => {
+            Probe::Sat(m) => {
                 best_value = m.eval(objective);
                 best_model = m;
             }
-            None => hi = mid,
+            Probe::Unsat => hi = mid,
+            // Past the first probe a feasible witness is in hand; returning
+            // it early is sound (the trace is a real counterexample), it is
+            // merely not guaranteed worst-case.
+            Probe::Unknown => break,
         }
     }
     MaximizeOutcome::Feasible { value: best_value, model: best_model, probes }
+}
+
+/// Per-probe verdict shared by the two search loops.
+enum Probe {
+    Sat(Model),
+    Unsat,
+    Unknown,
 }
 
 /// Like [`maximize`], but over a solver whose base constraints are already
@@ -117,39 +145,48 @@ pub fn maximize_scoped(
     let mut probes = 0u32;
     let mut kept = 0u32;
     let saved_budget = solver.conflict_budget;
-    let mut probe = |ctx: &mut Context, solver: &mut Solver, threshold: &Rat| -> Option<Model> {
+    let saved_interrupt = solver.interrupt.clone();
+    let mut probe = |ctx: &mut Context, solver: &mut Solver, threshold: &Rat| -> Probe {
         probes += 1;
         solver.push();
         solver.conflict_budget = params.conflict_budget;
+        solver.interrupt = params.interrupt.clone();
         let obj_ge = ctx.ge(objective.clone(), LinExpr::constant(threshold.clone()));
         solver.assert(ctx, obj_ge);
         match solver.check(ctx) {
             SatResult::Sat => {
                 kept += 1;
-                solver.model().cloned()
+                Probe::Sat(solver.model().cloned().expect("sat has a model"))
             }
-            _ => {
+            SatResult::Unsat => {
                 solver.pop();
-                None
+                Probe::Unsat
+            }
+            SatResult::Unknown => {
+                solver.pop();
+                Probe::Unknown
             }
         }
     };
 
-    let first = probe(ctx, solver, &params.lo);
-    let outcome = match first {
-        None => MaximizeOutcome::Infeasible,
-        Some(first) => {
+    let outcome = match probe(ctx, solver, &params.lo) {
+        Probe::Unsat => MaximizeOutcome::Infeasible,
+        Probe::Unknown => MaximizeOutcome::Aborted,
+        Probe::Sat(first) => {
             let mut best_value = first.eval(objective);
             let mut best_model = first;
             let mut hi = params.hi.clone();
             while &hi - &best_value > params.precision {
                 let mid = Rat::midpoint(&best_value, &hi);
                 match probe(ctx, solver, &mid) {
-                    Some(m) => {
+                    Probe::Sat(m) => {
                         best_value = m.eval(objective);
                         best_model = m;
                     }
-                    None => hi = mid,
+                    Probe::Unsat => hi = mid,
+                    // A witness is already in hand; stop refining (see
+                    // `maximize`).
+                    Probe::Unknown => break,
                 }
             }
             MaximizeOutcome::Feasible { value: best_value, model: best_model, probes }
@@ -159,6 +196,7 @@ pub fn maximize_scoped(
         solver.pop();
     }
     solver.conflict_budget = saved_budget;
+    solver.interrupt = saved_interrupt;
     outcome
 }
 
@@ -181,6 +219,7 @@ mod tests {
             hi: int(100),
             precision: rat(1, 100),
             conflict_budget: None,
+            interrupt: Interrupt::none(),
         };
         match maximize(&mut ctx, base, &LinExpr::var(x), &params) {
             MaximizeOutcome::Feasible { value, model, .. } => {
@@ -189,6 +228,7 @@ mod tests {
                 assert!(&model.real(x) + &model.real(y) <= int(10));
             }
             MaximizeOutcome::Infeasible => panic!("feasible LP reported infeasible"),
+            MaximizeOutcome::Aborted => unreachable!("no interrupt armed"),
         }
     }
 
@@ -219,12 +259,14 @@ mod tests {
             hi: int(100),
             precision: rat(1, 10),
             conflict_budget: None,
+            interrupt: Interrupt::none(),
         };
         match maximize(&mut ctx, base, &LinExpr::var(x), &params) {
             MaximizeOutcome::Feasible { value, .. } => {
                 assert!(value > rat(69, 10) && value <= int(7), "got {value}");
             }
             MaximizeOutcome::Infeasible => panic!(),
+            MaximizeOutcome::Aborted => unreachable!("no interrupt armed"),
         }
     }
 
@@ -243,6 +285,7 @@ mod tests {
             hi: int(100),
             precision: rat(1, 100),
             conflict_budget: None,
+            interrupt: Interrupt::none(),
         };
         let mut solver = Solver::new();
         solver.assert(&ctx, base);
@@ -253,6 +296,7 @@ mod tests {
                 assert!(probes > 1, "binary search should take multiple probes");
             }
             MaximizeOutcome::Infeasible => panic!("feasible LP reported infeasible"),
+            MaximizeOutcome::Aborted => unreachable!("no interrupt armed"),
         }
         assert_eq!(solver.depth(), 0);
         assert_eq!(solver.check(&ctx), SatResult::Sat);
@@ -267,6 +311,32 @@ mod tests {
     }
 
     #[test]
+    fn expired_deadline_aborts_instead_of_claiming_infeasible() {
+        // A deadline in the past must abort the first probe — reporting
+        // Infeasible here would fake a certificate.
+        let mut ctx = Context::new();
+        let x = ctx.real_var("x");
+        let base = ctx.le(ctx.var(x), ctx.constant(int(10)));
+        let params = MaximizeParams {
+            interrupt: Interrupt::at(std::time::Instant::now() - std::time::Duration::from_secs(1)),
+            ..MaximizeParams::default()
+        };
+        assert!(matches!(
+            maximize(&mut ctx, base, &LinExpr::var(x), &params),
+            MaximizeOutcome::Aborted
+        ));
+        let mut solver = Solver::new();
+        solver.assert(&ctx, base);
+        assert!(matches!(
+            maximize_scoped(&mut ctx, &mut solver, &LinExpr::var(x), &params),
+            MaximizeOutcome::Aborted
+        ));
+        // The solver must come back at its original depth and usable.
+        assert_eq!(solver.depth(), 0);
+        assert_eq!(solver.check(&ctx), SatResult::Sat);
+    }
+
+    #[test]
     fn exact_hit_when_supremum_below_lo_bracket() {
         // max x subject to x = 5 with lo = 5: feasible immediately.
         let mut ctx = Context::new();
@@ -277,10 +347,12 @@ mod tests {
             hi: int(10),
             precision: rat(1, 10),
             conflict_budget: None,
+            interrupt: Interrupt::none(),
         };
         match maximize(&mut ctx, base, &LinExpr::var(x), &params) {
             MaximizeOutcome::Feasible { value, .. } => assert_eq!(value, int(5)),
             MaximizeOutcome::Infeasible => panic!(),
+            MaximizeOutcome::Aborted => unreachable!("no interrupt armed"),
         }
     }
 }

@@ -203,6 +203,9 @@ pub struct SatSolver {
     pub stats: SatStats,
     /// Optional conflict budget; `solve` gives up (`None` result) past it.
     pub conflict_budget: Option<u64>,
+    /// Optional deadline/cancellation; `solve` polls it once per
+    /// propagation fixpoint and gives up (`None` result) when it fires.
+    pub interrupt: crate::interrupt::Interrupt,
 }
 
 const ACT_DECAY: f64 = 1.0 / 0.95;
@@ -238,6 +241,7 @@ impl SatSolver {
             frames: Vec::new(),
             stats: SatStats::default(),
             conflict_budget: None,
+            interrupt: crate::interrupt::Interrupt::none(),
         }
     }
 
@@ -743,7 +747,13 @@ impl SatSolver {
         let mut conflicts_at_start = self.stats.conflicts;
         let mut restart_count = 0u64;
         let mut restart_limit = 100 * Self::luby(restart_count);
+        let interruptible = self.interrupt.is_armed();
         loop {
+            // One poll per propagation fixpoint: propagate + the theory's
+            // partial check dominate the clock reads by orders of magnitude.
+            if interruptible && self.interrupt.triggered() {
+                return None;
+            }
             if let Some(ci) = self.propagate() {
                 if self.trail_lim.is_empty() {
                     let e = self.level0_conflict_epoch(ci);

@@ -1,6 +1,7 @@
 //! The lazy DPLL(T) combination: CDCL SAT core + simplex theory solver.
 
 use crate::cnf::CnfBuilder;
+use crate::interrupt::Interrupt;
 use crate::linexpr::LinExpr;
 use crate::lra::{SimVar, Simplex};
 use crate::sat::{Lit, SatSolver, SolveResult, TheoryHook, Var};
@@ -92,6 +93,9 @@ pub struct Solver {
     checks: u64,
     /// Optional conflict budget for `check` (None = unlimited).
     pub conflict_budget: Option<u64>,
+    /// Optional deadline/cancellation for `check`; fires as
+    /// [`SatResult::Unknown`], never a fake verdict.
+    pub interrupt: Interrupt,
 }
 
 impl Default for Solver {
@@ -113,6 +117,7 @@ impl Solver {
             model: None,
             checks: 0,
             conflict_budget: None,
+            interrupt: Interrupt::none(),
         }
     }
 
@@ -190,6 +195,7 @@ impl Solver {
         self.model = None;
         self.register_new_atoms(ctx);
         self.sat.conflict_budget = self.conflict_budget;
+        self.sat.interrupt = self.interrupt.clone();
 
         struct Bridge<'a> {
             simplex: &'a mut Simplex,

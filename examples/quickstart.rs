@@ -25,6 +25,7 @@ fn main() {
         budget: Budget { max_iterations: 500, max_wall: Duration::from_secs(300) },
         wce_precision: rat(1, 2),
         incremental: true,
+        threads: 1,
     };
     println!(
         "Synthesizing a CCA: search space {} candidates, targets util ≥ {} / queue ≤ {} BDP\n",
@@ -50,7 +51,7 @@ fn main() {
             println!(
                 "\nsolution after {} iterations ({} verifier probes, {:.1}s generator / {:.1}s verifier)",
                 result.stats.iterations,
-                verifier.0.solver_probes,
+                verifier.inner.solver_probes,
                 result.stats.generator_time.as_secs_f64(),
                 result.stats.verifier_time.as_secs_f64(),
             );

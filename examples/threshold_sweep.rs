@@ -26,6 +26,7 @@ fn main() {
         budget: Budget { max_iterations: 3000, max_wall: Duration::from_secs(600) },
         wce_precision: rat(1, 2),
         incremental: true,
+        threads: 1,
     };
 
     println!("## Delay sweep (util ≥ 1/2 fixed)\n");

@@ -21,6 +21,7 @@ fn synthesize_then_simulate() {
         budget: Budget { max_iterations: 500, max_wall: Duration::from_secs(300) },
         wce_precision: rat(1, 2),
         incremental: true,
+        threads: 1,
     };
     let result = synthesize(&opts);
     let Outcome::Solution(spec) = result.outcome else {
