@@ -65,8 +65,11 @@ fn main() {
             );
             if show_stats {
                 eprintln!(
-                    "  stats: {:.2} probes/iteration",
-                    cell.verifier_probes as f64 / cell.iterations.max(1) as f64
+                    "  stats: {:.2} probes/iteration · {} pivots · {} promotions · fast-path {:.2}%",
+                    cell.verifier_probes as f64 / cell.iterations.max(1) as f64,
+                    cell.pivots,
+                    cell.promotions,
+                    cell.fast_fraction() * 100.0,
                 );
             }
             cells.push(cell);

@@ -6,6 +6,7 @@
 //!                 [--mode baseline|rp|rp-wce] [--util F] [--delay F]
 //!                 [--budget-secs N] [--horizon N] [--lookback N]
 //!                 [--threads N]   (default: CCMATIC_SYNTH_THREADS, else all cores)
+//!                 [--stats]       (kernel counters: pivots, promotions, coverage)
 //! ccmatic verify  --cca "b1,b2,b3,b4,g"   (β taps then γ; rationals like 3/2)
 //! ccmatic enumerate [same space/threshold flags]
 //! ccmatic assume  --cca "…"
@@ -34,8 +35,42 @@ impl Args {
         self.0.windows(2).find(|w| w[0] == key).map(|w| w[1].as_str())
     }
 
+    fn has(&self, key: &str) -> bool {
+        self.0.iter().any(|a| a == key)
+    }
+
     fn rat(&self, key: &str) -> Option<Rat> {
         self.get(key).and_then(Rat::from_decimal_str)
+    }
+}
+
+/// Snapshot of the process-wide kernel counters, for `--stats` deltas.
+struct KernelSnapshot {
+    arith: ccmatic_num::ArithStats,
+    pivots: u64,
+}
+
+impl KernelSnapshot {
+    fn take() -> Self {
+        KernelSnapshot {
+            arith: ccmatic_num::arith_snapshot(),
+            pivots: ccmatic_smt::lra::pivots_total(),
+        }
+    }
+
+    /// Print pivot and arithmetic fast-path counters accumulated since the
+    /// snapshot (to stderr, like the other progress chatter).
+    fn report(&self) {
+        let arith = ccmatic_num::arith_snapshot().since(&self.arith);
+        let pivots = ccmatic_smt::lra::pivots_total().saturating_sub(self.pivots);
+        eprintln!(
+            "kernel: pivots {} · promotions {} · fast-path {:.2}% ({} small / {} big ops)",
+            pivots,
+            arith.promotions,
+            arith.fast_fraction() * 100.0,
+            arith.small_ops,
+            arith.big_ops
+        );
     }
 }
 
@@ -46,6 +81,7 @@ fn usage() -> ExitCode {
          \x20      --mode baseline|rp|rp-wce   --util F --delay F\n\
          \x20      --budget-secs N --horizon N --lookback N --jitter N\n\
          \x20      --threads N  (synth fan-out; default $CCMATIC_SYNTH_THREADS, else cores)\n\
+         \x20      --stats  (print kernel counters: pivots, promotions, fast-path coverage)\n\
          \x20      --cca \"b1,b2,…,g\"  --cca-b \"…\"  (β taps then γ)"
     );
     ExitCode::FAILURE
@@ -127,7 +163,8 @@ fn main() -> ExitCode {
         threads,
     };
 
-    match cmd.as_str() {
+    let kernel = args.has("--stats").then(KernelSnapshot::take);
+    let code = match cmd.as_str() {
         "synth" => {
             eprintln!(
                 "synthesizing over {} candidates ({} mode, util ≥ {}, delay ≤ {}, {} thread{})…",
@@ -224,5 +261,9 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         _ => usage(),
+    };
+    if let Some(snapshot) = &kernel {
+        snapshot.report();
     }
+    code
 }

@@ -13,7 +13,7 @@
 //! runs out.
 //!
 //! The engine is generic over candidate/counterexample types so the same
-//! loop drives CCA synthesis ([`ccmatic`](../ccmatic/index.html)), ABR
+//! loop drives CCA synthesis (the `ccmatic` crate), ABR
 //! verification tuning, and the unit-test toy domains below.
 
 pub mod parallel;

@@ -1,12 +1,40 @@
-//! Sign-magnitude arbitrary-precision integers.
+//! Sign-magnitude arbitrary-precision integers with an inline `i64` fast
+//! path.
 //!
-//! Limbs are `u64`, least significant first. The invariant maintained by
-//! every constructor and operation is: no trailing zero limbs, and
-//! `sign == 0` iff the magnitude is empty.
+//! Values that fit a machine word — which is nearly everything the simplex
+//! tableau ever holds, since coefficients start as small integers or halves
+//! — are stored inline as [`Repr::Small`] and computed with checked `i64`
+//! arithmetic (widening to `i128` on overflow). Only values outside the
+//! `i64` range are *promoted* to the limb representation [`Repr::Big`]
+//! (`u64` limbs, least significant first, no trailing zeros, `sign != 0`).
+//!
+//! Canonical-form invariant: a value is `Big` **iff** it does not fit an
+//! `i64`. Every constructor and operation maintains this, so the derived
+//! `PartialEq`/`Eq`/`Hash` remain structural equality of values and never
+//! see the same number in two representations.
+//!
+//! Fast-path coverage is counted through [`crate::stats`]; see
+//! [`crate::arith_snapshot`].
 
+use crate::stats;
 use std::cmp::Ordering;
 use std::fmt;
 use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Rem, Sub, SubAssign};
+
+/// Internal representation. `Small` covers the full `i64` range including
+/// zero; `Big` is reserved for values strictly outside it.
+#[derive(Clone, PartialEq, Eq, Hash)]
+enum Repr {
+    /// Inline machine-word value.
+    Small(i64),
+    /// Limb representation for values outside the `i64` range.
+    Big {
+        /// -1 or 1 (never 0: zero is always `Small(0)`).
+        sign: i8,
+        /// Magnitude limbs, little-endian, no trailing zeros, non-empty.
+        mag: Vec<u64>,
+    },
+}
 
 /// An arbitrary-precision signed integer.
 ///
@@ -17,59 +45,83 @@ use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Rem, Sub, SubAssign};
 /// assert_eq!(b.to_string(), "1000000014000000049");
 /// ```
 #[derive(Clone, PartialEq, Eq, Hash)]
-pub struct BigInt {
-    /// -1, 0, or 1. Zero iff `mag` is empty.
-    sign: i8,
-    /// Magnitude limbs, little-endian, no trailing zeros.
-    mag: Vec<u64>,
-}
+pub struct BigInt(Repr);
 
 impl BigInt {
     /// The integer 0.
     pub fn zero() -> Self {
-        BigInt { sign: 0, mag: Vec::new() }
+        BigInt(Repr::Small(0))
     }
 
     /// The integer 1.
     pub fn one() -> Self {
-        BigInt { sign: 1, mag: vec![1] }
+        BigInt(Repr::Small(1))
     }
 
     /// True iff `self == 0`.
     pub fn is_zero(&self) -> bool {
-        self.sign == 0
+        matches!(self.0, Repr::Small(0))
     }
 
     /// True iff `self > 0`.
     pub fn is_positive(&self) -> bool {
-        self.sign > 0
+        self.signum() > 0
     }
 
     /// True iff `self < 0`.
     pub fn is_negative(&self) -> bool {
-        self.sign < 0
+        self.signum() < 0
     }
 
     /// Sign of the value: -1, 0, or 1.
     pub fn signum(&self) -> i8 {
-        self.sign
+        match &self.0 {
+            Repr::Small(v) => v.signum() as i8,
+            Repr::Big { sign, .. } => *sign,
+        }
     }
 
     /// Absolute value.
     pub fn abs(&self) -> Self {
-        BigInt { sign: self.sign.abs(), mag: self.mag.clone() }
+        match &self.0 {
+            Repr::Small(v) => match v.checked_abs() {
+                Some(a) => BigInt(Repr::Small(a)),
+                // |i64::MIN| = 2^63 does not fit an i64.
+                None => BigInt(Repr::Big { sign: 1, mag: vec![1 << 63] }),
+            },
+            Repr::Big { mag, .. } => BigInt(Repr::Big { sign: 1, mag: mag.clone() }),
+        }
     }
 
-    /// Construct from raw parts, normalizing trailing zeros and sign.
+    /// Construct from sign and magnitude limbs, normalizing trailing zeros
+    /// and demoting to the inline representation whenever the value fits.
     fn from_parts(sign: i8, mut mag: Vec<u64>) -> Self {
         while mag.last() == Some(&0) {
             mag.pop();
         }
         if mag.is_empty() {
-            BigInt::zero()
-        } else {
-            debug_assert!(sign == 1 || sign == -1);
-            BigInt { sign, mag }
+            return BigInt::zero();
+        }
+        debug_assert!(sign == 1 || sign == -1);
+        if mag.len() == 1 {
+            let m = mag[0];
+            if sign > 0 && m <= i64::MAX as u64 {
+                return BigInt(Repr::Small(m as i64));
+            }
+            if sign < 0 && m <= (i64::MAX as u64) + 1 {
+                return BigInt(Repr::Small((-(m as i128)) as i64));
+            }
+        }
+        BigInt(Repr::Big { sign, mag })
+    }
+
+    /// View the value as (sign, magnitude limbs) without allocating: the
+    /// inline variant is presented through a one-limb stack buffer.
+    fn with_parts<R>(&self, f: impl FnOnce(i8, &[u64]) -> R) -> R {
+        match &self.0 {
+            Repr::Small(0) => f(0, &[]),
+            Repr::Small(v) => f(v.signum() as i8, &[v.unsigned_abs()]),
+            Repr::Big { sign, mag } => f(*sign, mag),
         }
     }
 
@@ -224,6 +276,93 @@ impl BigInt {
         }
     }
 
+    /// Limb-path addition, independent of representation.
+    fn add_limbs(&self, other: &BigInt) -> BigInt {
+        self.with_parts(|sa, ma| {
+            other.with_parts(|sb, mb| {
+                if sa == 0 {
+                    return BigInt::from_parts(sb, mb.to_vec());
+                }
+                if sb == 0 {
+                    return BigInt::from_parts(sa, ma.to_vec());
+                }
+                if sa == sb {
+                    BigInt::from_parts(sa, Self::add_mag(ma, mb))
+                } else {
+                    match Self::cmp_mag(ma, mb) {
+                        Ordering::Equal => BigInt::zero(),
+                        Ordering::Greater => BigInt::from_parts(sa, Self::sub_mag(ma, mb)),
+                        Ordering::Less => BigInt::from_parts(sb, Self::sub_mag(mb, ma)),
+                    }
+                }
+            })
+        })
+    }
+
+    /// Limb-path subtraction (addition with `other`'s sign flipped).
+    fn sub_limbs(&self, other: &BigInt) -> BigInt {
+        self.with_parts(|sa, ma| {
+            other.with_parts(|sb, mb| {
+                let sb = -sb;
+                if sa == 0 {
+                    return BigInt::from_parts(sb, mb.to_vec());
+                }
+                if sb == 0 {
+                    return BigInt::from_parts(sa, ma.to_vec());
+                }
+                if sa == sb {
+                    BigInt::from_parts(sa, Self::add_mag(ma, mb))
+                } else {
+                    match Self::cmp_mag(ma, mb) {
+                        Ordering::Equal => BigInt::zero(),
+                        Ordering::Greater => BigInt::from_parts(sa, Self::sub_mag(ma, mb)),
+                        Ordering::Less => BigInt::from_parts(sb, Self::sub_mag(mb, ma)),
+                    }
+                }
+            })
+        })
+    }
+
+    /// Limb-path multiplication, independent of representation.
+    fn mul_limbs(&self, other: &BigInt) -> BigInt {
+        self.with_parts(|sa, ma| {
+            other.with_parts(|sb, mb| {
+                if sa == 0 || sb == 0 {
+                    BigInt::zero()
+                } else {
+                    BigInt::from_parts(sa * sb, Self::mul_mag(ma, mb))
+                }
+            })
+        })
+    }
+
+    /// Limb-path truncated division, independent of representation.
+    /// Requires `other != 0`.
+    fn divmod_limbs(&self, other: &BigInt) -> (BigInt, BigInt) {
+        self.with_parts(|sa, ma| {
+            other.with_parts(|sb, mb| {
+                debug_assert!(sb != 0);
+                if sa == 0 {
+                    return (BigInt::zero(), BigInt::zero());
+                }
+                let (q, r) = Self::divmod_mag(ma, mb);
+                (BigInt::from_parts(sa * sb, q), BigInt::from_parts(sa, r))
+            })
+        })
+    }
+
+    /// Limb-path gcd via Euclid on `divmod_limbs`.
+    fn gcd_limbs(&self, other: &BigInt) -> BigInt {
+        let mut a = self.abs();
+        let mut b = other.abs();
+        while !b.is_zero() {
+            let r = a.divmod_limbs(&b).1.abs();
+            a = b;
+            b = r;
+        }
+        a
+    }
+
     /// Truncated division and remainder (round toward zero, like Rust's `/`
     /// and `%` on primitives). The remainder has the sign of `self`.
     ///
@@ -231,64 +370,86 @@ impl BigInt {
     /// Panics if `other` is zero.
     pub fn divmod(&self, other: &BigInt) -> (BigInt, BigInt) {
         assert!(!other.is_zero(), "BigInt division by zero");
-        if self.is_zero() {
-            return (BigInt::zero(), BigInt::zero());
+        if let (Repr::Small(a), Repr::Small(b)) = (&self.0, &other.0) {
+            // i128 intermediates sidestep the lone i64 overflow case,
+            // i64::MIN / -1 (quotient 2^63).
+            let (a, b) = (*a as i128, *b as i128);
+            let (q, r) = (a / b, a % b);
+            return match i64::try_from(q) {
+                Ok(qs) => {
+                    stats::count_small();
+                    (BigInt(Repr::Small(qs)), BigInt(Repr::Small(r as i64)))
+                }
+                Err(_) => {
+                    stats::count_promotion();
+                    (BigInt::from(q), BigInt(Repr::Small(r as i64)))
+                }
+            };
         }
-        let (q, r) = Self::divmod_mag(&self.mag, &other.mag);
-        let q_sign = self.sign * other.sign;
-        (BigInt::from_parts(q_sign, q), BigInt::from_parts(self.sign, r))
+        stats::count_big();
+        self.divmod_limbs(other)
     }
 
     /// Greatest common divisor of the absolute values (always non-negative;
     /// `gcd(0, x) = |x|`).
     pub fn gcd(&self, other: &BigInt) -> BigInt {
-        let mut a = self.abs();
-        let mut b = other.abs();
-        while !b.is_zero() {
-            let r = a.divmod(&b).1.abs();
-            a = b;
-            b = r;
+        if let (Repr::Small(a), Repr::Small(b)) = (&self.0, &other.0) {
+            let (mut a, mut b) = (a.unsigned_abs(), b.unsigned_abs());
+            while b != 0 {
+                let r = a % b;
+                a = b;
+                b = r;
+            }
+            // gcd(i64::MIN, i64::MIN) = 2^63 does not fit an i64.
+            return if a <= i64::MAX as u64 {
+                stats::count_small();
+                BigInt(Repr::Small(a as i64))
+            } else {
+                stats::count_promotion();
+                BigInt(Repr::Big { sign: 1, mag: vec![a] })
+            };
         }
-        a
+        stats::count_big();
+        self.gcd_limbs(other)
     }
 
     /// Approximate conversion to `f64` (for reporting only; never used in
     /// solver decisions).
     pub fn to_f64(&self) -> f64 {
-        let mut x = 0.0f64;
-        for &limb in self.mag.iter().rev() {
-            x = x * 18446744073709551616.0 + limb as f64;
-        }
-        if self.sign < 0 {
-            -x
-        } else {
-            x
+        match &self.0 {
+            Repr::Small(v) => *v as f64,
+            Repr::Big { sign, mag } => {
+                let mut x = 0.0f64;
+                for &limb in mag.iter().rev() {
+                    x = x * 18446744073709551616.0 + limb as f64;
+                }
+                if *sign < 0 {
+                    -x
+                } else {
+                    x
+                }
+            }
         }
     }
 
     /// Exact conversion to `i64` if the value fits.
     pub fn to_i64(&self) -> Option<i64> {
-        match self.mag.len() {
-            0 => Some(0),
-            1 => {
-                let m = self.mag[0];
-                if self.sign > 0 && m <= i64::MAX as u64 {
-                    Some(m as i64)
-                } else if self.sign < 0 && m <= (i64::MAX as u64) + 1 {
-                    Some((-(m as i128)) as i64)
-                } else {
-                    None
-                }
-            }
-            _ => None,
+        match &self.0 {
+            Repr::Small(v) => Some(*v),
+            // Canonical form: Big is only used outside the i64 range.
+            Repr::Big { .. } => None,
         }
     }
 
     /// Number of bits in the magnitude (0 for zero).
     pub fn bits(&self) -> usize {
-        match self.mag.last() {
-            None => 0,
-            Some(&top) => (self.mag.len() - 1) * 64 + (64 - top.leading_zeros() as usize),
+        match &self.0 {
+            Repr::Small(0) => 0,
+            Repr::Small(v) => 64 - v.unsigned_abs().leading_zeros() as usize,
+            Repr::Big { mag, .. } => {
+                let top = *mag.last().expect("Big magnitude is non-empty");
+                (mag.len() - 1) * 64 + (64 - top.leading_zeros() as usize)
+            }
         }
     }
 
@@ -316,38 +477,69 @@ impl BigInt {
         }
         Some(BigInt::from_parts(sign, mag))
     }
+
+    /// Reference addition that always runs the limb path, regardless of
+    /// representation. Differential-test hook only: results must be
+    /// bit-identical to `+`.
+    #[doc(hidden)]
+    pub fn ref_add(&self, other: &BigInt) -> BigInt {
+        self.add_limbs(other)
+    }
+
+    /// Reference subtraction on the limb path (differential-test hook).
+    #[doc(hidden)]
+    pub fn ref_sub(&self, other: &BigInt) -> BigInt {
+        self.sub_limbs(other)
+    }
+
+    /// Reference multiplication on the limb path (differential-test hook).
+    #[doc(hidden)]
+    pub fn ref_mul(&self, other: &BigInt) -> BigInt {
+        self.mul_limbs(other)
+    }
+
+    /// Reference truncated division on the limb path (differential-test
+    /// hook).
+    ///
+    /// # Panics
+    /// Panics if `other` is zero.
+    #[doc(hidden)]
+    pub fn ref_divmod(&self, other: &BigInt) -> (BigInt, BigInt) {
+        assert!(!other.is_zero(), "BigInt division by zero");
+        self.divmod_limbs(other)
+    }
+
+    /// Reference gcd on the limb path (differential-test hook).
+    #[doc(hidden)]
+    pub fn ref_gcd(&self, other: &BigInt) -> BigInt {
+        self.gcd_limbs(other)
+    }
 }
 
 impl From<i64> for BigInt {
     fn from(v: i64) -> Self {
-        match v.cmp(&0) {
-            Ordering::Equal => BigInt::zero(),
-            Ordering::Greater => BigInt { sign: 1, mag: vec![v as u64] },
-            Ordering::Less => BigInt { sign: -1, mag: vec![v.unsigned_abs()] },
-        }
+        BigInt(Repr::Small(v))
     }
 }
 
 impl From<u64> for BigInt {
     fn from(v: u64) -> Self {
-        if v == 0 {
-            BigInt::zero()
+        if v <= i64::MAX as u64 {
+            BigInt(Repr::Small(v as i64))
         } else {
-            BigInt { sign: 1, mag: vec![v] }
+            BigInt(Repr::Big { sign: 1, mag: vec![v] })
         }
     }
 }
 
 impl From<i128> for BigInt {
     fn from(v: i128) -> Self {
-        if v == 0 {
-            return BigInt::zero();
+        if let Ok(s) = i64::try_from(v) {
+            return BigInt(Repr::Small(s));
         }
         let sign = if v > 0 { 1 } else { -1 };
         let m = v.unsigned_abs();
-        let lo = m as u64;
-        let hi = (m >> 64) as u64;
-        BigInt::from_parts(sign, vec![lo, hi])
+        BigInt::from_parts(sign, vec![m as u64, (m >> 64) as u64])
     }
 }
 
@@ -359,73 +551,117 @@ impl PartialOrd for BigInt {
 
 impl Ord for BigInt {
     fn cmp(&self, other: &Self) -> Ordering {
-        match self.sign.cmp(&other.sign) {
-            Ordering::Equal => {}
-            ord => return ord,
-        }
-        let mag_ord = Self::cmp_mag(&self.mag, &other.mag);
-        if self.sign >= 0 {
-            mag_ord
-        } else {
-            mag_ord.reverse()
-        }
-    }
-}
-
-impl Neg for BigInt {
-    type Output = BigInt;
-    fn neg(mut self) -> BigInt {
-        self.sign = -self.sign;
-        self
-    }
-}
-
-impl Neg for &BigInt {
-    type Output = BigInt;
-    fn neg(self) -> BigInt {
-        BigInt { sign: -self.sign, mag: self.mag.clone() }
-    }
-}
-
-impl Add for &BigInt {
-    type Output = BigInt;
-    fn add(self, other: &BigInt) -> BigInt {
-        if self.is_zero() {
-            return other.clone();
-        }
-        if other.is_zero() {
-            return self.clone();
-        }
-        if self.sign == other.sign {
-            BigInt::from_parts(self.sign, BigInt::add_mag(&self.mag, &other.mag))
-        } else {
-            match BigInt::cmp_mag(&self.mag, &other.mag) {
-                Ordering::Equal => BigInt::zero(),
-                Ordering::Greater => {
-                    BigInt::from_parts(self.sign, BigInt::sub_mag(&self.mag, &other.mag))
+        match (&self.0, &other.0) {
+            (Repr::Small(a), Repr::Small(b)) => a.cmp(b),
+            // Canonical form: a Big value lies strictly outside the i64
+            // range, so its sign alone decides against any Small.
+            (Repr::Small(_), Repr::Big { sign, .. }) => {
+                if *sign > 0 {
+                    Ordering::Less
+                } else {
+                    Ordering::Greater
                 }
-                Ordering::Less => {
-                    BigInt::from_parts(other.sign, BigInt::sub_mag(&other.mag, &self.mag))
+            }
+            (Repr::Big { sign, .. }, Repr::Small(_)) => {
+                if *sign > 0 {
+                    Ordering::Greater
+                } else {
+                    Ordering::Less
+                }
+            }
+            (Repr::Big { sign: sa, mag: ma }, Repr::Big { sign: sb, mag: mb }) => {
+                match sa.cmp(sb) {
+                    Ordering::Equal => {}
+                    ord => return ord,
+                }
+                let mag_ord = Self::cmp_mag(ma, mb);
+                if *sa >= 0 {
+                    mag_ord
+                } else {
+                    mag_ord.reverse()
                 }
             }
         }
     }
 }
 
+impl Neg for BigInt {
+    type Output = BigInt;
+    fn neg(self) -> BigInt {
+        match self.0 {
+            Repr::Small(v) => match v.checked_neg() {
+                Some(n) => BigInt(Repr::Small(n)),
+                None => BigInt(Repr::Big { sign: 1, mag: vec![1 << 63] }),
+            },
+            Repr::Big { sign, mag } => BigInt::from_parts(-sign, mag),
+        }
+    }
+}
+
+impl Neg for &BigInt {
+    type Output = BigInt;
+    fn neg(self) -> BigInt {
+        self.clone().neg()
+    }
+}
+
+impl Add for &BigInt {
+    type Output = BigInt;
+    fn add(self, other: &BigInt) -> BigInt {
+        if let (Repr::Small(a), Repr::Small(b)) = (&self.0, &other.0) {
+            return match a.checked_add(*b) {
+                Some(s) => {
+                    stats::count_small();
+                    BigInt(Repr::Small(s))
+                }
+                None => {
+                    stats::count_promotion();
+                    BigInt::from(*a as i128 + *b as i128)
+                }
+            };
+        }
+        stats::count_big();
+        self.add_limbs(other)
+    }
+}
+
 impl Sub for &BigInt {
     type Output = BigInt;
     fn sub(self, other: &BigInt) -> BigInt {
-        self + &(-other)
+        if let (Repr::Small(a), Repr::Small(b)) = (&self.0, &other.0) {
+            return match a.checked_sub(*b) {
+                Some(s) => {
+                    stats::count_small();
+                    BigInt(Repr::Small(s))
+                }
+                None => {
+                    stats::count_promotion();
+                    BigInt::from(*a as i128 - *b as i128)
+                }
+            };
+        }
+        stats::count_big();
+        self.sub_limbs(other)
     }
 }
 
 impl Mul for &BigInt {
     type Output = BigInt;
     fn mul(self, other: &BigInt) -> BigInt {
-        if self.is_zero() || other.is_zero() {
-            return BigInt::zero();
+        if let (Repr::Small(a), Repr::Small(b)) = (&self.0, &other.0) {
+            return match a.checked_mul(*b) {
+                Some(p) => {
+                    stats::count_small();
+                    BigInt(Repr::Small(p))
+                }
+                None => {
+                    stats::count_promotion();
+                    BigInt::from(*a as i128 * *b as i128)
+                }
+            };
         }
-        BigInt::from_parts(self.sign * other.sign, BigInt::mul_mag(&self.mag, &other.mag))
+        stats::count_big();
+        self.mul_limbs(other)
     }
 }
 
@@ -492,15 +728,16 @@ impl MulAssign<&BigInt> for BigInt {
 
 impl fmt::Display for BigInt {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        if self.is_zero() {
-            return write!(f, "0");
-        }
-        if self.sign < 0 {
+        let (sign, mag) = match &self.0 {
+            Repr::Small(v) => return write!(f, "{v}"),
+            Repr::Big { sign, mag } => (*sign, mag),
+        };
+        if sign < 0 {
             write!(f, "-")?;
         }
         // Repeated division by 10^19 (largest power of ten in u64).
         const CHUNK: u64 = 10_000_000_000_000_000_000;
-        let mut mag = self.mag.clone();
+        let mut mag = mag.clone();
         let mut chunks: Vec<u64> = Vec::new();
         while !mag.is_empty() {
             let (q, r) = BigInt::divmod_small(&mag, CHUNK);
@@ -533,6 +770,11 @@ mod tests {
 
     fn bi(v: i64) -> BigInt {
         BigInt::from(v)
+    }
+
+    /// True iff the value uses the inline representation.
+    fn is_small(v: &BigInt) -> bool {
+        matches!(v.0, Repr::Small(_))
     }
 
     #[test]
@@ -675,5 +917,78 @@ mod tests {
         assert_eq!(bi(-42).to_f64(), -42.0);
         let big = BigInt::from_decimal("100000000000000000000").unwrap();
         assert!((big.to_f64() - 1e20).abs() < 1e6);
+    }
+
+    // --- canonical-form tests for the small-value representation ---
+
+    #[test]
+    fn canonical_form_at_the_i64_boundary() {
+        // Values inside the i64 range must always be Small, even when they
+        // arrive via limb-path constructors.
+        assert!(is_small(&BigInt::from_decimal("9223372036854775807").unwrap()));
+        assert!(is_small(&BigInt::from_decimal("-9223372036854775808").unwrap()));
+        assert!(!is_small(&BigInt::from_decimal("9223372036854775808").unwrap()));
+        assert!(!is_small(&BigInt::from_decimal("-9223372036854775809").unwrap()));
+        // Structural equality across construction routes.
+        assert_eq!(BigInt::from_decimal("9223372036854775807").unwrap(), bi(i64::MAX));
+        assert_eq!(BigInt::from_decimal("-9223372036854775808").unwrap(), bi(i64::MIN));
+    }
+
+    #[test]
+    fn demotion_after_shrinking() {
+        // Grow past i64, come back: the result must be Small again so that
+        // Eq/Hash stay structural.
+        let max = bi(i64::MAX);
+        let promoted = &max + &BigInt::one();
+        assert!(!is_small(&promoted));
+        assert_eq!(promoted.to_i64(), None);
+        let back = &promoted - &BigInt::one();
+        assert!(is_small(&back));
+        assert_eq!(back, max);
+    }
+
+    #[test]
+    fn negation_at_i64_min() {
+        let min = bi(i64::MIN);
+        let negated = -&min;
+        assert_eq!(negated.to_string(), "9223372036854775808");
+        assert!(!is_small(&negated));
+        let round_trip = -&negated;
+        assert!(is_small(&round_trip));
+        assert_eq!(round_trip, min);
+        assert_eq!(min.abs(), negated);
+    }
+
+    #[test]
+    fn overflow_promotion_cases() {
+        // i64::MIN / -1 is the only divmod case that leaves i64.
+        let (q, r) = bi(i64::MIN).divmod(&bi(-1));
+        assert_eq!(q.to_string(), "9223372036854775808");
+        assert!(r.is_zero());
+        // gcd(i64::MIN, i64::MIN) = 2^63.
+        let g = bi(i64::MIN).gcd(&bi(i64::MIN));
+        assert_eq!(g.to_string(), "9223372036854775808");
+        // Near-max product promotes and agrees with the limb path.
+        let a = bi(i64::MAX);
+        let p = &a * &a;
+        assert_eq!(p, a.ref_mul(&a));
+        assert_eq!(p.to_string(), "85070591730234615847396907784232501249");
+    }
+
+    #[test]
+    fn reference_ops_match_operators() {
+        let vals =
+            [bi(0), bi(1), bi(-1), bi(i64::MAX), bi(i64::MIN), &bi(i64::MAX) * &bi(i64::MAX)];
+        for a in &vals {
+            for b in &vals {
+                assert_eq!(a.ref_add(b), a + b);
+                assert_eq!(a.ref_sub(b), a - b);
+                assert_eq!(a.ref_mul(b), a * b);
+                assert_eq!(a.ref_gcd(b), a.gcd(b));
+                if !b.is_zero() {
+                    assert_eq!(a.ref_divmod(b), a.divmod(b));
+                }
+            }
+        }
     }
 }

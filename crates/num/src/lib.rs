@@ -1,10 +1,10 @@
 //! Exact arbitrary-precision arithmetic for the CCmatic workspace.
 //!
-//! The simplex-based linear-real-arithmetic theory solver in
-//! [`ccmatic-smt`](../ccmatic_smt/index.html) pivots on exact rational
-//! tableaux; floating point would silently break soundness and fixed-width
-//! integers overflow after a few dozen pivots. This crate provides the three
-//! numeric types the solver needs:
+//! The simplex-based linear-real-arithmetic theory solver in the
+//! `ccmatic-smt` crate pivots on exact rational tableaux; floating point
+//! would silently break soundness and fixed-width integers overflow after a
+//! few dozen pivots. This crate provides the three numeric types the solver
+//! needs:
 //!
 //! * [`BigInt`] — sign-magnitude arbitrary-precision integer,
 //! * [`Rat`] — normalized rational built on [`BigInt`],
@@ -16,16 +16,23 @@
 //! atoms and coefficients that start as small integers or halves, so limb
 //! counts stay tiny and asymptotics never matter. Simplicity and obvious
 //! correctness win (the smoltcp design rule).
+//!
+//! Because coefficients are small, both [`BigInt`] and [`Rat`] carry an
+//! inline machine-word fast path and promote to heap-allocated limbs only
+//! on overflow; [`arith_snapshot`] exposes process-wide counters
+//! ([`ArithStats`]) of fast-path coverage and promotions.
 
 mod bigint;
 mod delta;
 mod rational;
 pub mod rng;
+mod stats;
 
 pub use bigint::BigInt;
 pub use delta::DeltaRat;
 pub use rational::Rat;
 pub use rng::SmallRng;
+pub use stats::{snapshot as arith_snapshot, ArithStats};
 
 /// Convenience constructor: the rational `n / d`.
 ///

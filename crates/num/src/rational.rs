@@ -1,6 +1,15 @@
 //! Normalized arbitrary-precision rationals.
+//!
+//! Arithmetic has a machine-word fast path: when both operands' numerators
+//! and denominators fit `i64` (the common case throughout the simplex
+//! tableau), cross-products are computed in `i128` — which cannot overflow,
+//! since `|n|, d ≤ 2^63` bounds every product by `2^126` and every sum of
+//! two products by `2^127` — and the result is reduced with a `u128`
+//! Euclid gcd before being stored back as inline [`BigInt`]s. Only results
+//! whose reduced numerator or denominator leaves the `i64` range touch the
+//! heap-allocating bignum path.
 
-use crate::BigInt;
+use crate::{stats, BigInt};
 use std::cmp::Ordering;
 use std::fmt;
 use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
@@ -28,6 +37,16 @@ impl Rat {
     /// Panics if `d == 0`.
     pub fn new(n: BigInt, d: BigInt) -> Self {
         assert!(!d.is_zero(), "rational with zero denominator");
+        if let (Some(ns), Some(ds)) = (n.to_i64(), d.to_i64()) {
+            // i128 absorbs the i64::MIN negation when flipping the sign
+            // into the numerator.
+            let (mut n, mut d) = (ns as i128, ds as i128);
+            if d < 0 {
+                n = -n;
+                d = -d;
+            }
+            return Rat::from_i128_frac(n, d);
+        }
         if n.is_zero() {
             return Rat::zero();
         }
@@ -39,6 +58,35 @@ impl Rat {
             den = -den;
         }
         Rat { num, den }
+    }
+
+    /// Build a normalized rational from `n / d` with `d > 0`, both already
+    /// reduced into `i128` range (cross-products of `i64` components).
+    /// Counts one fast-path op, or a promotion if the reduced value still
+    /// leaves the `i64` range.
+    fn from_i128_frac(n: i128, d: i128) -> Rat {
+        debug_assert!(d > 0);
+        if n == 0 {
+            stats::count_small();
+            return Rat::zero();
+        }
+        let g = gcd_u128(n.unsigned_abs(), d as u128) as i128;
+        let (n, d) = (n / g, d / g);
+        match (i64::try_from(n), i64::try_from(d)) {
+            (Ok(ns), Ok(ds)) => {
+                stats::count_small();
+                Rat { num: BigInt::from(ns), den: BigInt::from(ds) }
+            }
+            _ => {
+                stats::count_promotion();
+                Rat { num: BigInt::from(n), den: BigInt::from(d) }
+            }
+        }
+    }
+
+    /// The numerator/denominator as machine words, if both fit.
+    fn small_parts(&self) -> Option<(i64, i64)> {
+        Some((self.num.to_i64()?, self.den.to_i64()?))
     }
 
     /// The rational 0.
@@ -97,7 +145,12 @@ impl Rat {
     /// Panics if the value is zero.
     pub fn recip(&self) -> Rat {
         assert!(!self.is_zero(), "reciprocal of zero");
-        Rat::new(self.den.clone(), self.num.clone())
+        // Already normalized, so swapping is enough — no gcd required.
+        if self.num.is_negative() {
+            Rat { num: -&self.den, den: -&self.num }
+        } else {
+            Rat { num: self.den.clone(), den: self.num.clone() }
+        }
     }
 
     /// Largest integer ≤ self, as a `BigInt`.
@@ -182,6 +235,66 @@ impl Rat {
             }
         }
     }
+
+    /// Reference constructor that normalizes entirely on the `BigInt` limb
+    /// path (differential-test hook; results must be bit-identical to
+    /// [`Rat::new`]).
+    #[doc(hidden)]
+    pub fn ref_new(n: BigInt, d: BigInt) -> Rat {
+        assert!(!d.is_zero(), "rational with zero denominator");
+        if n.is_zero() {
+            return Rat::zero();
+        }
+        let g = n.ref_gcd(&d);
+        let mut num = n.ref_divmod(&g).0;
+        let mut den = d.ref_divmod(&g).0;
+        if den.is_negative() {
+            num = -num;
+            den = -den;
+        }
+        Rat { num, den }
+    }
+
+    /// Reference addition on the limb path (differential-test hook).
+    #[doc(hidden)]
+    pub fn ref_add(&self, other: &Rat) -> Rat {
+        Rat::ref_new(
+            self.num.ref_mul(&other.den).ref_add(&other.num.ref_mul(&self.den)),
+            self.den.ref_mul(&other.den),
+        )
+    }
+
+    /// Reference subtraction on the limb path (differential-test hook).
+    #[doc(hidden)]
+    pub fn ref_sub(&self, other: &Rat) -> Rat {
+        Rat::ref_new(
+            self.num.ref_mul(&other.den).ref_sub(&other.num.ref_mul(&self.den)),
+            self.den.ref_mul(&other.den),
+        )
+    }
+
+    /// Reference multiplication on the limb path (differential-test hook).
+    #[doc(hidden)]
+    pub fn ref_mul(&self, other: &Rat) -> Rat {
+        Rat::ref_new(self.num.ref_mul(&other.num), self.den.ref_mul(&other.den))
+    }
+
+    /// Reference division on the limb path (differential-test hook).
+    ///
+    /// # Panics
+    /// Panics if `other` is zero.
+    #[doc(hidden)]
+    pub fn ref_div(&self, other: &Rat) -> Rat {
+        assert!(!other.is_zero(), "rational division by zero");
+        Rat::ref_new(self.num.ref_mul(&other.den), self.den.ref_mul(&other.num))
+    }
+
+    /// Reference comparison via limb-path cross-multiplication
+    /// (differential-test hook).
+    #[doc(hidden)]
+    pub fn ref_cmp(&self, other: &Rat) -> Ordering {
+        self.num.ref_mul(&other.den).cmp(&other.num.ref_mul(&self.den))
+    }
 }
 
 impl From<i64> for Rat {
@@ -205,6 +318,10 @@ impl PartialOrd for Rat {
 impl Ord for Rat {
     fn cmp(&self, other: &Self) -> Ordering {
         // a/b vs c/d  (b, d > 0)  ⇔  a·d vs c·b
+        if let (Some((an, ad)), Some((bn, bd))) = (self.small_parts(), other.small_parts()) {
+            stats::count_small();
+            return (an as i128 * bd as i128).cmp(&(bn as i128 * ad as i128));
+        }
         (&self.num * &other.den).cmp(&(&other.num * &self.den))
     }
 }
@@ -226,6 +343,11 @@ impl Neg for &Rat {
 impl Add for &Rat {
     type Output = Rat;
     fn add(self, other: &Rat) -> Rat {
+        if let (Some((an, ad)), Some((bn, bd))) = (self.small_parts(), other.small_parts()) {
+            let n = an as i128 * bd as i128 + bn as i128 * ad as i128;
+            let d = ad as i128 * bd as i128;
+            return Rat::from_i128_frac(n, d);
+        }
         Rat::new(&self.num * &other.den + &other.num * &self.den, &self.den * &other.den)
     }
 }
@@ -233,6 +355,11 @@ impl Add for &Rat {
 impl Sub for &Rat {
     type Output = Rat;
     fn sub(self, other: &Rat) -> Rat {
+        if let (Some((an, ad)), Some((bn, bd))) = (self.small_parts(), other.small_parts()) {
+            let n = an as i128 * bd as i128 - bn as i128 * ad as i128;
+            let d = ad as i128 * bd as i128;
+            return Rat::from_i128_frac(n, d);
+        }
         Rat::new(&self.num * &other.den - &other.num * &self.den, &self.den * &other.den)
     }
 }
@@ -240,6 +367,9 @@ impl Sub for &Rat {
 impl Mul for &Rat {
     type Output = Rat;
     fn mul(self, other: &Rat) -> Rat {
+        if let (Some((an, ad)), Some((bn, bd))) = (self.small_parts(), other.small_parts()) {
+            return Rat::from_i128_frac(an as i128 * bn as i128, ad as i128 * bd as i128);
+        }
         Rat::new(&self.num * &other.num, &self.den * &other.den)
     }
 }
@@ -248,8 +378,26 @@ impl Div for &Rat {
     type Output = Rat;
     fn div(self, other: &Rat) -> Rat {
         assert!(!other.is_zero(), "rational division by zero");
+        if let (Some((an, ad)), Some((bn, bd))) = (self.small_parts(), other.small_parts()) {
+            let (mut n, mut d) = (an as i128 * bd as i128, ad as i128 * bn as i128);
+            if d < 0 {
+                n = -n;
+                d = -d;
+            }
+            return Rat::from_i128_frac(n, d);
+        }
         Rat::new(&self.num * &other.den, &self.den * &other.num)
     }
+}
+
+/// Euclid gcd on `u128` (used only with at least one non-zero operand).
+fn gcd_u128(mut a: u128, mut b: u128) -> u128 {
+    while b != 0 {
+        let r = a % b;
+        a = b;
+        b = r;
+    }
+    a
 }
 
 macro_rules! forward_binop_owned {

@@ -1,0 +1,155 @@
+//! Process-wide counters for the small-value arithmetic fast path.
+//!
+//! [`BigInt`](crate::BigInt) and [`Rat`](crate::Rat) carry an inline `i64`
+//! representation and fall back to heap-allocated limbs only when a value
+//! leaves the machine-word range. These counters make that behaviour
+//! observable: benchmarks and `ccmatic --stats` report what fraction of
+//! arithmetic ran on the fast path and how often a *promotion* (fast →
+//! bignum fallback) occurred, so kernel-level regressions show up in the
+//! committed `BENCH_*.json` files instead of silently eating the win.
+//!
+//! Counting strategy: promotions and limb-path operations are rare on the
+//! solver workload and go straight to relaxed global atomics. Fast-path
+//! operations are the hot case, so each thread accumulates them in a plain
+//! thread-local cell and flushes to the global atomic every
+//! [`FLUSH_EVERY`] events (and whenever [`snapshot`] is called from that
+//! thread), keeping the per-op cost to a couple of cycles. A snapshot can
+//! therefore lag another *live* thread by at most `FLUSH_EVERY − 1`
+//! fast-path ops — noise at the 10⁵-op scales these counters are read at.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Fast-path events a thread buffers locally before publishing.
+const FLUSH_EVERY: u64 = 1024;
+
+static SMALL_OPS: AtomicU64 = AtomicU64::new(0);
+static PROMOTIONS: AtomicU64 = AtomicU64::new(0);
+static BIG_OPS: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    static SMALL_LOCAL: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Record one arithmetic operation that ran entirely on the inline-`i64`
+/// fast path.
+#[inline]
+pub(crate) fn count_small() {
+    SMALL_LOCAL.with(|c| {
+        let n = c.get() + 1;
+        if n >= FLUSH_EVERY {
+            SMALL_OPS.fetch_add(n, Ordering::Relaxed);
+            c.set(0);
+        } else {
+            c.set(n);
+        }
+    });
+}
+
+/// Record one promotion: both operands were inline but the result (or an
+/// intermediate) left the `i64` range, forcing the limb representation.
+#[inline]
+pub(crate) fn count_promotion() {
+    PROMOTIONS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Record one operation that ran on the limb (bignum) path because at
+/// least one operand was already promoted.
+#[inline]
+pub(crate) fn count_big() {
+    BIG_OPS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// A point-in-time reading of the arithmetic counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ArithStats {
+    /// Operations completed entirely on the inline-`i64` fast path.
+    pub small_ops: u64,
+    /// Fast-path attempts that overflowed into the limb representation.
+    pub promotions: u64,
+    /// Operations on already-promoted (limb) operands.
+    pub big_ops: u64,
+}
+
+impl ArithStats {
+    /// Total counted operations.
+    pub fn total(&self) -> u64 {
+        self.small_ops + self.promotions + self.big_ops
+    }
+
+    /// Fraction of operations that stayed on the fast path (1.0 when no
+    /// operations were counted).
+    pub fn fast_fraction(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            1.0
+        } else {
+            self.small_ops as f64 / total as f64
+        }
+    }
+
+    /// Counter deltas since an `earlier` snapshot (saturating, so a
+    /// snapshot pair taken around a region of interest is safe even if
+    /// another thread flushed in between).
+    pub fn since(&self, earlier: &ArithStats) -> ArithStats {
+        ArithStats {
+            small_ops: self.small_ops.saturating_sub(earlier.small_ops),
+            promotions: self.promotions.saturating_sub(earlier.promotions),
+            big_ops: self.big_ops.saturating_sub(earlier.big_ops),
+        }
+    }
+}
+
+/// Read the process-wide counters, after flushing the calling thread's
+/// buffered fast-path count (other live threads may still hold up to
+/// `FLUSH_EVERY − 1` unflushed events each).
+pub fn snapshot() -> ArithStats {
+    SMALL_LOCAL.with(|c| {
+        let n = c.get();
+        if n > 0 {
+            SMALL_OPS.fetch_add(n, Ordering::Relaxed);
+            c.set(0);
+        }
+    });
+    ArithStats {
+        small_ops: SMALL_OPS.load(Ordering::Relaxed),
+        promotions: PROMOTIONS.load(Ordering::Relaxed),
+        big_ops: BIG_OPS.load(Ordering::Relaxed),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fast_fraction_of_empty_delta_is_one() {
+        let s = ArithStats::default();
+        assert_eq!(s.fast_fraction(), 1.0);
+        assert_eq!(s.total(), 0);
+    }
+
+    #[test]
+    fn since_is_saturating_and_componentwise() {
+        let a = ArithStats { small_ops: 10, promotions: 2, big_ops: 1 };
+        let b = ArithStats { small_ops: 25, promotions: 2, big_ops: 4 };
+        let d = b.since(&a);
+        assert_eq!(d, ArithStats { small_ops: 15, promotions: 0, big_ops: 3 });
+        assert_eq!(a.since(&b).small_ops, 0);
+    }
+
+    #[test]
+    fn snapshot_sees_counted_ops() {
+        let before = snapshot();
+        count_small();
+        count_promotion();
+        count_big();
+        let after = snapshot();
+        let d = after.since(&before);
+        // Other tests run concurrently in this process, so only lower
+        // bounds are meaningful here.
+        assert!(d.small_ops >= 1);
+        assert!(d.promotions >= 1);
+        assert!(d.big_ops >= 1);
+    }
+}

@@ -16,13 +16,109 @@
 //! The tableau persists across `reset_bounds` calls, so repeated theory
 //! checks (one per candidate Boolean model) only pay for bound assertion
 //! and re-pivoting, not structure building.
+//!
+//! Tableau rows are flat sorted `Vec<(SimVar, Rat)>` sparse vectors rather
+//! than `BTreeMap`s: rows are read far more often than they are restructured,
+//! and the hot substitution step ([`Row::add_scaled`]) is a linear merge of
+//! two sorted lists through a reusable scratch buffer, so the pivot loop
+//! performs no per-entry node allocation and no pointer chasing.
 
 use ccmatic_num::{DeltaRat, Rat};
-use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
+
+/// Process-wide pivot count across every [`Simplex`] instance (including
+/// worker-thread verifiers); complements the per-instance
+/// [`Simplex::pivots`] the same way `ccmatic_num::arith_snapshot` works for
+/// arithmetic ops.
+static PIVOTS_TOTAL: AtomicU64 = AtomicU64::new(0);
+
+/// Read the process-wide pivot counter.
+pub fn pivots_total() -> u64 {
+    PIVOTS_TOTAL.load(AtomicOrdering::Relaxed)
+}
 
 /// A simplex variable (problem variable or slack).
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
 pub struct SimVar(pub u32);
+
+/// A sparse tableau row: `(variable, coefficient)` entries sorted by
+/// variable, with no zero coefficients stored.
+#[derive(Clone, Debug, Default)]
+struct Row {
+    entries: Vec<(SimVar, Rat)>,
+}
+
+impl Row {
+    /// Coefficient of `v`, if present.
+    fn get(&self, v: SimVar) -> Option<&Rat> {
+        self.entries.binary_search_by_key(&v, |e| e.0).ok().map(|i| &self.entries[i].1)
+    }
+
+    /// Remove and return the coefficient of `v`.
+    fn remove(&mut self, v: SimVar) -> Option<Rat> {
+        match self.entries.binary_search_by_key(&v, |e| e.0) {
+            Ok(i) => Some(self.entries.remove(i).1),
+            Err(_) => None,
+        }
+    }
+
+    /// Add `c` to the coefficient of `v`, dropping the entry if it cancels.
+    fn add_term(&mut self, v: SimVar, c: &Rat) {
+        if c.is_zero() {
+            return;
+        }
+        match self.entries.binary_search_by_key(&v, |e| e.0) {
+            Ok(i) => {
+                self.entries[i].1 += c;
+                if self.entries[i].1.is_zero() {
+                    self.entries.remove(i);
+                }
+            }
+            Err(i) => self.entries.insert(i, (v, c.clone())),
+        }
+    }
+
+    /// Iterate entries in variable order.
+    fn iter(&self) -> impl Iterator<Item = (SimVar, &Rat)> {
+        self.entries.iter().map(|(v, c)| (*v, c))
+    }
+
+    /// `self += k·other` as a linear merge of the two sorted entry lists.
+    /// The merged result is built in `scratch`, which is then swapped in;
+    /// the buffers alternate across calls so neither is reallocated once
+    /// warm.
+    fn add_scaled(&mut self, other: &Row, k: &Rat, scratch: &mut Vec<(SimVar, Rat)>) {
+        scratch.clear();
+        scratch.reserve(self.entries.len() + other.entries.len());
+        let mut a = self.entries.drain(..).peekable();
+        for (bv, bc) in &other.entries {
+            loop {
+                match a.peek() {
+                    Some((av, _)) if av < bv => {
+                        scratch.push(a.next().expect("peeked entry exists"));
+                    }
+                    Some((av, _)) if av == bv => {
+                        let (v, mut c) = a.next().expect("peeked entry exists");
+                        c += &(k * bc);
+                        if !c.is_zero() {
+                            scratch.push((v, c));
+                        }
+                        break;
+                    }
+                    _ => {
+                        let c = k * bc;
+                        if !c.is_zero() {
+                            scratch.push((*bv, c));
+                        }
+                        break;
+                    }
+                }
+            }
+        }
+        scratch.extend(a);
+        std::mem::swap(&mut self.entries, scratch);
+    }
+}
 
 /// Opaque tag identifying the asserted bound that produced a conflict; the
 /// SMT layer uses SAT literal codes.
@@ -44,15 +140,15 @@ struct BoundVal {
 /// Snapshot of the tableau structure taken at a `push` (bounds are not
 /// saved: the SMT bridge re-asserts them from scratch on every check).
 struct SimplexFrame {
-    rows: Vec<Option<BTreeMap<SimVar, Rat>>>,
+    rows: Vec<Option<Row>>,
     value: Vec<DeltaRat>,
 }
 
 /// The simplex solver state.
 pub struct Simplex {
-    /// `rows[v] = Some(row)` iff `v` is basic; the row maps nonbasic vars to
-    /// coefficients so that `v = Σ coeff·nonbasic`.
-    rows: Vec<Option<BTreeMap<SimVar, Rat>>>,
+    /// `rows[v] = Some(row)` iff `v` is basic; the row holds nonbasic vars
+    /// and coefficients so that `v = Σ coeff·nonbasic`.
+    rows: Vec<Option<Row>>,
     lower: Vec<Option<BoundVal>>,
     upper: Vec<Option<BoundVal>>,
     value: Vec<DeltaRat>,
@@ -60,6 +156,8 @@ pub struct Simplex {
     frames: Vec<SimplexFrame>,
     /// Statistics: total pivots performed.
     pub pivots: u64,
+    /// Reusable merge buffer for [`Row::add_scaled`].
+    scratch: Vec<(SimVar, Rat)>,
 }
 
 impl Default for Simplex {
@@ -78,6 +176,7 @@ impl Simplex {
             value: Vec::new(),
             frames: Vec::new(),
             pivots: 0,
+            scratch: Vec::new(),
         }
     }
 
@@ -129,23 +228,23 @@ impl Simplex {
     /// variables. Basic variables in the definition are substituted by
     /// their rows so the new row only references nonbasic variables.
     pub fn define_slack(&mut self, expr: &[(SimVar, Rat)]) -> SimVar {
-        let mut row: BTreeMap<SimVar, Rat> = BTreeMap::new();
+        let mut row = Row::default();
+        let mut scratch = std::mem::take(&mut self.scratch);
         for (v, c) in expr {
             if c.is_zero() {
                 continue;
             }
             if let Some(sub) = &self.rows[v.0 as usize] {
-                for (sv, sc) in sub.clone() {
-                    add_coeff(&mut row, sv, &(&sc * c));
-                }
+                row.add_scaled(sub, c, &mut scratch);
             } else {
-                add_coeff(&mut row, *v, c);
+                row.add_term(*v, c);
             }
         }
+        self.scratch = scratch;
         let s = self.new_var();
         // Initial value = row evaluated at current assignment.
         let mut val = DeltaRat::zero();
-        for (v, c) in &row {
+        for (v, c) in row.iter() {
             val = &val + &self.value[v.0 as usize].scale(c);
         }
         self.value[s.0 as usize] = val;
@@ -220,7 +319,7 @@ impl Simplex {
         let delta = &new_val - &self.value[v.0 as usize];
         for b in 0..self.rows.len() {
             if let Some(row) = &self.rows[b] {
-                if let Some(c) = row.get(&v) {
+                if let Some(c) = row.get(v) {
                     let adj = delta.scale(c);
                     self.value[b] = &self.value[b] + &adj;
                 }
@@ -256,11 +355,11 @@ impl Simplex {
                 return Ok(());
             };
             let bi = b.0 as usize;
-            let row = self.rows[bi].as_ref().unwrap().clone();
+            let row = self.rows[bi].as_ref().expect("violating variable is basic");
             // Find a nonbasic variable that can move `b` toward its bound
             // (lowest index — Bland's rule prevents cycling).
             let mut pivot_col: Option<SimVar> = None;
-            for (&j, c) in &row {
+            for (j, c) in row.iter() {
                 let ji = j.0 as usize;
                 let can_fix = if below {
                     // Need to increase b.
@@ -285,7 +384,7 @@ impl Simplex {
                     self.upper[bi].as_ref().unwrap().tag
                 };
                 tags.push(own);
-                for (&jv, c) in &row {
+                for (jv, c) in row.iter() {
                     let ji = jv.0 as usize;
                     let blocking = if below {
                         // b needs increase; positive coeff blocked by upper,
@@ -332,20 +431,20 @@ impl Simplex {
     /// Pivot basic `b` with nonbasic `j` and set `b`'s value to `target`.
     fn pivot_and_update(&mut self, b: SimVar, j: SimVar, target: DeltaRat) {
         self.pivots += 1;
+        PIVOTS_TOTAL.fetch_add(1, AtomicOrdering::Relaxed);
         let bi = b.0 as usize;
         let ji = j.0 as usize;
-        let row_b = self.rows[bi].take().unwrap();
-        let a_bj = row_b.get(&j).expect("pivot column must be in row").clone();
+        // `b`'s row is transformed in place into `j`'s row below; no clone.
+        let mut row_j = self.rows[bi].take().expect("pivot row is basic");
+        let a_bj = row_j.remove(j).expect("pivot column must be in row");
+        let inv = a_bj.recip();
         // Value updates: θ = (target − β(b)) / a_bj.
-        let theta = (&target - &self.value[bi]).scale(&a_bj.recip());
+        let theta = (&target - &self.value[bi]).scale(&inv);
         self.value[bi] = target;
         self.value[ji] = &self.value[ji] + &theta;
         for i in 0..self.rows.len() {
-            if i == bi {
-                continue;
-            }
             if let Some(row) = &self.rows[i] {
-                if let Some(c) = row.get(&j) {
+                if let Some(c) = row.get(j) {
                     let adj = theta.scale(c);
                     self.value[i] = &self.value[i] + &adj;
                 }
@@ -353,28 +452,26 @@ impl Simplex {
         }
         // Row for j: from b = Σ a_k x_k,
         //   x_j = (1/a_bj)·b − Σ_{k≠j} (a_k/a_bj)·x_k
-        let inv = a_bj.recip();
-        let mut row_j: BTreeMap<SimVar, Rat> = BTreeMap::new();
-        row_j.insert(b, inv.clone());
-        for (&k, a_k) in &row_b {
-            if k == j {
-                continue;
-            }
-            add_coeff(&mut row_j, k, &-(a_k * &inv));
+        // Scale the remaining entries of b's row in place, then insert b
+        // (which, having been basic, cannot already appear).
+        let neg_inv = -&inv;
+        for (_, c) in row_j.entries.iter_mut() {
+            *c *= &neg_inv;
         }
-        // Substitute x_j in every other row.
+        row_j.add_term(b, &inv);
+        // Substitute x_j in every other row via the shared scratch buffer.
+        let mut scratch = std::mem::take(&mut self.scratch);
         for i in 0..self.rows.len() {
             if i == ji {
                 continue;
             }
             if let Some(row) = &mut self.rows[i] {
-                if let Some(c) = row.remove(&j) {
-                    for (&k, jk) in &row_j {
-                        add_coeff(row, k, &(&c * jk));
-                    }
+                if let Some(c) = row.remove(j) {
+                    row.add_scaled(&row_j, &c, &mut scratch);
                 }
             }
         }
+        self.scratch = scratch;
         self.rows[ji] = Some(row_j);
     }
 
@@ -421,17 +518,6 @@ impl Simplex {
         }
         // Halve to stay strictly inside open regions.
         &best * &Rat::new(1i64.into(), 2i64.into())
-    }
-}
-
-fn add_coeff(row: &mut BTreeMap<SimVar, Rat>, v: SimVar, c: &Rat) {
-    if c.is_zero() {
-        return;
-    }
-    let e = row.entry(v).or_insert_with(Rat::zero);
-    *e += c;
-    if e.is_zero() {
-        row.remove(&v);
     }
 }
 

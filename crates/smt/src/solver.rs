@@ -72,6 +72,10 @@ pub struct SolverStats {
     pub theory_conflicts: u64,
     /// Simplex pivots.
     pub pivots: u64,
+    /// Arithmetic fast-path promotions (fast → bignum fallbacks). This is a
+    /// *process-wide* snapshot from `ccmatic_num::arith_snapshot()`, not a
+    /// per-solver count: take deltas around a region of interest.
+    pub promotions: u64,
 }
 
 /// An incremental SMT solver for QF-LRA.
@@ -300,6 +304,7 @@ impl Solver {
             theory_checks: self.sat.stats.theory_checks,
             theory_conflicts: self.sat.stats.theory_conflicts,
             pivots: self.simplex.pivots,
+            promotions: ccmatic_num::arith_snapshot().promotions,
         }
     }
 }
