@@ -23,6 +23,7 @@ fn main() {
         wce_precision: rat(1, 2),
         incremental: true,
         threads: 1,
+        certify: false,
     };
     bench_case("enumerate_lookback2_small", 1, 5, || {
         let r = enumerate_all(&opts);

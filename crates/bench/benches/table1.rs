@@ -18,9 +18,21 @@ fn main() {
         assert!(cell.solved);
     });
     bench_case("table1/no_cwnd_small/rp_wce_scratch", 1, 5, || {
-        let cell =
-            run_cell_with(&row, OptMode::RangePruningWce, Duration::from_secs(120), false, 1);
+        let cell = run_cell_with(
+            &row,
+            OptMode::RangePruningWce,
+            Duration::from_secs(120),
+            false,
+            1,
+            false,
+        );
         assert!(cell.solved);
+    });
+    bench_case("table1/no_cwnd_small/rp_wce_certified", 1, 5, || {
+        let cell =
+            run_cell_with(&row, OptMode::RangePruningWce, Duration::from_secs(120), true, 1, true);
+        assert!(cell.solved);
+        assert!(cell.proof_clauses > 0, "certified run must have replayed certificates");
     });
     bench_case("table1/no_cwnd_small/rp", 1, 5, || {
         let cell = run_cell(&row, OptMode::RangePruning, Duration::from_secs(120));

@@ -20,6 +20,7 @@ fn cfg(worst_case: bool, incremental: bool) -> VerifyConfig {
         worst_case,
         wce_precision: rat(1, 2),
         incremental,
+        certify: false,
     }
 }
 

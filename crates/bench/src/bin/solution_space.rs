@@ -45,6 +45,7 @@ fn main() {
             wce_precision: rat(1, 2),
             incremental: true,
             threads: 1,
+            certify: false,
         };
         println!(
             "\n## {} / {} — {} candidates",

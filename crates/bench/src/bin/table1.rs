@@ -80,7 +80,7 @@ fn main() {
             "running {} / {} / RP+WCE (from-scratch verifier) …",
             row.params, row.domain_label
         );
-        let scratch = run_cell_with(&row, OptMode::RangePruningWce, budget, false, 1);
+        let scratch = run_cell_with(&row, OptMode::RangePruningWce, budget, false, 1, false);
         eprintln!(
             "  → {} in {} ({} iterations, {} verifier probes)",
             if scratch.solved { "solved" } else { "DNF" },
@@ -89,6 +89,22 @@ fn main() {
             scratch.verifier_probes,
         );
         cells.push(scratch);
+        // Certified RP+WCE: every verdict carries a checker-replayed proof
+        // certificate. Reported next to the uncertified cell so the
+        // overhead factor is visible per row.
+        eprintln!("running {} / {} / RP+WCE (certified) …", row.params, row.domain_label);
+        let certified = run_cell_with(&row, OptMode::RangePruningWce, budget, true, 1, true);
+        let plain_wall = cells[2].wall;
+        eprintln!(
+            "  → {} in {} ({} proof clauses, {} cert bytes, {:.1} ms in checker, {:.2}x uncertified)",
+            if certified.solved { "solved" } else { "DNF" },
+            fmt_duration(certified.wall, true),
+            certified.proof_clauses,
+            certified.cert_bytes,
+            certified.check_ms,
+            certified.wall.as_secs_f64() / plain_wall.as_secs_f64().max(1e-9),
+        );
+        cells.push(certified);
         // Speculative parallel engine at 2 and 4 workers, same cell. On a
         // single hardware core these measure overhead, not speedup; the
         // JSON keeps the thread count so readers can tell.
@@ -97,7 +113,7 @@ fn main() {
                 "running {} / {} / RP+WCE ({} threads) …",
                 row.params, row.domain_label, threads
             );
-            let cell = run_cell_with(&row, OptMode::RangePruningWce, budget, true, threads);
+            let cell = run_cell_with(&row, OptMode::RangePruningWce, budget, true, threads, false);
             eprintln!(
                 "  → {} in {} ({} iterations, {} replay hits, {} wasted)",
                 if cell.solved { "solved" } else { "DNF" },

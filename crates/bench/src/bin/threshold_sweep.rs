@@ -66,6 +66,7 @@ fn main() {
         wce_precision: rat(1, 2),
         incremental: true,
         threads: 1,
+        certify: false,
     };
 
     let threads = sweep_threads();

@@ -41,6 +41,7 @@ fn verifies(spec: &CcaSpec, net: &NetConfig, thresholds: &Thresholds) -> bool {
         worst_case: false,
         wce_precision: Rat::new(1i64.into(), 2i64.into()),
         incremental: true,
+        certify: false,
     });
     v.verify(spec).is_ok()
 }

@@ -7,7 +7,9 @@
 //!                 [--budget-secs N] [--horizon N] [--lookback N]
 //!                 [--threads N]   (default: CCMATIC_SYNTH_THREADS, else all cores)
 //!                 [--stats]       (kernel counters: pivots, promotions, coverage)
+//!                 [--certify]     (checker-replayed proof certificates on every verdict)
 //! ccmatic verify  --cca "b1,b2,b3,b4,g"   (β taps then γ; rationals like 3/2)
+//!                 [--certify]
 //! ccmatic enumerate [same space/threshold flags]
 //! ccmatic assume  --cca "…"
 //! ccmatic diff    --cca "…" --cca-b "…"
@@ -82,6 +84,8 @@ fn usage() -> ExitCode {
          \x20      --budget-secs N --horizon N --lookback N --jitter N\n\
          \x20      --threads N  (synth fan-out; default $CCMATIC_SYNTH_THREADS, else cores)\n\
          \x20      --stats  (print kernel counters: pivots, promotions, fast-path coverage)\n\
+         \x20      --certify  (synth/verify: re-check every UNSAT verdict against a\n\
+         \x20                  DRAT+Farkas certificate with the independent checker)\n\
          \x20      --cca \"b1,b2,…,g\"  --cca-b \"…\"  (β taps then γ)"
     );
     ExitCode::FAILURE
@@ -152,6 +156,7 @@ fn main() -> ExitCode {
         .get("--threads")
         .and_then(|v| v.parse::<usize>().ok().filter(|&n| n > 0))
         .unwrap_or_else(|| ccmatic::env::env_threads_or_cores("CCMATIC_SYNTH_THREADS"));
+    let certify = args.has("--certify");
     let opts = SynthOptions {
         shape: shape.clone(),
         net: net.clone(),
@@ -161,6 +166,7 @@ fn main() -> ExitCode {
         wce_precision: rat(1, 2),
         incremental: true,
         threads,
+        certify,
     };
 
     let kernel = args.has("--stats").then(KernelSnapshot::take);
@@ -176,6 +182,18 @@ fn main() -> ExitCode {
                 if threads == 1 { "" } else { "s" }
             );
             let r = synthesize(&opts);
+            if certify {
+                // Reaching this line means every certificate was accepted —
+                // a rejected one panics inside the verifier with the
+                // checker's diagnosis.
+                eprintln!(
+                    "certified: {} certificates replayed ({} clauses, {} bytes, {:.1} ms in checker)",
+                    r.cert_audit.checked,
+                    r.cert_audit.clauses,
+                    r.cert_audit.bytes,
+                    r.cert_audit.check_ns as f64 / 1e6
+                );
+            }
             match r.outcome {
                 Outcome::Solution(spec) => {
                     println!("SOLUTION  {spec}");
@@ -211,8 +229,19 @@ fn main() -> ExitCode {
                 worst_case: false,
                 wce_precision: rat(1, 2),
                 incremental: true,
+                certify,
             });
-            match v.verify(&spec) {
+            let result = v.verify(&spec);
+            if certify {
+                eprintln!(
+                    "certified: {} certificates replayed ({} clauses, {} bytes, {:.1} ms in checker)",
+                    v.cert_audit.checked,
+                    v.cert_audit.clauses,
+                    v.cert_audit.bytes,
+                    v.cert_audit.check_ns as f64 / 1e6
+                );
+            }
+            match result {
                 Ok(()) => {
                     println!("VERIFIED  {spec}");
                     ExitCode::SUCCESS

@@ -97,6 +97,7 @@ pub fn brute_force_first(
         worst_case: false,
         wce_precision: Rat::new(1i64.into(), 2i64.into()),
         incremental: true,
+        certify: false,
     });
     let mut tried = 0;
     for spec in CandidateIter::new(shape.clone()) {
@@ -160,6 +161,7 @@ mod tests {
             worst_case: false,
             wce_precision: Rat::new(1i64.into(), 2i64.into()),
             incremental: true,
+            certify: false,
         });
         assert!(v.verify(&sol).is_ok());
         assert!(r.tried >= 1);

@@ -174,6 +174,7 @@ mod tests {
                     worst_case: false,
                     wce_precision: rat(1, 2),
                     incremental: true,
+                    certify: false,
                 });
                 v.verify(&spec).is_ok()
             };

@@ -112,6 +112,7 @@ pub fn separating_environment(
         worst_case: false,
         wce_precision: Rat::new(1i64.into(), 2i64.into()),
         incremental: true,
+        certify: false,
     });
     // A must hold universally — the separator is only meaningful inside
     // A's proven envelope.

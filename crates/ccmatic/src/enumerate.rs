@@ -98,6 +98,7 @@ mod tests {
             wce_precision: Rat::new(1i64.into(), 2i64.into()),
             incremental: true,
             threads: 1,
+            certify: false,
         };
         let result = enumerate_all(&opts);
         assert!(result.complete, "tiny space must be exhausted within budget");
@@ -108,6 +109,7 @@ mod tests {
             worst_case: false,
             wce_precision: opts.wce_precision.clone(),
             incremental: true,
+            certify: false,
         });
         for s in &result.solutions {
             assert!(v.verify(s).is_ok(), "enumerated non-solution {s}");

@@ -520,6 +520,7 @@ mod tests {
             worst_case: false,
             wce_precision: Rat::new(1i64.into(), 4i64.into()),
             incremental: true,
+            certify: false,
         });
         let mut g =
             SmtGenerator::new(shape, net, Thresholds::default(), FeasibilityMode::RangePruning);
@@ -555,6 +556,7 @@ mod tests {
             worst_case: true,
             wce_precision: Rat::new(1i64.into(), 2i64.into()),
             incremental: true,
+            certify: false,
         });
         let broken = CcaSpec { alpha: vec![], beta: vec![int(0), int(0)], gamma: int(0) };
         let cex = verifier.verify(&broken).expect_err("refuted");

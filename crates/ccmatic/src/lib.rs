@@ -69,4 +69,4 @@ pub use enumerate::{enumerate_all, EnumerateResult};
 pub use replay::TraceReplay;
 pub use synth::{synthesize, OptMode, SynthOptions, SynthResult};
 pub use template::{CcaSpec, CoeffDomain, TemplateShape};
-pub use verifier::{CcaVerifier, VerifyConfig};
+pub use verifier::{CcaVerifier, CertAudit, VerifyConfig};

@@ -146,6 +146,7 @@ mod tests {
             worst_case,
             wce_precision: Rat::new(1i64.into(), 2i64.into()),
             incremental: true,
+            certify: false,
         })
     }
 

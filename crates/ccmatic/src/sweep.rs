@@ -143,6 +143,7 @@ mod tests {
             wce_precision: rat(1, 2),
             incremental: true,
             threads: 1,
+            certify: false,
         }
     }
 

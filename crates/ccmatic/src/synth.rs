@@ -5,7 +5,7 @@
 use crate::generator::{FeasibilityMode, SmtGenerator};
 use crate::replay::TraceReplay;
 use crate::template::{CcaSpec, TemplateShape};
-use crate::verifier::{CcaVerifier, VerifyConfig};
+use crate::verifier::{CcaVerifier, CertAudit, VerifyConfig};
 use ccac_model::{NetConfig, Thresholds, Trace};
 use ccmatic_cegis::{
     BatchProposal, Budget, Generator, Outcome, ParallelConfig, Stats, Verdict, Verifier,
@@ -72,6 +72,10 @@ pub struct SynthOptions {
     /// Verification fan-out: 1 runs the serial loop, >1 the speculative
     /// parallel engine with this many worker verifiers.
     pub threads: usize,
+    /// Certify every verifier verdict: UNSAT answers must carry a
+    /// checker-accepted DRAT+Farkas certificate, SAT answers an
+    /// exact-audited model (see [`VerifyConfig::certify`]).
+    pub certify: bool,
 }
 
 impl Default for SynthOptions {
@@ -85,6 +89,7 @@ impl Default for SynthOptions {
             wce_precision: Rat::new(1i64.into(), 4i64.into()),
             incremental: true,
             threads: 1,
+            certify: false,
         }
     }
 }
@@ -100,6 +105,9 @@ pub struct SynthResult {
     /// Underlying verifier probes (exceeds verifier calls when WCE
     /// binary-searches).
     pub verifier_probes: u64,
+    /// Aggregate certificate-audit totals across all worker verifiers
+    /// (all zero unless `opts.certify`).
+    pub cert_audit: CertAudit,
 }
 
 /// Adapter: [`SmtGenerator`] as a [`ccmatic_cegis::Generator`].
@@ -151,23 +159,65 @@ pub struct VerAdapter {
     pub inner: CcaVerifier,
     probes: Arc<AtomicU64>,
     reported: u64,
+    certs: Arc<CertTotals>,
+    certs_reported: CertAudit,
+}
+
+/// Shared certificate-audit totals, published by every worker verifier the
+/// same way solver probes are.
+#[derive(Default)]
+pub struct CertTotals {
+    checked: AtomicU64,
+    clauses: AtomicU64,
+    bytes: AtomicU64,
+    check_ns: AtomicU64,
+}
+
+impl CertTotals {
+    /// Snapshot the totals.
+    pub fn load(&self) -> CertAudit {
+        CertAudit {
+            checked: self.checked.load(Ordering::Relaxed),
+            clauses: self.clauses.load(Ordering::Relaxed),
+            bytes: self.bytes.load(Ordering::Relaxed),
+            check_ns: self.check_ns.load(Ordering::Relaxed),
+        }
+    }
 }
 
 impl VerAdapter {
-    /// Wrap `inner` with a private probe counter.
+    /// Wrap `inner` with private counters.
     pub fn new(inner: CcaVerifier) -> Self {
-        Self::with_probe_sink(inner, Arc::new(AtomicU64::new(0)))
+        Self::with_sinks(inner, Arc::new(AtomicU64::new(0)), Arc::new(CertTotals::default()))
     }
 
     /// Wrap `inner`, publishing probe counts into `probes`.
     pub fn with_probe_sink(inner: CcaVerifier, probes: Arc<AtomicU64>) -> Self {
-        VerAdapter { inner, probes, reported: 0 }
+        Self::with_sinks(inner, probes, Arc::new(CertTotals::default()))
+    }
+
+    /// Wrap `inner`, publishing probe counts into `probes` and certificate
+    /// audit totals into `certs`.
+    pub fn with_sinks(inner: CcaVerifier, probes: Arc<AtomicU64>, certs: Arc<CertTotals>) -> Self {
+        VerAdapter { inner, probes, reported: 0, certs, certs_reported: CertAudit::default() }
     }
 
     fn publish_probes(&mut self) {
         let current = self.inner.solver_probes;
         self.probes.fetch_add(current - self.reported, Ordering::Relaxed);
         self.reported = current;
+        let audit = self.inner.cert_audit;
+        self.certs
+            .checked
+            .fetch_add(audit.checked - self.certs_reported.checked, Ordering::Relaxed);
+        self.certs
+            .clauses
+            .fetch_add(audit.clauses - self.certs_reported.clauses, Ordering::Relaxed);
+        self.certs.bytes.fetch_add(audit.bytes - self.certs_reported.bytes, Ordering::Relaxed);
+        self.certs
+            .check_ns
+            .fetch_add(audit.check_ns - self.certs_reported.check_ns, Ordering::Relaxed);
+        self.certs_reported = audit;
     }
 }
 
@@ -210,6 +260,7 @@ fn make_verifier(opts: &SynthOptions) -> CcaVerifier {
         worst_case: opts.mode.worst_case(),
         wce_precision: opts.wce_precision.clone(),
         incremental: opts.incremental,
+        certify: opts.certify,
     })
 }
 
@@ -233,14 +284,16 @@ pub fn synthesize(opts: &SynthOptions) -> SynthResult {
     let replayer = make_replay(opts);
     let replay = |c: &CcaSpec, cex: &Trace| replayer.refutes(c, cex);
     let probes = Arc::new(AtomicU64::new(0));
+    let certs = Arc::new(CertTotals::default());
     let run = if opts.threads <= 1 {
-        let mut verifier = VerAdapter::with_probe_sink(make_verifier(opts), probes.clone());
+        let mut verifier =
+            VerAdapter::with_sinks(make_verifier(opts), probes.clone(), certs.clone());
         ccmatic_cegis::run_with_replay(&mut generator, &mut verifier, replay, &opts.budget)
     } else {
         let cfg = ParallelConfig::new(opts.threads);
         ccmatic_cegis::run_parallel(
             &mut generator,
-            |_worker| VerAdapter::with_probe_sink(make_verifier(opts), probes.clone()),
+            |_worker| VerAdapter::with_sinks(make_verifier(opts), probes.clone(), certs.clone()),
             replay,
             &opts.budget,
             &cfg,
@@ -250,6 +303,7 @@ pub fn synthesize(opts: &SynthOptions) -> SynthResult {
         outcome: run.outcome,
         stats: run.stats,
         verifier_probes: probes.load(Ordering::Relaxed),
+        cert_audit: certs.load(),
     }
 }
 
@@ -279,7 +333,19 @@ mod tests {
             wce_precision: Rat::new(1i64.into(), 2i64.into()),
             incremental: true,
             threads: 1,
+            certify: false,
         }
+    }
+
+    #[test]
+    fn certified_synthesis_checks_every_unsat_verdict() {
+        let opts = SynthOptions { certify: true, ..quick_opts(OptMode::RangePruningWce) };
+        let result = synthesize(&opts);
+        let Outcome::Solution(_) = result.outcome else { panic!("no solution") };
+        // The accepting Pass verdict (and every certified infeasibility
+        // probe before it) must have been replayed by the checker.
+        assert!(result.cert_audit.checked >= 1, "accepting verdict must be certified");
+        assert!(result.cert_audit.bytes > 0);
     }
 
     #[test]
@@ -296,6 +362,7 @@ mod tests {
                     worst_case: false,
                     wce_precision: opts.wce_precision.clone(),
                     incremental: true,
+                    certify: false,
                 });
                 assert!(v.verify(&spec).is_ok(), "synthesized CCA failed re-verification: {spec}");
             }

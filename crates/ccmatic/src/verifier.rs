@@ -50,6 +50,13 @@ pub struct VerifyConfig {
     /// differentials); the from-scratch path is kept for exactly that
     /// comparison.
     pub incremental: bool,
+    /// Certify every verdict: UNSAT answers (including every WCE
+    /// binary-search infeasibility probe) must carry a DRAT+Farkas
+    /// certificate that the independent checker in `ccmatic-proof` accepts,
+    /// and SAT answers have their model re-evaluated exactly against every
+    /// asserted term. A rejected certificate or failed model audit panics —
+    /// it means the solver produced an unsound verdict.
+    pub certify: bool,
 }
 
 impl Default for VerifyConfig {
@@ -60,7 +67,37 @@ impl Default for VerifyConfig {
             worst_case: false,
             wce_precision: Rat::new(1i64.into(), 4i64.into()),
             incremental: true,
+            certify: false,
         }
+    }
+}
+
+/// Running totals for certify mode, reported by the bench harness.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CertAudit {
+    /// Certificates replayed by the independent checker.
+    pub checked: u64,
+    /// Total clauses derived across those replays (input + RUP + theory).
+    pub clauses: u64,
+    /// Total rendered size of those certificates, in bytes.
+    pub bytes: u64,
+    /// Wall-clock nanoseconds spent inside the checker.
+    pub check_ns: u64,
+}
+
+impl CertAudit {
+    /// Replay `cert` through the independent checker, panicking with the
+    /// checker's diagnosis if it is rejected.
+    fn replay(&mut self, cert: &ccmatic_proof::UnsatCertificate, what: &str) {
+        let t0 = std::time::Instant::now();
+        let stats = match ccmatic_proof::check(cert) {
+            Ok(stats) => stats,
+            Err(e) => panic!("{what}: certificate rejected by the independent checker: {e}"),
+        };
+        self.checked += 1;
+        self.clauses += stats.clauses as u64;
+        self.bytes += cert.byte_len();
+        self.check_ns += t0.elapsed().as_nanos() as u64;
     }
 }
 
@@ -79,14 +116,16 @@ struct IncState {
 /// can report verifier-call statistics (§4: "verifier calls are typically
 /// fast").
 pub struct CcaVerifier {
-    /// Configuration used for every query. Mutating `net`, `thresholds`, or
-    /// `worst_case` after the first `verify` call requires [`CcaVerifier::reset`]
-    /// to rebuild the cached incremental encoding.
+    /// Configuration used for every query. Mutating `net`, `thresholds`,
+    /// `worst_case`, or `certify` after the first `verify` call requires
+    /// [`CcaVerifier::reset`] to rebuild the cached incremental encoding.
     pub cfg: VerifyConfig,
     /// Total verify() invocations.
     pub calls: u64,
     /// Total underlying solver probes (> calls when WCE binary search runs).
     pub solver_probes: u64,
+    /// Certificate-checking totals (all zero unless `cfg.certify`).
+    pub cert_audit: CertAudit,
     /// Lazily-built incremental state (`cfg.incremental` only).
     inc: Option<IncState>,
 }
@@ -94,7 +133,7 @@ pub struct CcaVerifier {
 impl CcaVerifier {
     /// Build a verifier.
     pub fn new(cfg: VerifyConfig) -> Self {
-        CcaVerifier { cfg, calls: 0, solver_probes: 0, inc: None }
+        CcaVerifier { cfg, calls: 0, solver_probes: 0, cert_audit: CertAudit::default(), inc: None }
     }
 
     /// Drop the cached incremental encoding (required after mutating `cfg`).
@@ -143,6 +182,7 @@ impl CcaVerifier {
             precision: self.cfg.wce_precision.clone(),
             conflict_budget: None,
             interrupt: interrupt.clone(),
+            certify: self.cfg.certify,
         }
     }
 
@@ -198,12 +238,22 @@ impl CcaVerifier {
             let base = ctx.and(cs);
             let params = self.wce_params(interrupt);
             match maximize(&mut ctx, base, &LinExpr::var(m), &params) {
-                MaximizeOutcome::Infeasible => {
+                MaximizeOutcome::Infeasible { certificate } => {
                     self.solver_probes += 1;
+                    if self.cfg.certify {
+                        let cert = certificate.expect("certify mode must produce a certificate");
+                        self.cert_audit.replay(&cert, "WCE infeasibility");
+                    }
                     Verdict::Pass
                 }
-                MaximizeOutcome::Feasible { model, probes, .. } => {
+                MaximizeOutcome::Feasible { model, probes, certificates, .. } => {
                     self.solver_probes += probes as u64;
+                    // Every bracket-tightening infeasibility probe of the
+                    // binary search carries its own certificate; the final
+                    // model was already exact-audited inside `maximize`.
+                    for cert in &certificates {
+                        self.cert_audit.replay(cert, "WCE bracket probe");
+                    }
                     Verdict::Fail(Trace::from_model(&model, &nv))
                 }
                 MaximizeOutcome::Aborted => {
@@ -215,8 +265,32 @@ impl CcaVerifier {
             self.solver_probes += 1;
             let mut solver = Solver::new();
             solver.interrupt = interrupt.clone();
+            if self.cfg.certify {
+                solver.enable_proofs();
+            }
             solver.assert(&ctx, query);
-            match solver.check(&ctx) {
+            let res = if self.cfg.certify {
+                let out = solver.check_certified(&ctx);
+                match out.result {
+                    SatResult::Unsat => {
+                        let cert =
+                            out.certificate.expect("certify mode must produce a certificate");
+                        self.cert_audit.replay(&cert, "verifier UNSAT verdict");
+                    }
+                    SatResult::Sat => {
+                        assert_eq!(
+                            out.model_ok,
+                            Some(true),
+                            "counterexample model failed the exact audit"
+                        );
+                    }
+                    SatResult::Unknown => {}
+                }
+                out.result
+            } else {
+                solver.check(&ctx)
+            };
+            match res {
                 SatResult::Unsat => Verdict::Pass,
                 SatResult::Sat => Verdict::Fail(Trace::from_model(solver.model().unwrap(), &nv)),
                 SatResult::Unknown => Verdict::Timeout,
@@ -233,6 +307,11 @@ impl CcaVerifier {
             let parts = desired_property(&mut ctx, &nv, &self.cfg.thresholds);
             let bad = ctx.not(parts.desired);
             let mut solver = Solver::new();
+            if self.cfg.certify {
+                // Must be enabled before the base assertions so input
+                // clauses (and later atom definitions) reach the proof log.
+                solver.enable_proofs();
+            }
             solver.assert(&ctx, net);
             solver.assert(&ctx, snd);
             solver.assert(&ctx, bad);
@@ -257,12 +336,19 @@ impl CcaVerifier {
         st.solver.assert(&st.ctx, tmpl);
         let verdict = if let Some(m) = st.band {
             match maximize_scoped(&mut st.ctx, &mut st.solver, &LinExpr::var(m), &params) {
-                MaximizeOutcome::Infeasible => {
+                MaximizeOutcome::Infeasible { certificate } => {
                     self.solver_probes += 1;
+                    if self.cfg.certify {
+                        let cert = certificate.expect("certify mode must produce a certificate");
+                        self.cert_audit.replay(&cert, "scoped WCE infeasibility");
+                    }
                     Verdict::Pass
                 }
-                MaximizeOutcome::Feasible { model, probes, .. } => {
+                MaximizeOutcome::Feasible { model, probes, certificates, .. } => {
                     self.solver_probes += probes as u64;
+                    for cert in &certificates {
+                        self.cert_audit.replay(cert, "scoped WCE bracket probe");
+                    }
                     Verdict::Fail(Trace::from_model(&model, &st.nv))
                 }
                 MaximizeOutcome::Aborted => {
@@ -273,7 +359,30 @@ impl CcaVerifier {
         } else {
             self.solver_probes += 1;
             let saved = std::mem::replace(&mut st.solver.interrupt, interrupt.clone());
-            let res = st.solver.check(&st.ctx);
+            let res = if self.cfg.certify {
+                // Snapshot before the pop below: popping the candidate scope
+                // deletes its clauses (including any empty clause) from the
+                // proof log.
+                let out = st.solver.check_certified(&st.ctx);
+                match out.result {
+                    SatResult::Unsat => {
+                        let cert =
+                            out.certificate.expect("certify mode must produce a certificate");
+                        self.cert_audit.replay(&cert, "incremental UNSAT verdict");
+                    }
+                    SatResult::Sat => {
+                        assert_eq!(
+                            out.model_ok,
+                            Some(true),
+                            "counterexample model failed the exact audit"
+                        );
+                    }
+                    SatResult::Unknown => {}
+                }
+                out.result
+            } else {
+                st.solver.check(&st.ctx)
+            };
             st.solver.interrupt = saved;
             match res {
                 SatResult::Unsat => Verdict::Pass,
@@ -307,6 +416,7 @@ mod tests {
             worst_case: false,
             wce_precision: Rat::new(1i64.into(), 4i64.into()),
             incremental: true,
+            certify: false,
         }
     }
 
@@ -360,6 +470,31 @@ mod tests {
         };
         assert!(band(&t2) >= band(&t1), "WCE trace must have at least as wide a band");
         assert!(wce.solver_probes > 1, "WCE uses binary-search probes");
+    }
+
+    #[test]
+    fn certify_mode_replays_certificates_on_every_path() {
+        // Incremental + WCE, the richest path: the Pass verdict and every
+        // bracket-tightening probe must carry checker-accepted certificates.
+        let mut v =
+            CcaVerifier::new(VerifyConfig { worst_case: true, certify: true, ..small_cfg() });
+        assert!(v.verify(&known::rocc()).is_ok());
+        assert!(v.cert_audit.checked >= 1, "the UNSAT verdict must be certified");
+        assert!(v.cert_audit.bytes > 0);
+        // A refuted candidate: the final model is exact-audited inside
+        // `maximize`, and any infeasible probes are certified.
+        assert!(v.verify(&known::const_cwnd(Rat::zero())).is_err());
+        // From-scratch, non-WCE path.
+        let mut v2 =
+            CcaVerifier::new(VerifyConfig { incremental: false, certify: true, ..small_cfg() });
+        assert!(v2.verify(&known::rocc()).is_ok());
+        assert_eq!(v2.cert_audit.checked, 1);
+        // Incremental, non-WCE path across multiple candidates.
+        let mut v3 = CcaVerifier::new(VerifyConfig { certify: true, ..small_cfg() });
+        assert!(v3.verify(&known::rocc()).is_ok());
+        assert!(v3.verify(&known::const_cwnd(int(20))).is_err());
+        assert!(v3.verify(&known::rocc()).is_ok());
+        assert_eq!(v3.cert_audit.checked, 2, "both Pass verdicts certified");
     }
 
     #[test]

@@ -26,6 +26,7 @@ fn base_opts(shape: TemplateShape, net: NetConfig, threads: usize) -> SynthOptio
         wce_precision: Rat::new(1i64.into(), 2i64.into()),
         incremental: true,
         threads,
+        certify: false,
     }
 }
 
@@ -64,6 +65,7 @@ fn reverify(opts: &SynthOptions, spec: &CcaSpec, threads: usize) {
         worst_case: false,
         wce_precision: opts.wce_precision.clone(),
         incremental: true,
+        certify: false,
     });
     assert!(
         v.verify(spec).is_ok(),

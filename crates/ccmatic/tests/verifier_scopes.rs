@@ -18,6 +18,7 @@ fn cfg(worst_case: bool, incremental: bool) -> VerifyConfig {
         worst_case,
         wce_precision: rat(1, 4),
         incremental,
+        certify: false,
     }
 }
 

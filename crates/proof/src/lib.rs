@@ -1,0 +1,289 @@
+//! Self-contained UNSAT certificates and an independent checker.
+//!
+//! The solver side (`ccmatic-smt`, behind its `proofs` feature) logs a
+//! DRAT-style clausal proof through the [`ProofSink`] trait: input clauses,
+//! learned clauses claimed derivable by reverse unit propagation (RUP),
+//! theory lemmas carrying Farkas coefficients, clause deletions, and atom
+//! definitions binding SAT variables to linear-arithmetic constraints. A
+//! snapshot of the log at the moment a solver reports UNSAT is an
+//! [`UnsatCertificate`].
+//!
+//! [`check`] replays a certificate **independently**: this crate depends only
+//! on `ccmatic-num` and shares zero code with the solver. RUP steps are
+//! checked by unit propagation over the live clause set; theory lemmas by
+//! exact-rational Farkas summation (the weighted sum of the negated literals'
+//! constraints must cancel every variable and leave a negative constant). A
+//! certificate is accepted only if every derivation checks out and a verified
+//! empty clause is live at the end.
+//!
+//! Literals use the dense encoding `var << 1 | sign` (odd = negated). The
+//! encoding is re-stated here, not imported from the solver.
+
+use ccmatic_num::Rat;
+use std::fmt::Write as _;
+use std::io::Write;
+
+mod check;
+pub use check::{check, CertStats, CheckError};
+
+/// One step of a proof log.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ProofStep {
+    /// Binds SAT variable `var` to the arithmetic atom `expr ≤ bound`
+    /// (`< bound` when `strict`); `expr` is a sparse sum over real-variable
+    /// indices. Re-binding the same `var` later is legal and replaces the
+    /// definition (scope pops recycle variables); the solver's epoch
+    /// invariant guarantees every clause mentioning the old binding is
+    /// deleted before the variable is reused.
+    Atom { var: u32, expr: Vec<(u32, Rat)>, bound: Rat, strict: bool },
+    /// An input (axiom) clause: part of the formula being refuted.
+    Input { id: u64, lits: Vec<u32> },
+    /// A clause claimed derivable by reverse unit propagation.
+    Rup { id: u64, lits: Vec<u32> },
+    /// A theory lemma: the conjunction of the negations of `lits` is
+    /// LRA-infeasible, witnessed by the Farkas combination `farkas`
+    /// (literal → positive coefficient; all Farkas literals must occur in
+    /// `lits`).
+    Theory { id: u64, lits: Vec<u32>, farkas: Vec<(u32, Rat)> },
+    /// Removes a previously added clause from the live set.
+    Delete { id: u64 },
+}
+
+impl ProofStep {
+    /// Renders the step as one line of the text format (used for size
+    /// accounting and the streaming sink).
+    pub fn render(&self, out: &mut String) {
+        match self {
+            ProofStep::Atom { var, expr, bound, strict } => {
+                let _ = write!(out, "a {var} {} {bound}", u8::from(*strict));
+                for (v, c) in expr {
+                    let _ = write!(out, " {v}:{c}");
+                }
+            }
+            ProofStep::Input { id, lits } => {
+                let _ = write!(out, "i {id}");
+                for l in lits {
+                    let _ = write!(out, " {l}");
+                }
+            }
+            ProofStep::Rup { id, lits } => {
+                let _ = write!(out, "r {id}");
+                for l in lits {
+                    let _ = write!(out, " {l}");
+                }
+            }
+            ProofStep::Theory { id, lits, farkas } => {
+                let _ = write!(out, "t {id}");
+                for l in lits {
+                    let _ = write!(out, " {l}");
+                }
+                out.push_str(" f");
+                for (l, c) in farkas {
+                    let _ = write!(out, " {l}:{c}");
+                }
+            }
+            ProofStep::Delete { id } => {
+                let _ = write!(out, "d {id}");
+            }
+        }
+        out.push('\n');
+    }
+}
+
+/// A complete proof log prefix ending in (at least one) verified empty
+/// clause — everything the independent checker needs, with no references
+/// back into solver state.
+#[derive(Clone, Debug, Default)]
+pub struct UnsatCertificate {
+    pub steps: Vec<ProofStep>,
+}
+
+impl UnsatCertificate {
+    /// The certificate in the one-line-per-step text format.
+    pub fn to_text(&self) -> String {
+        let mut s = String::new();
+        for step in &self.steps {
+            step.render(&mut s);
+        }
+        s
+    }
+
+    /// Size of the text rendering in bytes.
+    pub fn byte_len(&self) -> u64 {
+        let mut s = String::new();
+        let mut total = 0u64;
+        for step in &self.steps {
+            s.clear();
+            step.render(&mut s);
+            total += s.len() as u64;
+        }
+        total
+    }
+}
+
+/// Aggregate counters a sink maintains as the solver logs, surfaced in
+/// `SolverStats` so proof overhead is observable.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ProofLogStats {
+    /// Total steps logged (including deletions and atom definitions).
+    pub steps: u64,
+    /// Clause-addition steps logged (input + RUP + theory).
+    pub clauses: u64,
+    /// Deletion steps logged.
+    pub deletions: u64,
+    /// Bytes of the text rendering of everything logged so far.
+    pub bytes: u64,
+}
+
+/// Receives proof steps from a solver. Clause-addition methods return the
+/// fresh clause id (ids start at 1 and are never reused).
+pub trait ProofSink {
+    fn log_atom(&mut self, var: u32, expr: Vec<(u32, Rat)>, bound: Rat, strict: bool);
+    fn log_input(&mut self, lits: Vec<u32>) -> u64;
+    fn log_rup(&mut self, lits: Vec<u32>) -> u64;
+    fn log_theory(&mut self, lits: Vec<u32>, farkas: Vec<(u32, Rat)>) -> u64;
+    fn log_delete(&mut self, id: u64);
+    /// A copy of the full log so far, if this sink retains one. Solvers call
+    /// this at the moment they conclude UNSAT.
+    fn snapshot(&self) -> Option<UnsatCertificate> {
+        None
+    }
+    fn stats(&self) -> ProofLogStats;
+}
+
+/// In-memory sink: retains every step so [`ProofSink::snapshot`] can produce
+/// an [`UnsatCertificate`].
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    steps: Vec<ProofStep>,
+    next_id: u64,
+    stats: ProofLogStats,
+}
+
+impl MemorySink {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn push(&mut self, step: ProofStep) {
+        let mut s = String::new();
+        step.render(&mut s);
+        self.stats.steps += 1;
+        self.stats.bytes += s.len() as u64;
+        self.steps.push(step);
+    }
+
+    fn fresh_id(&mut self) -> u64 {
+        self.next_id += 1;
+        self.next_id
+    }
+}
+
+impl ProofSink for MemorySink {
+    fn log_atom(&mut self, var: u32, expr: Vec<(u32, Rat)>, bound: Rat, strict: bool) {
+        self.push(ProofStep::Atom { var, expr, bound, strict });
+    }
+
+    fn log_input(&mut self, lits: Vec<u32>) -> u64 {
+        let id = self.fresh_id();
+        self.stats.clauses += 1;
+        self.push(ProofStep::Input { id, lits });
+        id
+    }
+
+    fn log_rup(&mut self, lits: Vec<u32>) -> u64 {
+        let id = self.fresh_id();
+        self.stats.clauses += 1;
+        self.push(ProofStep::Rup { id, lits });
+        id
+    }
+
+    fn log_theory(&mut self, lits: Vec<u32>, farkas: Vec<(u32, Rat)>) -> u64 {
+        let id = self.fresh_id();
+        self.stats.clauses += 1;
+        self.push(ProofStep::Theory { id, lits, farkas });
+        id
+    }
+
+    fn log_delete(&mut self, id: u64) {
+        self.stats.deletions += 1;
+        self.push(ProofStep::Delete { id });
+    }
+
+    fn snapshot(&self) -> Option<UnsatCertificate> {
+        Some(UnsatCertificate { steps: self.steps.clone() })
+    }
+
+    fn stats(&self) -> ProofLogStats {
+        self.stats
+    }
+}
+
+/// Streaming sink: renders each step to a writer as it is logged, keeping
+/// memory bounded. Cannot produce snapshots (check the streamed file with an
+/// external replay instead).
+#[derive(Debug)]
+pub struct WriterSink<W: Write> {
+    writer: W,
+    next_id: u64,
+    stats: ProofLogStats,
+    line: String,
+}
+
+impl<W: Write> WriterSink<W> {
+    pub fn new(writer: W) -> Self {
+        WriterSink { writer, next_id: 0, stats: ProofLogStats::default(), line: String::new() }
+    }
+
+    fn emit(&mut self, step: ProofStep) {
+        self.line.clear();
+        step.render(&mut self.line);
+        self.stats.steps += 1;
+        self.stats.bytes += self.line.len() as u64;
+        let _ = self.writer.write_all(self.line.as_bytes());
+    }
+
+    fn fresh_id(&mut self) -> u64 {
+        self.next_id += 1;
+        self.next_id
+    }
+}
+
+impl<W: Write> ProofSink for WriterSink<W> {
+    fn log_atom(&mut self, var: u32, expr: Vec<(u32, Rat)>, bound: Rat, strict: bool) {
+        self.emit(ProofStep::Atom { var, expr, bound, strict });
+    }
+
+    fn log_input(&mut self, lits: Vec<u32>) -> u64 {
+        let id = self.fresh_id();
+        self.stats.clauses += 1;
+        self.emit(ProofStep::Input { id, lits });
+        id
+    }
+
+    fn log_rup(&mut self, lits: Vec<u32>) -> u64 {
+        let id = self.fresh_id();
+        self.stats.clauses += 1;
+        self.emit(ProofStep::Rup { id, lits });
+        id
+    }
+
+    fn log_theory(&mut self, lits: Vec<u32>, farkas: Vec<(u32, Rat)>) -> u64 {
+        let id = self.fresh_id();
+        self.stats.clauses += 1;
+        self.emit(ProofStep::Theory { id, lits, farkas });
+        id
+    }
+
+    fn log_delete(&mut self, id: u64) {
+        self.stats.deletions += 1;
+        self.emit(ProofStep::Delete { id });
+    }
+
+    fn stats(&self) -> ProofLogStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,203 @@
+use crate::{check, CheckError, MemorySink, ProofSink, ProofStep, UnsatCertificate};
+use ccmatic_num::{rat, Rat};
+
+// Literal helpers mirroring the dense encoding: var << 1 | sign.
+fn p(v: u32) -> u32 {
+    v << 1
+}
+fn n(v: u32) -> u32 {
+    v << 1 | 1
+}
+
+/// The four binary clauses over {x, y} plus RUP of [x] and then the empty
+/// clause — a pure-SAT refutation.
+fn sat_refutation() -> UnsatCertificate {
+    UnsatCertificate {
+        steps: vec![
+            ProofStep::Input { id: 1, lits: vec![p(0), p(1)] },
+            ProofStep::Input { id: 2, lits: vec![p(0), n(1)] },
+            ProofStep::Input { id: 3, lits: vec![n(0), p(1)] },
+            ProofStep::Input { id: 4, lits: vec![n(0), n(1)] },
+            ProofStep::Rup { id: 5, lits: vec![p(0)] },
+            ProofStep::Rup { id: 6, lits: vec![] },
+        ],
+    }
+}
+
+#[test]
+fn accepts_sat_refutation() {
+    let stats = check(&sat_refutation()).expect("valid refutation");
+    assert_eq!(stats.clauses, 6);
+    assert_eq!(stats.rup_checked, 2);
+}
+
+#[test]
+fn rejects_dropped_clause() {
+    let mut cert = sat_refutation();
+    cert.steps.remove(0); // drop input (x ∨ y): RUP of [x] no longer holds
+    assert_eq!(check(&cert), Err(CheckError::RupFailed(5)));
+}
+
+#[test]
+fn deletion_after_use_is_fine_but_reordered_deletion_is_rejected() {
+    let mut cert = sat_refutation();
+    cert.steps.push(ProofStep::Delete { id: 1 });
+    check(&cert).expect("deleting after the empty clause is derived is fine");
+
+    let mut cert = sat_refutation();
+    // Moving the deletion of input 1 before the RUP step removes an
+    // antecedent the derivation needs.
+    cert.steps.insert(4, ProofStep::Delete { id: 1 });
+    assert_eq!(check(&cert), Err(CheckError::RupFailed(5)));
+}
+
+#[test]
+fn rejects_duplicate_and_unknown_ids() {
+    let mut cert = sat_refutation();
+    cert.steps.insert(1, ProofStep::Input { id: 1, lits: vec![p(7)] });
+    assert_eq!(check(&cert), Err(CheckError::DuplicateId(1)));
+
+    let mut cert = sat_refutation();
+    cert.steps.push(ProofStep::Delete { id: 99 });
+    assert_eq!(check(&cert), Err(CheckError::UnknownDelete(99)));
+
+    let mut cert = sat_refutation();
+    cert.steps.push(ProofStep::Delete { id: 1 });
+    cert.steps.push(ProofStep::Delete { id: 1 });
+    assert_eq!(check(&cert), Err(CheckError::UnknownDelete(1)));
+}
+
+/// x ≤ 1 (atom on var 0) asserted true, x ≤ 2 (atom on var 1) asserted
+/// false (so x > 2): the theory lemma (¬v0 ∨ v1) has Farkas coefficients
+/// 1·(1 − x) + 1·(x − 2 − δ) = −1 − δ < 0.
+fn theory_refutation() -> UnsatCertificate {
+    UnsatCertificate {
+        steps: vec![
+            ProofStep::Atom { var: 0, expr: vec![(0, rat(1, 1))], bound: rat(1, 1), strict: false },
+            ProofStep::Atom { var: 1, expr: vec![(0, rat(1, 1))], bound: rat(2, 1), strict: false },
+            ProofStep::Input { id: 1, lits: vec![p(0)] },
+            ProofStep::Input { id: 2, lits: vec![n(1)] },
+            ProofStep::Theory {
+                id: 3,
+                lits: vec![n(0), p(1)],
+                farkas: vec![(n(0), rat(1, 1)), (p(1), rat(1, 1))],
+            },
+            ProofStep::Rup { id: 4, lits: vec![] },
+        ],
+    }
+}
+
+#[test]
+fn accepts_theory_refutation() {
+    let stats = check(&theory_refutation()).expect("valid Farkas certificate");
+    assert_eq!(stats.theory_checked, 1);
+}
+
+#[test]
+fn rejects_perturbed_farkas_coefficient() {
+    let mut cert = theory_refutation();
+    if let ProofStep::Theory { farkas, .. } = &mut cert.steps[4] {
+        farkas[0].1 = rat(2, 1); // variable parts no longer cancel
+    }
+    assert!(matches!(check(&cert), Err(CheckError::FarkasVarsDontCancel { id: 3, .. })));
+}
+
+#[test]
+fn rejects_nonpositive_farkas_coefficient() {
+    let mut cert = theory_refutation();
+    if let ProofStep::Theory { farkas, .. } = &mut cert.steps[4] {
+        farkas[0].1 = rat(-1, 1);
+    }
+    assert_eq!(check(&cert), Err(CheckError::NonPositiveFarkas(3)));
+}
+
+#[test]
+fn rejects_dropped_atom_definition() {
+    let mut cert = theory_refutation();
+    cert.steps.remove(1);
+    assert_eq!(check(&cert), Err(CheckError::UnknownAtom { id: 3, var: 1 }));
+}
+
+#[test]
+fn rejects_farkas_lit_outside_clause() {
+    let mut cert = theory_refutation();
+    if let ProofStep::Theory { lits, .. } = &mut cert.steps[4] {
+        lits.remove(1);
+    }
+    assert_eq!(check(&cert), Err(CheckError::FarkasLitNotInClause { id: 3, lit: p(1) }));
+}
+
+#[test]
+fn strict_bounds_carry_the_infinitesimal() {
+    // x < 1 asserted true and x < 1 (second atom) asserted false (x ≥ 1):
+    // the sum is −δ, negative only because of the infinitesimal.
+    let strict_pair = |a_strict: bool| UnsatCertificate {
+        steps: vec![
+            ProofStep::Atom {
+                var: 0,
+                expr: vec![(0, rat(1, 1))],
+                bound: rat(1, 1),
+                strict: a_strict,
+            },
+            ProofStep::Atom { var: 1, expr: vec![(0, rat(1, 1))], bound: rat(1, 1), strict: true },
+            ProofStep::Theory {
+                id: 1,
+                lits: vec![n(0), p(1)],
+                farkas: vec![(n(0), rat(1, 1)), (p(1), rat(1, 1))],
+            },
+        ],
+    };
+    let mut good = strict_pair(true);
+    good.steps.push(ProofStep::Input { id: 2, lits: vec![p(0)] });
+    good.steps.push(ProofStep::Input { id: 3, lits: vec![n(1)] });
+    good.steps.push(ProofStep::Rup { id: 4, lits: vec![] });
+    check(&good).expect("x < 1 ∧ x ≥ 1 is infeasible");
+
+    // x ≤ 1 ∧ x ≥ 1 is satisfiable (x = 1): sum is exactly zero.
+    assert_eq!(check(&strict_pair(false)), Err(CheckError::FarkasNotNegative(1)));
+}
+
+#[test]
+fn rejects_empty_farkas_and_missing_empty_clause() {
+    let cert =
+        UnsatCertificate { steps: vec![ProofStep::Theory { id: 1, lits: vec![], farkas: vec![] }] };
+    assert_eq!(check(&cert), Err(CheckError::EmptyFarkas(1)));
+
+    let cert = UnsatCertificate { steps: vec![ProofStep::Input { id: 1, lits: vec![p(0)] }] };
+    assert_eq!(check(&cert), Err(CheckError::NoEmptyClause));
+}
+
+#[test]
+fn memory_sink_roundtrip_and_stats() {
+    let mut sink = MemorySink::new();
+    let a = sink.log_input(vec![p(0), p(1)]);
+    let b = sink.log_input(vec![n(0)]);
+    sink.log_atom(1, vec![(0, rat(1, 1))], Rat::zero(), false);
+    let c = sink.log_rup(vec![p(1)]);
+    sink.log_delete(a);
+    assert_eq!((a, b, c), (1, 2, 3));
+    let stats = sink.stats();
+    assert_eq!(stats.steps, 5);
+    assert_eq!(stats.clauses, 3);
+    assert_eq!(stats.deletions, 1);
+    let cert = sink.snapshot().unwrap();
+    assert_eq!(cert.steps.len(), 5);
+    assert_eq!(stats.bytes, cert.byte_len());
+    assert!(cert.to_text().lines().count() == 5);
+}
+
+#[test]
+fn writer_sink_streams_the_same_text() {
+    let mut mem = MemorySink::new();
+    let mut buf = Vec::new();
+    {
+        let mut w = crate::WriterSink::new(&mut buf);
+        for sink in [&mut mem as &mut dyn ProofSink, &mut w as &mut dyn ProofSink] {
+            sink.log_input(vec![p(0), n(1)]);
+            sink.log_theory(vec![n(0)], vec![(n(0), rat(3, 2))]);
+            sink.log_delete(1);
+        }
+        assert_eq!(mem.stats().bytes, w.stats().bytes);
+    }
+    assert_eq!(String::from_utf8(buf).unwrap(), mem.snapshot().unwrap().to_text());
+}

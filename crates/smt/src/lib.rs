@@ -60,5 +60,5 @@ pub mod term;
 pub use interrupt::Interrupt;
 pub use linexpr::LinExpr;
 pub use opt::{maximize, maximize_scoped, MaximizeOutcome, MaximizeParams};
-pub use solver::{Model, SatResult, Solver, SolverStats};
+pub use solver::{Certified, Model, SatResult, Solver, SolverStats};
 pub use term::{Context, RealVar, Term};

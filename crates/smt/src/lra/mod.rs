@@ -127,8 +127,32 @@ pub type Tag = u32;
 /// An inconsistent set of asserted bounds, identified by their tags.
 #[derive(Clone, Debug)]
 pub struct TheoryConflict {
-    /// Tags of every bound participating in the infeasibility proof.
+    /// Tags of every bound participating in the infeasibility proof,
+    /// sorted and deduplicated.
     pub tags: Vec<Tag>,
+    /// Farkas multiplier per tag: orienting each tagged bound as a `≤`
+    /// inequality, scaling by its (positive) multiplier and summing cancels
+    /// every variable and leaves `0 ≤ c` with `c < 0`. Multipliers for a
+    /// tag appearing more than once are combined.
+    pub farkas: Vec<(Tag, Rat)>,
+}
+
+impl TheoryConflict {
+    /// Build a conflict from its Farkas combination, deriving the tag set.
+    fn from_farkas(farkas: Vec<(Tag, Rat)>) -> Self {
+        let mut tags: Vec<Tag> = farkas.iter().map(|(t, _)| *t).collect();
+        tags.sort_unstable();
+        tags.dedup();
+        TheoryConflict { tags, farkas }
+    }
+
+    /// Add `lam` to `tag`'s multiplier, combining duplicates.
+    fn add_farkas(farkas: &mut Vec<(Tag, Rat)>, tag: Tag, lam: Rat) {
+        match farkas.iter_mut().find(|e| e.0 == tag) {
+            Some(e) => e.1 += &lam,
+            None => farkas.push((tag, lam)),
+        }
+    }
 }
 
 #[derive(Clone)]
@@ -278,7 +302,10 @@ impl Simplex {
         }
         if let Some(l) = &self.lower[i] {
             if l.value > bound {
-                return Err(TheoryConflict { tags: vec![l.tag, tag] });
+                return Err(TheoryConflict::from_farkas(vec![
+                    (l.tag, Rat::one()),
+                    (tag, Rat::one()),
+                ]));
             }
         }
         self.upper[i] = Some(BoundVal { value: bound.clone(), tag });
@@ -304,7 +331,10 @@ impl Simplex {
         }
         if let Some(u) = &self.upper[i] {
             if u.value < bound {
-                return Err(TheoryConflict { tags: vec![u.tag, tag] });
+                return Err(TheoryConflict::from_farkas(vec![
+                    (u.tag, Rat::one()),
+                    (tag, Rat::one()),
+                ]));
             }
         }
         self.lower[i] = Some(BoundVal { value: bound.clone(), tag });
@@ -377,13 +407,17 @@ impl Simplex {
             }
             let Some(j) = pivot_col else {
                 // Infeasible: every nonbasic is pinned at the blocking bound.
-                let mut tags = Vec::new();
+                // The Farkas combination uses multiplier 1 for the violated
+                // bound on `b` and |c| for each blocking bound: since
+                // `b = Σ c·x` holds identically, the variable parts cancel
+                // and the constants sum to a negative value.
                 let own = if below {
                     self.lower[bi].as_ref().unwrap().tag
                 } else {
                     self.upper[bi].as_ref().unwrap().tag
                 };
-                tags.push(own);
+                let mut farkas = Vec::new();
+                TheoryConflict::add_farkas(&mut farkas, own, Rat::one());
                 for (jv, c) in row.iter() {
                     let ji = jv.0 as usize;
                     let blocking = if below {
@@ -399,11 +433,11 @@ impl Simplex {
                     } else {
                         self.upper[ji].as_ref()
                     };
-                    tags.push(blocking.expect("blocking bound must exist").tag);
+                    let lam = if c.is_positive() { c.clone() } else { -c };
+                    let tag = blocking.expect("blocking bound must exist").tag;
+                    TheoryConflict::add_farkas(&mut farkas, tag, lam);
                 }
-                tags.sort_unstable();
-                tags.dedup();
-                return Err(TheoryConflict { tags });
+                return Err(TheoryConflict::from_farkas(farkas));
             };
             let target = if below {
                 self.lower[bi].as_ref().unwrap().value.clone()

@@ -11,6 +11,7 @@ use crate::linexpr::LinExpr;
 use crate::solver::{Model, SatResult, Solver};
 use crate::term::{Context, Term};
 use ccmatic_num::Rat;
+use ccmatic_proof::UnsatCertificate;
 
 /// Parameters for [`maximize`].
 #[derive(Clone, Debug)]
@@ -31,6 +32,12 @@ pub struct MaximizeParams {
     /// [`MaximizeOutcome::Aborted`]; when it fires later, the best model
     /// found so far is returned (sound, possibly sub-maximal).
     pub interrupt: Interrupt,
+    /// Collect an UNSAT certificate from every infeasible probe. In
+    /// [`maximize`] this also enables proof logging on the per-probe
+    /// solvers; in [`maximize_scoped`] the caller must have called
+    /// [`Solver::enable_proofs`] before asserting the base (snapshots are
+    /// taken here, logging happens there).
+    pub certify: bool,
 }
 
 impl Default for MaximizeParams {
@@ -41,15 +48,35 @@ impl Default for MaximizeParams {
             precision: Rat::new(1i64.into(), 64i64.into()),
             conflict_budget: None,
             interrupt: Interrupt::none(),
+            certify: false,
         }
     }
 }
 
 /// Result of [`maximize`].
+///
+/// Discarding the outcome silently conflates `Infeasible` with `Aborted`
+/// (and loses the witness), so it is `#[must_use]`:
+///
+/// ```compile_fail
+/// #![deny(unused_must_use)]
+/// use ccmatic_smt::{maximize, Context, LinExpr, MaximizeParams};
+/// use ccmatic_num::int;
+/// let mut ctx = Context::new();
+/// let x = ctx.real_var("x");
+/// let base = ctx.le(ctx.var(x), ctx.constant(int(1)));
+/// // error: unused `MaximizeOutcome` that must be used
+/// maximize(&mut ctx, base, &LinExpr::var(x), &MaximizeParams::default());
+/// ```
 #[derive(Debug)]
+#[must_use = "an Infeasible/Aborted outcome must not be conflated with Feasible"]
 pub enum MaximizeOutcome {
     /// `φ ∧ obj ≥ lo` is unsatisfiable.
-    Infeasible,
+    Infeasible {
+        /// Replayable refutation of `φ ∧ obj ≥ lo`, when
+        /// [`MaximizeParams::certify`] is on and proof logging is active.
+        certificate: Option<Box<UnsatCertificate>>,
+    },
     /// Best feasible objective value found (within `precision` of the
     /// supremum, unless the interrupt fired mid-search) and a witnessing
     /// model.
@@ -60,6 +87,10 @@ pub enum MaximizeOutcome {
         model: Model,
         /// Number of solver probes used.
         probes: u32,
+        /// Refutations of `φ ∧ obj ≥ mid` for every probe that tightened
+        /// the upper bracket, when [`MaximizeParams::certify`] is on: they
+        /// justify that the search stopped near the true supremum.
+        certificates: Vec<UnsatCertificate>,
     },
     /// The interrupt (or conflict budget) fired before the first probe
     /// decided feasibility: no claim is made either way. Reporting this
@@ -84,25 +115,41 @@ pub fn maximize(
     let mut probe = |ctx: &mut Context, threshold: &Rat| -> Probe {
         probes += 1;
         let mut solver = Solver::new();
+        if params.certify {
+            solver.enable_proofs();
+        }
         solver.conflict_budget = params.conflict_budget;
         solver.interrupt = params.interrupt.clone();
         solver.assert(ctx, base);
         let obj_ge = ctx.ge(objective.clone(), LinExpr::constant(threshold.clone()));
         solver.assert(ctx, obj_ge);
-        match solver.check(ctx) {
-            SatResult::Sat => Probe::Sat(solver.model().cloned().expect("sat has a model")),
-            SatResult::Unsat => Probe::Unsat,
-            SatResult::Unknown => Probe::Unknown,
+        if params.certify {
+            let out = solver.check_certified(ctx);
+            match out.result {
+                SatResult::Sat => {
+                    assert_eq!(out.model_ok, Some(true), "probe model failed the exact audit");
+                    Probe::Sat(solver.model().cloned().expect("sat has a model"))
+                }
+                SatResult::Unsat => Probe::Unsat(out.certificate.map(Box::new)),
+                SatResult::Unknown => Probe::Unknown,
+            }
+        } else {
+            match solver.check(ctx) {
+                SatResult::Sat => Probe::Sat(solver.model().cloned().expect("sat has a model")),
+                SatResult::Unsat => Probe::Unsat(None),
+                SatResult::Unknown => Probe::Unknown,
+            }
         }
     };
 
     let first = match probe(ctx, &params.lo) {
         Probe::Sat(m) => m,
-        Probe::Unsat => return MaximizeOutcome::Infeasible,
+        Probe::Unsat(certificate) => return MaximizeOutcome::Infeasible { certificate },
         Probe::Unknown => return MaximizeOutcome::Aborted,
     };
     let mut best_value = first.eval(objective);
     let mut best_model = first;
+    let mut certificates = Vec::new();
     let mut hi = params.hi.clone();
     while &hi - &best_value > params.precision {
         let mid = Rat::midpoint(&best_value, &hi);
@@ -111,20 +158,23 @@ pub fn maximize(
                 best_value = m.eval(objective);
                 best_model = m;
             }
-            Probe::Unsat => hi = mid,
+            Probe::Unsat(cert) => {
+                hi = mid;
+                certificates.extend(cert.map(|c| *c));
+            }
             // Past the first probe a feasible witness is in hand; returning
             // it early is sound (the trace is a real counterexample), it is
             // merely not guaranteed worst-case.
             Probe::Unknown => break,
         }
     }
-    MaximizeOutcome::Feasible { value: best_value, model: best_model, probes }
+    MaximizeOutcome::Feasible { value: best_value, model: best_model, probes, certificates }
 }
 
 /// Per-probe verdict shared by the two search loops.
 enum Probe {
     Sat(Model),
-    Unsat,
+    Unsat(Option<Box<UnsatCertificate>>),
     Unknown,
 }
 
@@ -153,28 +203,51 @@ pub fn maximize_scoped(
         solver.interrupt = params.interrupt.clone();
         let obj_ge = ctx.ge(objective.clone(), LinExpr::constant(threshold.clone()));
         solver.assert(ctx, obj_ge);
-        match solver.check(ctx) {
-            SatResult::Sat => {
-                kept += 1;
-                Probe::Sat(solver.model().cloned().expect("sat has a model"))
+        if params.certify {
+            // The snapshot must be taken before the pop: popping the probe
+            // scope deletes its clauses (including the empty clause) from
+            // the proof log.
+            let out = solver.check_certified(ctx);
+            match out.result {
+                SatResult::Sat => {
+                    assert_eq!(out.model_ok, Some(true), "probe model failed the exact audit");
+                    kept += 1;
+                    Probe::Sat(solver.model().cloned().expect("sat has a model"))
+                }
+                SatResult::Unsat => {
+                    solver.pop();
+                    Probe::Unsat(out.certificate.map(Box::new))
+                }
+                SatResult::Unknown => {
+                    solver.pop();
+                    Probe::Unknown
+                }
             }
-            SatResult::Unsat => {
-                solver.pop();
-                Probe::Unsat
-            }
-            SatResult::Unknown => {
-                solver.pop();
-                Probe::Unknown
+        } else {
+            match solver.check(ctx) {
+                SatResult::Sat => {
+                    kept += 1;
+                    Probe::Sat(solver.model().cloned().expect("sat has a model"))
+                }
+                SatResult::Unsat => {
+                    solver.pop();
+                    Probe::Unsat(None)
+                }
+                SatResult::Unknown => {
+                    solver.pop();
+                    Probe::Unknown
+                }
             }
         }
     };
 
     let outcome = match probe(ctx, solver, &params.lo) {
-        Probe::Unsat => MaximizeOutcome::Infeasible,
+        Probe::Unsat(certificate) => MaximizeOutcome::Infeasible { certificate },
         Probe::Unknown => MaximizeOutcome::Aborted,
         Probe::Sat(first) => {
             let mut best_value = first.eval(objective);
             let mut best_model = first;
+            let mut certificates = Vec::new();
             let mut hi = params.hi.clone();
             while &hi - &best_value > params.precision {
                 let mid = Rat::midpoint(&best_value, &hi);
@@ -183,13 +256,16 @@ pub fn maximize_scoped(
                         best_value = m.eval(objective);
                         best_model = m;
                     }
-                    Probe::Unsat => hi = mid,
+                    Probe::Unsat(cert) => {
+                        hi = mid;
+                        certificates.extend(cert.map(|c| *c));
+                    }
                     // A witness is already in hand; stop refining (see
                     // `maximize`).
                     Probe::Unknown => break,
                 }
             }
-            MaximizeOutcome::Feasible { value: best_value, model: best_model, probes }
+            MaximizeOutcome::Feasible { value: best_value, model: best_model, probes, certificates }
         }
     };
     for _ in 0..kept {
@@ -220,6 +296,7 @@ mod tests {
             precision: rat(1, 100),
             conflict_budget: None,
             interrupt: Interrupt::none(),
+            certify: false,
         };
         match maximize(&mut ctx, base, &LinExpr::var(x), &params) {
             MaximizeOutcome::Feasible { value, model, .. } => {
@@ -227,7 +304,7 @@ mod tests {
                 assert!(value <= int(6));
                 assert!(&model.real(x) + &model.real(y) <= int(10));
             }
-            MaximizeOutcome::Infeasible => panic!("feasible LP reported infeasible"),
+            MaximizeOutcome::Infeasible { .. } => panic!("feasible LP reported infeasible"),
             MaximizeOutcome::Aborted => unreachable!("no interrupt armed"),
         }
     }
@@ -242,7 +319,7 @@ mod tests {
         let params = MaximizeParams::default();
         assert!(matches!(
             maximize(&mut ctx, base, &LinExpr::var(x), &params),
-            MaximizeOutcome::Infeasible
+            MaximizeOutcome::Infeasible { .. }
         ));
     }
 
@@ -260,12 +337,13 @@ mod tests {
             precision: rat(1, 10),
             conflict_budget: None,
             interrupt: Interrupt::none(),
+            certify: false,
         };
         match maximize(&mut ctx, base, &LinExpr::var(x), &params) {
             MaximizeOutcome::Feasible { value, .. } => {
                 assert!(value > rat(69, 10) && value <= int(7), "got {value}");
             }
-            MaximizeOutcome::Infeasible => panic!(),
+            MaximizeOutcome::Infeasible { .. } => panic!(),
             MaximizeOutcome::Aborted => unreachable!("no interrupt armed"),
         }
     }
@@ -286,16 +364,17 @@ mod tests {
             precision: rat(1, 100),
             conflict_budget: None,
             interrupt: Interrupt::none(),
+            certify: false,
         };
         let mut solver = Solver::new();
         solver.assert(&ctx, base);
         match maximize_scoped(&mut ctx, &mut solver, &LinExpr::var(x), &params) {
-            MaximizeOutcome::Feasible { value, model, probes } => {
+            MaximizeOutcome::Feasible { value, model, probes, .. } => {
                 assert!(value > rat(599, 100) && value <= int(6), "value {value}");
                 assert!(&model.real(x) + &model.real(y) <= int(10));
                 assert!(probes > 1, "binary search should take multiple probes");
             }
-            MaximizeOutcome::Infeasible => panic!("feasible LP reported infeasible"),
+            MaximizeOutcome::Infeasible { .. } => panic!("feasible LP reported infeasible"),
             MaximizeOutcome::Aborted => unreachable!("no interrupt armed"),
         }
         assert_eq!(solver.depth(), 0);
@@ -306,7 +385,7 @@ mod tests {
         solver.assert(&ctx, kill);
         assert!(matches!(
             maximize_scoped(&mut ctx, &mut solver, &LinExpr::var(x), &params),
-            MaximizeOutcome::Infeasible
+            MaximizeOutcome::Infeasible { .. }
         ));
     }
 
@@ -348,11 +427,69 @@ mod tests {
             precision: rat(1, 10),
             conflict_budget: None,
             interrupt: Interrupt::none(),
+            certify: false,
         };
         match maximize(&mut ctx, base, &LinExpr::var(x), &params) {
             MaximizeOutcome::Feasible { value, .. } => assert_eq!(value, int(5)),
-            MaximizeOutcome::Infeasible => panic!(),
+            MaximizeOutcome::Infeasible { .. } => panic!(),
             MaximizeOutcome::Aborted => unreachable!("no interrupt armed"),
+        }
+    }
+
+    #[cfg(feature = "proofs")]
+    #[test]
+    fn certified_search_carries_checkable_certificates() {
+        // max x subject to x + y <= 10, y >= 4, with certification: every
+        // bracket-tightening infeasible probe must carry a certificate the
+        // independent checker accepts — through fresh solvers and scopes.
+        let mut ctx = Context::new();
+        let x = ctx.real_var("x");
+        let y = ctx.real_var("y");
+        let c1 = ctx.le(ctx.var(x) + ctx.var(y), ctx.constant(int(10)));
+        let c2 = ctx.ge(ctx.var(y), ctx.constant(int(4)));
+        let base = ctx.and(vec![c1, c2]);
+        let params = MaximizeParams {
+            lo: int(-100),
+            hi: int(100),
+            precision: rat(1, 100),
+            certify: true,
+            ..MaximizeParams::default()
+        };
+        match maximize(&mut ctx, base, &LinExpr::var(x), &params) {
+            MaximizeOutcome::Feasible { value, certificates, .. } => {
+                assert!(value > rat(599, 100) && value <= int(6));
+                assert!(!certificates.is_empty(), "search must tighten the bracket");
+                for cert in &certificates {
+                    ccmatic_proof::check(cert).expect("fresh-probe certificate replays");
+                }
+            }
+            other => panic!("unexpected outcome {other:?}"),
+        }
+
+        let mut solver = Solver::new();
+        solver.enable_proofs();
+        solver.assert(&ctx, base);
+        match maximize_scoped(&mut ctx, &mut solver, &LinExpr::var(x), &params) {
+            MaximizeOutcome::Feasible { value, certificates, .. } => {
+                assert!(value > rat(599, 100) && value <= int(6));
+                assert!(!certificates.is_empty());
+                for cert in &certificates {
+                    ccmatic_proof::check(cert).expect("scoped-probe certificate replays");
+                }
+            }
+            other => panic!("unexpected outcome {other:?}"),
+        }
+        assert_eq!(solver.depth(), 0);
+
+        // A bracket starting above the supremum is infeasible at the first
+        // probe and must report a certificate on the spot.
+        let params = MaximizeParams { lo: int(50), ..params };
+        match maximize(&mut ctx, base, &LinExpr::var(x), &params) {
+            MaximizeOutcome::Infeasible { certificate } => {
+                let cert = certificate.expect("certified infeasibility carries a proof");
+                ccmatic_proof::check(&cert).expect("infeasible-base certificate replays");
+            }
+            other => panic!("unexpected outcome {other:?}"),
         }
     }
 }

@@ -100,20 +100,44 @@ enum LBool {
     Undef,
 }
 
+/// A theory conflict clause, optionally carrying a Farkas witness for proof
+/// logging: each `(lit, λ)` pairs a clause literal with a positive
+/// coefficient such that the λ-weighted sum of the constraints asserted by
+/// the literals' *negations* cancels every variable and leaves a negative
+/// constant. An empty witness is legal (the lemma is then logged without one
+/// and any certificate containing it will be rejected by the checker).
+#[derive(Clone, Debug)]
+pub struct TheoryLemma {
+    /// The conflict clause: false under the assignment that was rejected.
+    pub lits: Vec<Lit>,
+    /// Farkas coefficients over a subset of `lits`.
+    pub farkas: Vec<(Lit, ccmatic_num::Rat)>,
+}
+
+impl TheoryLemma {
+    /// A lemma without a Farkas witness.
+    pub fn new(lits: Vec<Lit>) -> Self {
+        TheoryLemma { lits, farkas: Vec::new() }
+    }
+}
+
 /// Theory hook consulted during the search (CDCL(T)).
 pub trait TheoryHook {
     /// Called with the solver's complete assignment. Return `Ok(())` to
-    /// accept, or a conflict clause — a clause that is *false* under the
+    /// accept, or a conflict lemma — a clause that is *false* under the
     /// current assignment — to reject it. The clause is learned and search
     /// continues.
-    fn final_check(&mut self, assignment: &dyn Fn(Var) -> bool) -> Result<(), Vec<Lit>>;
+    fn final_check(&mut self, assignment: &dyn Fn(Var) -> bool) -> Result<(), TheoryLemma>;
 
     /// Called on *partial* assignments (after each propagation fixpoint).
     /// `assignment(v)` is `None` for unassigned variables. Returning a
-    /// conflict clause here prunes the subtree early; the clause must be
+    /// conflict lemma here prunes the subtree early; the clause must be
     /// false under the current partial assignment. The default accepts
     /// everything (pure lazy solving).
-    fn partial_check(&mut self, _assignment: &dyn Fn(Var) -> Option<bool>) -> Result<(), Vec<Lit>> {
+    fn partial_check(
+        &mut self,
+        _assignment: &dyn Fn(Var) -> Option<bool>,
+    ) -> Result<(), TheoryLemma> {
         Ok(())
     }
 }
@@ -122,7 +146,7 @@ pub trait TheoryHook {
 pub struct NoTheory;
 
 impl TheoryHook for NoTheory {
-    fn final_check(&mut self, _assignment: &dyn Fn(Var) -> bool) -> Result<(), Vec<Lit>> {
+    fn final_check(&mut self, _assignment: &dyn Fn(Var) -> bool) -> Result<(), TheoryLemma> {
         Ok(())
     }
 }
@@ -142,6 +166,11 @@ struct Clause {
     /// Deepest assertion scope this clause's derivation depends on; the
     /// clause survives a pop to depth `d` iff `epoch ≤ d`.
     epoch: u32,
+    /// Id of this clause in the proof log (0 when logging is off). Kept
+    /// unconditionally — it is dead weight without the `proofs` feature but
+    /// saves a cfg forest at every construction site.
+    #[cfg_attr(not(feature = "proofs"), allow(dead_code))]
+    proof_id: u64,
 }
 
 /// Per-push bookkeeping needed to roll the solver back.
@@ -206,6 +235,21 @@ pub struct SatSolver {
     /// Optional deadline/cancellation; `solve` polls it once per
     /// propagation fixpoint and gives up (`None` result) when it fires.
     pub interrupt: crate::interrupt::Interrupt,
+    /// Proof log receiver; `None` (the default) makes every logging hook a
+    /// no-op.
+    #[cfg(feature = "proofs")]
+    sink: Option<Box<dyn ccmatic_proof::ProofSink + Send>>,
+    /// Live proof-log clause ids *not* tracked by `clauses`, indexed by
+    /// derivation epoch: unit and level-0-satisfied input clauses, learned
+    /// unit clauses, and unit theory lemmas. A pop to depth `d` deletes
+    /// every id recorded at epochs > `d` (mirroring the trail filter and
+    /// `pending_units` retention).
+    #[cfg(feature = "proofs")]
+    extra_ids: Vec<Vec<u64>>,
+    /// Id of the logged empty clause while the solver is unsat; deleted
+    /// when a pop clears the verdict.
+    #[cfg(feature = "proofs")]
+    unsat_proof: Option<u64>,
 }
 
 const ACT_DECAY: f64 = 1.0 / 0.95;
@@ -242,6 +286,12 @@ impl SatSolver {
             stats: SatStats::default(),
             conflict_budget: None,
             interrupt: crate::interrupt::Interrupt::none(),
+            #[cfg(feature = "proofs")]
+            sink: None,
+            #[cfg(feature = "proofs")]
+            extra_ids: Vec::new(),
+            #[cfg(feature = "proofs")]
+            unsat_proof: None,
         }
     }
 
@@ -274,7 +324,175 @@ impl SatSolver {
 
     fn set_unsat(&mut self, epoch: u32) {
         self.unsat_at = Some(self.unsat_at.map_or(epoch, |e| e.min(epoch)));
+        // Conclude the proof with one empty clause (derivable by unit
+        // propagation alone at every call site). Guarded so repeated
+        // conclusions while already unsat log nothing new.
+        #[cfg(feature = "proofs")]
+        if self.unsat_proof.is_none() {
+            if let Some(sink) = self.sink.as_mut() {
+                self.unsat_proof = Some(sink.log_rup(Vec::new()));
+            }
+        }
     }
+
+    /// Install a proof-log receiver. Must be called on an empty solver so
+    /// the log covers every clause.
+    ///
+    /// # Panics
+    /// Panics if variables or clauses already exist.
+    #[cfg(feature = "proofs")]
+    pub fn set_proof_sink(&mut self, sink: Box<dyn ccmatic_proof::ProofSink + Send>) {
+        assert!(
+            self.num_vars == 0 && self.clauses.is_empty() && self.pending_units.is_empty(),
+            "proof logging must be enabled on an empty solver"
+        );
+        self.sink = Some(sink);
+    }
+
+    /// See the `proofs`-enabled variant; without the feature the sink is
+    /// dropped and nothing is ever logged.
+    #[cfg(not(feature = "proofs"))]
+    pub fn set_proof_sink(&mut self, _sink: Box<dyn ccmatic_proof::ProofSink + Send>) {}
+
+    /// A copy of the proof log so far, if a snapshot-capable sink is
+    /// installed. Meaningful as an UNSAT certificate when taken while
+    /// [`SatSolver::is_unsat`] holds.
+    #[cfg(feature = "proofs")]
+    pub fn proof_snapshot(&self) -> Option<ccmatic_proof::UnsatCertificate> {
+        self.sink.as_ref().and_then(|s| s.snapshot())
+    }
+
+    /// See the `proofs`-enabled variant.
+    #[cfg(not(feature = "proofs"))]
+    pub fn proof_snapshot(&self) -> Option<ccmatic_proof::UnsatCertificate> {
+        None
+    }
+
+    /// Proof-log counters, if logging is on.
+    #[cfg(feature = "proofs")]
+    pub fn proof_stats(&self) -> Option<ccmatic_proof::ProofLogStats> {
+        self.sink.as_ref().map(|s| s.stats())
+    }
+
+    /// See the `proofs`-enabled variant.
+    #[cfg(not(feature = "proofs"))]
+    pub fn proof_stats(&self) -> Option<ccmatic_proof::ProofLogStats> {
+        None
+    }
+
+    /// Whether a proof sink is attached (always `false` without the
+    /// `proofs` feature).
+    #[cfg(feature = "proofs")]
+    pub fn proofs_enabled(&self) -> bool {
+        self.sink.is_some()
+    }
+
+    /// See the `proofs`-enabled variant.
+    #[cfg(not(feature = "proofs"))]
+    pub fn proofs_enabled(&self) -> bool {
+        false
+    }
+
+    /// Record the arithmetic meaning of SAT variable `v` in the proof log:
+    /// `expr ≤ bound` (`<` when `strict`), with `expr` a sparse sum over
+    /// real-variable indices. No-op without a sink. Re-logging a recycled
+    /// variable replaces its definition.
+    #[cfg(feature = "proofs")]
+    pub fn log_atom_def(
+        &mut self,
+        v: Var,
+        expr: &[(u32, ccmatic_num::Rat)],
+        bound: &ccmatic_num::Rat,
+        strict: bool,
+    ) {
+        if let Some(sink) = self.sink.as_mut() {
+            sink.log_atom(v.0, expr.to_vec(), bound.clone(), strict);
+        }
+    }
+
+    /// See the `proofs`-enabled variant; without the feature this is a
+    /// no-op kept so call sites need no cfg.
+    #[cfg(not(feature = "proofs"))]
+    pub fn log_atom_def(
+        &mut self,
+        _v: Var,
+        _expr: &[(u32, ccmatic_num::Rat)],
+        _bound: &ccmatic_num::Rat,
+        _strict: bool,
+    ) {
+    }
+
+    #[cfg(feature = "proofs")]
+    fn plog_input(&mut self, lits: &[Lit]) -> u64 {
+        match self.sink.as_mut() {
+            Some(s) => s.log_input(lits.iter().map(|l| l.0).collect()),
+            None => 0,
+        }
+    }
+
+    #[cfg(not(feature = "proofs"))]
+    fn plog_input(&mut self, _lits: &[Lit]) -> u64 {
+        0
+    }
+
+    #[cfg(feature = "proofs")]
+    fn plog_rup(&mut self, lits: &[Lit]) -> u64 {
+        match self.sink.as_mut() {
+            Some(s) => s.log_rup(lits.iter().map(|l| l.0).collect()),
+            None => 0,
+        }
+    }
+
+    #[cfg(not(feature = "proofs"))]
+    fn plog_rup(&mut self, _lits: &[Lit]) -> u64 {
+        0
+    }
+
+    #[cfg(feature = "proofs")]
+    fn plog_theory(&mut self, lits: &[Lit], farkas: &[(Lit, ccmatic_num::Rat)]) -> u64 {
+        match self.sink.as_mut() {
+            Some(s) => s.log_theory(
+                lits.iter().map(|l| l.0).collect(),
+                farkas.iter().map(|(l, c)| (l.0, c.clone())).collect(),
+            ),
+            None => 0,
+        }
+    }
+
+    #[cfg(not(feature = "proofs"))]
+    fn plog_theory(&mut self, _lits: &[Lit], _farkas: &[(Lit, ccmatic_num::Rat)]) -> u64 {
+        0
+    }
+
+    #[cfg(feature = "proofs")]
+    fn plog_delete(&mut self, id: u64) {
+        if id != 0 {
+            if let Some(s) = self.sink.as_mut() {
+                s.log_delete(id);
+            }
+        }
+    }
+
+    #[cfg(not(feature = "proofs"))]
+    fn plog_delete(&mut self, _id: u64) {}
+
+    /// Track a live proof clause that `clauses` does not own (unit inputs,
+    /// learned units, level-0-satisfied inputs) so the matching pop can
+    /// delete it.
+    #[cfg(feature = "proofs")]
+    fn plog_record_extra(&mut self, epoch: u32, id: u64) {
+        if id == 0 {
+            return;
+        }
+        let e = epoch as usize;
+        if e >= self.extra_ids.len() {
+            self.extra_ids.resize_with(e + 1, Vec::new);
+        }
+        self.extra_ids[e].push(id);
+    }
+
+    #[cfg(not(feature = "proofs"))]
+    fn plog_record_extra(&mut self, _epoch: u32, _id: u64) {}
 
     /// Open an assertion scope: clauses and variables added from here on are
     /// discarded by the matching [`SatSolver::pop`].
@@ -320,6 +538,26 @@ impl SatSolver {
         self.var_epoch.truncate(n);
         self.level0_epoch.truncate(n);
         self.order.truncate_ids(n);
+        // Log deletions for everything about to be dropped — BEFORE any
+        // later addition, so a popped clause can never justify a later RUP
+        // step in the proof.
+        #[cfg(feature = "proofs")]
+        if self.sink.is_some() {
+            let mut dead: Vec<u64> = self
+                .clauses
+                .iter()
+                .filter(|c| c.epoch > new_depth && c.proof_id != 0)
+                .map(|c| c.proof_id)
+                .collect();
+            for e in (new_depth as usize + 1)..self.extra_ids.len() {
+                dead.append(&mut self.extra_ids[e]);
+            }
+            for id in dead {
+                self.plog_delete(id);
+            }
+        }
+        #[cfg(feature = "proofs")]
+        self.extra_ids.truncate(new_depth as usize + 1);
         // Keep only clauses derivable from the surviving prefix. The epoch
         // invariant (clause epoch ≥ every literal's variable epoch)
         // guarantees no survivor mentions a dropped variable.
@@ -336,6 +574,11 @@ impl SatSolver {
         self.pending_units.retain(|&(_, e)| e <= new_depth);
         if self.unsat_at.is_some_and(|e| e > new_depth) {
             self.unsat_at = None;
+            // The empty clause's derivation died with the popped scope.
+            #[cfg(feature = "proofs")]
+            if let Some(id) = self.unsat_proof.take() {
+                self.plog_delete(id);
+            }
         }
     }
 
@@ -391,21 +634,43 @@ impl SatSolver {
                 return true;
             }
         }
+        // The (deduplicated) clause enters the proof log as an input axiom
+        // of the current scope.
+        let input_id = self.plog_input(&lits);
         // Drop literals already false at level 0; satisfied clause check.
         let mut keep = Vec::with_capacity(lits.len());
         for &l in &lits {
             match self.lit_value(l) {
-                LBool::True => return true,
+                LBool::True => {
+                    // Satisfied at level 0: never stored, but it stays a live
+                    // axiom of this scope in the proof.
+                    self.plog_record_extra(epoch, input_id);
+                    return true;
+                }
                 LBool::False => {}
                 LBool::Undef => keep.push(l),
             }
         }
+        // If level-0-false literals were dropped, the stored clause is a RUP
+        // consequence of the input plus the live level-0 derivations; log it
+        // as such and retire the input. (Not for the empty case — there
+        // `set_unsat` logs the one empty clause, justified by the still-live
+        // input.)
+        let proof_id = if keep.len() != lits.len() && !keep.is_empty() {
+            let rid = self.plog_rup(&keep);
+            self.plog_delete(input_id);
+            rid
+        } else {
+            input_id
+        };
         match keep.len() {
             0 => {
+                self.plog_record_extra(epoch, input_id);
                 self.set_unsat(epoch);
                 false
             }
             1 => {
+                self.plog_record_extra(epoch, proof_id);
                 self.pending_units.push((keep[0], epoch));
                 true
             }
@@ -413,7 +678,7 @@ impl SatSolver {
                 let idx = self.clauses.len();
                 self.watches[keep[0].index()].push(idx);
                 self.watches[keep[1].index()].push(idx);
-                self.clauses.push(Clause { lits: keep, epoch });
+                self.clauses.push(Clause { lits: keep, epoch, proof_id });
                 true
             }
         }
@@ -634,7 +899,12 @@ impl SatSolver {
             return false;
         }
         self.backtrack_to(backjump);
+        // First-UIP clauses (and unit theory lemmas re-entering through
+        // here) are derivable by reverse unit propagation from their live
+        // antecedents.
+        let proof_id = self.plog_rup(&learned);
         if learned.len() == 1 {
+            self.plog_record_extra(epoch, proof_id);
             if self.lit_value(learned[0]) == LBool::False {
                 let e = epoch.max(self.level0_epoch[learned[0].var().0 as usize]);
                 self.set_unsat(e);
@@ -649,7 +919,7 @@ impl SatSolver {
         self.watches[learned[0].index()].push(idx);
         self.watches[learned[1].index()].push(idx);
         let assert_lit = learned[0];
-        self.clauses.push(Clause { lits: learned, epoch });
+        self.clauses.push(Clause { lits: learned, epoch, proof_id });
         if self.lit_value(assert_lit) == LBool::Undef {
             self.enqueue(assert_lit, Some(idx));
         }
@@ -675,12 +945,16 @@ impl SatSolver {
     /// Integrate a conflict clause reported by the theory: backjump to the
     /// clause's maximum decision level, store it, and run standard
     /// first-UIP analysis from it. Returns `false` if this proves unsat.
-    fn handle_theory_conflict(&mut self, mut clause: Vec<Lit>) -> bool {
+    fn handle_theory_conflict(&mut self, lemma: TheoryLemma) -> bool {
+        let TheoryLemma { lits: mut clause, farkas } = lemma;
         self.stats.theory_conflicts += 1;
         debug_assert!(
             clause.iter().all(|&l| self.lit_value(l) == LBool::False),
             "theory conflict clause must be false under the current assignment"
         );
+        // The lemma enters the proof with its Farkas witness before anything
+        // is derived from it.
+        let theory_id = self.plog_theory(&clause, &farkas);
         // A theory lemma is valid whenever its atoms exist: the theory
         // re-derives its bounds from the live atom set on every check, so
         // the lemma's epoch is the max creation depth of its variables.
@@ -692,6 +966,7 @@ impl SatSolver {
             .max()
             .unwrap_or_else(|| self.depth());
         if clause.is_empty() {
+            self.plog_record_extra(epoch, theory_id);
             self.set_unsat(epoch);
             return false;
         }
@@ -700,6 +975,7 @@ impl SatSolver {
         clause.sort_by_key(|l| std::cmp::Reverse(self.level[l.var().0 as usize]));
         let max_level = self.level[clause[0].var().0 as usize];
         if max_level == 0 {
+            self.plog_record_extra(epoch, theory_id);
             let e = clause.iter().fold(epoch, |e, l| e.max(self.level0_epoch[l.var().0 as usize]));
             self.set_unsat(e);
             return false;
@@ -707,14 +983,16 @@ impl SatSolver {
         self.backtrack_to(max_level);
         if clause.len() == 1 {
             // Unit theory clause: fall back to direct learning (backjump so
-            // the literal becomes assignable).
+            // the literal becomes assignable). `learn` re-logs the unit as a
+            // (trivially RUP) consequence of the theory step.
+            self.plog_record_extra(epoch, theory_id);
             self.backtrack_to(max_level - 1);
             return self.learn(clause, max_level - 1, epoch);
         }
         let idx = self.clauses.len();
         self.watches[clause[0].index()].push(idx);
         self.watches[clause[1].index()].push(idx);
-        self.clauses.push(Clause { lits: clause, epoch });
+        self.clauses.push(Clause { lits: clause, epoch, proof_id: theory_id });
         let (learned, backjump, learned_epoch) = self.analyze(idx);
         self.learn(learned, backjump, learned_epoch)
     }
@@ -929,9 +1207,9 @@ mod tests {
             a: Var,
         }
         impl TheoryHook for RejectA {
-            fn final_check(&mut self, assignment: &dyn Fn(Var) -> bool) -> Result<(), Vec<Lit>> {
+            fn final_check(&mut self, assignment: &dyn Fn(Var) -> bool) -> Result<(), TheoryLemma> {
                 if assignment(self.a) {
-                    Err(vec![Lit::neg(self.a)])
+                    Err(TheoryLemma::new(vec![Lit::neg(self.a)]))
                 } else {
                     Ok(())
                 }

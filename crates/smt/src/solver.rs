@@ -3,9 +3,9 @@
 use crate::cnf::CnfBuilder;
 use crate::interrupt::Interrupt;
 use crate::linexpr::LinExpr;
-use crate::lra::{SimVar, Simplex};
-use crate::sat::{Lit, SatSolver, SolveResult, TheoryHook, Var};
-use crate::term::{BoolVar, Context, RealVar, Term};
+use crate::lra::{SimVar, Simplex, TheoryConflict};
+use crate::sat::{Lit, SatSolver, SolveResult, TheoryHook, TheoryLemma, Var};
+use crate::term::{BoolVar, Context, RealVar, Term, TermData};
 use ccmatic_num::{DeltaRat, Rat};
 use std::collections::HashMap;
 
@@ -55,6 +55,29 @@ impl Model {
     pub fn reals(&self) -> impl Iterator<Item = (RealVar, &Rat)> + '_ {
         self.reals.iter().map(|(v, r)| (*v, r))
     }
+
+    /// Evaluate a term under the model with exact rational arithmetic.
+    /// This shares no code with the solving path, so it doubles as an
+    /// independent soundness audit of `Sat` verdicts.
+    pub fn satisfies(&self, ctx: &Context, t: Term) -> bool {
+        match ctx.data(t) {
+            TermData::True => true,
+            TermData::False => false,
+            TermData::BoolVar(b) => self.bool_var(*b),
+            TermData::Atom(a) => {
+                let atom = ctx.atom(*a);
+                let v = self.eval(&atom.expr);
+                if atom.strict {
+                    v < atom.bound
+                } else {
+                    v <= atom.bound
+                }
+            }
+            TermData::Not(inner) => !self.satisfies(ctx, *inner),
+            TermData::And(ts) => ts.iter().all(|&s| self.satisfies(ctx, s)),
+            TermData::Or(ts) => ts.iter().any(|&s| self.satisfies(ctx, s)),
+        }
+    }
 }
 
 /// Aggregate statistics over the lifetime of a [`Solver`].
@@ -76,6 +99,11 @@ pub struct SolverStats {
     /// *process-wide* snapshot from `ccmatic_num::arith_snapshot()`, not a
     /// per-solver count: take deltas around a region of interest.
     pub promotions: u64,
+    /// Clause-derivation steps in the proof log (0 when logging is off or
+    /// the `proofs` feature is disabled).
+    pub proof_clauses: u64,
+    /// Bytes of the proof log's text rendering (0 when logging is off).
+    pub proof_bytes: u64,
 }
 
 /// An incremental SMT solver for QF-LRA.
@@ -92,6 +120,11 @@ pub struct Solver {
     atom_slacks: Vec<SimVar>,
     /// `atom_slacks` length at each open `push`.
     scope_marks: Vec<usize>,
+    /// Every term passed to [`Solver::assert`], in order, for exact model
+    /// auditing; truncated by `pop` in lockstep with the SAT scopes.
+    asserted: Vec<Term>,
+    /// `asserted` length at each open `push`.
+    asserted_marks: Vec<usize>,
     model: Option<Model>,
     /// `check` invocations over the solver's lifetime.
     checks: u64,
@@ -118,6 +151,8 @@ impl Solver {
             real_to_sim: HashMap::new(),
             atom_slacks: Vec::new(),
             scope_marks: Vec::new(),
+            asserted: Vec::new(),
+            asserted_marks: Vec::new(),
             model: None,
             checks: 0,
             conflict_budget: None,
@@ -128,7 +163,30 @@ impl Solver {
     /// Assert a term.
     pub fn assert(&mut self, ctx: &Context, t: Term) {
         self.model = None;
+        self.asserted.push(t);
         self.cnf.assert_term(ctx, &mut self.sat, t);
+    }
+
+    /// Enable DRAT + Farkas proof logging into an in-memory sink, so `Unsat`
+    /// verdicts from [`Solver::check_certified`] carry a replayable
+    /// certificate. Must be called before anything is asserted. Without the
+    /// `proofs` feature this is a no-op and [`Solver::proofs_enabled`] stays
+    /// `false`.
+    pub fn enable_proofs(&mut self) {
+        self.sat.set_proof_sink(Box::new(ccmatic_proof::MemorySink::new()));
+    }
+
+    /// Enable proof logging into a caller-supplied sink (e.g. a streaming
+    /// [`ccmatic_proof::WriterSink`] for bounded memory). Must be called
+    /// before anything is asserted.
+    pub fn set_proof_sink(&mut self, sink: Box<dyn ccmatic_proof::ProofSink + Send>) {
+        self.sat.set_proof_sink(sink);
+    }
+
+    /// Whether proof logging is active (always `false` without the `proofs`
+    /// feature).
+    pub fn proofs_enabled(&self) -> bool {
+        self.sat.proofs_enabled()
     }
 
     /// Open an assertion scope across the whole stack (SAT core, CNF memo
@@ -140,6 +198,7 @@ impl Solver {
         self.cnf.push();
         self.simplex.push();
         self.scope_marks.push(self.atom_slacks.len());
+        self.asserted_marks.push(self.asserted.len());
     }
 
     /// Retract every assertion made since the matching [`Solver::push`].
@@ -148,11 +207,13 @@ impl Solver {
     /// Panics if no scope is open.
     pub fn pop(&mut self) {
         let mark = self.scope_marks.pop().expect("pop without matching push");
+        let amark = self.asserted_marks.pop().expect("pop without matching push");
         self.model = None;
         self.sat.pop();
         self.cnf.pop();
         self.simplex.pop();
         self.atom_slacks.truncate(mark);
+        self.asserted.truncate(amark);
         // Real variables first seen inside the scope mapped to simplex vars
         // that no longer exist; forget them so a later assert re-allocates.
         let live = self.simplex.num_vars() as u32;
@@ -167,7 +228,7 @@ impl Solver {
     /// Register in the simplex any atoms that appeared since the last check.
     fn register_new_atoms(&mut self, ctx: &Context) {
         while self.atom_slacks.len() < self.cnf.atom_bindings().len() {
-            let (_, atom_id) = self.cnf.atom_bindings()[self.atom_slacks.len()];
+            let (sat_var, atom_id) = self.cnf.atom_bindings()[self.atom_slacks.len()];
             let data = ctx.atom(atom_id).clone();
             // Single-variable unit-coefficient atoms bound the variable
             // itself; anything else gets a shared slack per expression.
@@ -181,6 +242,13 @@ impl Solver {
                 self.simplex.define_slack(&terms)
             };
             self.atom_slacks.push(slack);
+            if self.sat.proofs_enabled() {
+                // The certificate checker needs the arithmetic meaning of
+                // each theory literal, in real-variable space.
+                let expr: Vec<(u32, Rat)> =
+                    data.expr.iter().map(|(v, c)| (v.0, c.clone())).collect();
+                self.sat.log_atom_def(sat_var, &expr, &data.bound, data.strict);
+            }
         }
     }
 
@@ -206,15 +274,24 @@ impl Solver {
             /// (sat var, slack var, bound, strict) per atom.
             atoms: Vec<(Var, SimVar, Rat, bool)>,
         }
+        /// Re-tag a simplex conflict as a SAT clause: the tags already are
+        /// literal codes, and the Farkas multipliers ride along so the proof
+        /// log can record a checkable theory lemma.
+        fn lemma(conflict: TheoryConflict) -> TheoryLemma {
+            TheoryLemma {
+                lits: conflict.tags.into_iter().map(Lit).collect(),
+                farkas: conflict.farkas.into_iter().map(|(t, c)| (Lit(t), c)).collect(),
+            }
+        }
         impl TheoryHook for Bridge<'_> {
-            fn final_check(&mut self, assignment: &dyn Fn(Var) -> bool) -> Result<(), Vec<Lit>> {
+            fn final_check(&mut self, assignment: &dyn Fn(Var) -> bool) -> Result<(), TheoryLemma> {
                 self.partial_check(&|v| Some(assignment(v)))
             }
 
             fn partial_check(
                 &mut self,
                 assignment: &dyn Fn(Var) -> Option<bool>,
-            ) -> Result<(), Vec<Lit>> {
+            ) -> Result<(), TheoryLemma> {
                 self.simplex.reset_bounds();
                 for (sat_var, slack, bound, strict) in &self.atoms {
                     let Some(holds) = assignment(*sat_var) else {
@@ -243,12 +320,12 @@ impl Solver {
                         self.simplex.assert_lower(*slack, b, tag)
                     };
                     if let Err(conflict) = result {
-                        return Err(conflict.tags.into_iter().map(Lit).collect());
+                        return Err(lemma(conflict));
                     }
                 }
                 match self.simplex.check() {
                     Ok(()) => Ok(()),
-                    Err(conflict) => Err(conflict.tags.into_iter().map(Lit).collect()),
+                    Err(conflict) => Err(lemma(conflict)),
                 }
             }
         }
@@ -268,10 +345,43 @@ impl Solver {
         match result {
             Some(SolveResult::Sat) => {
                 self.extract_model(ctx);
+                debug_assert!(
+                    self.model_satisfies_asserted(ctx),
+                    "extracted model violates an asserted term"
+                );
                 SatResult::Sat
             }
             Some(SolveResult::Unsat) => SatResult::Unsat,
             None => SatResult::Unknown,
+        }
+    }
+
+    /// Exact-rational audit: every asserted term is true under the current
+    /// model. `false` if no model is available.
+    pub fn model_satisfies_asserted(&self, ctx: &Context) -> bool {
+        match &self.model {
+            Some(m) => self.asserted.iter().all(|&t| m.satisfies(ctx, t)),
+            None => false,
+        }
+    }
+
+    /// [`Solver::check`], plus evidence: `Unsat` verdicts carry a snapshot
+    /// of the proof log (when a snapshot-capable sink is attached — see
+    /// [`Solver::enable_proofs`]) for independent replay by
+    /// [`ccmatic_proof::check`], and `Sat` verdicts are audited by exact
+    /// rational evaluation of every asserted term under the model.
+    pub fn check_certified(&mut self, ctx: &Context) -> Certified {
+        let result = self.check(ctx);
+        match result {
+            SatResult::Unsat => {
+                Certified { result, certificate: self.sat.proof_snapshot(), model_ok: None }
+            }
+            SatResult::Sat => Certified {
+                result,
+                certificate: None,
+                model_ok: Some(self.model_satisfies_asserted(ctx)),
+            },
+            SatResult::Unknown => Certified { result, certificate: None, model_ok: None },
         }
     }
 
@@ -297,6 +407,13 @@ impl Solver {
 
     /// Solver statistics.
     pub fn stats(&self) -> SolverStats {
+        #[cfg(feature = "proofs")]
+        let (proof_clauses, proof_bytes) = match self.sat.proof_stats() {
+            Some(p) => (p.clauses, p.bytes),
+            None => (0, 0),
+        };
+        #[cfg(not(feature = "proofs"))]
+        let (proof_clauses, proof_bytes) = (0, 0);
         SolverStats {
             checks: self.checks,
             decisions: self.sat.stats.decisions,
@@ -305,8 +422,22 @@ impl Solver {
             theory_conflicts: self.sat.stats.theory_conflicts,
             pivots: self.simplex.pivots,
             promotions: ccmatic_num::arith_snapshot().promotions,
+            proof_clauses,
+            proof_bytes,
         }
     }
+}
+
+/// Verdict plus evidence, from [`Solver::check_certified`].
+#[derive(Debug)]
+pub struct Certified {
+    /// The verdict, identical to what [`Solver::check`] returns.
+    pub result: SatResult,
+    /// On `Unsat` with a snapshot-capable proof sink: the refutation, ready
+    /// for [`ccmatic_proof::check`].
+    pub certificate: Option<ccmatic_proof::UnsatCertificate>,
+    /// On `Sat`: whether every asserted term evaluated true under the model.
+    pub model_ok: Option<bool>,
 }
 
 #[cfg(test)]

@@ -26,6 +26,7 @@ fn main() {
         wce_precision: rat(1, 2),
         incremental: true,
         threads: 1,
+        certify: false,
     };
     println!(
         "Synthesizing a CCA: search space {} candidates, targets util ≥ {} / queue ≤ {} BDP\n",

@@ -36,6 +36,7 @@ fn main() {
         worst_case: false,
         wce_precision: opts.wce_precision.clone(),
         incremental: true,
+        certify: false,
     });
     let rocc = known::rocc();
     match verifier.verify(&rocc) {

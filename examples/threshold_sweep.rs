@@ -27,6 +27,7 @@ fn main() {
         wce_precision: rat(1, 2),
         incremental: true,
         threads: 1,
+        certify: false,
     };
 
     println!("## Delay sweep (util ≥ 1/2 fixed)\n");

@@ -22,6 +22,7 @@ fn synthesize_then_simulate() {
         wce_precision: rat(1, 2),
         incremental: true,
         threads: 1,
+        certify: false,
     };
     let result = synthesize(&opts);
     let Outcome::Solution(spec) = result.outcome else {

@@ -15,6 +15,7 @@ fn paper_verifier() -> CcaVerifier {
         worst_case: false,
         wce_precision: rat(1, 2),
         incremental: true,
+        certify: false,
     })
 }
 

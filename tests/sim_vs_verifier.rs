@@ -20,6 +20,7 @@ fn verifier() -> CcaVerifier {
         worst_case: false,
         wce_precision: rat(1, 2),
         incremental: true,
+        certify: false,
     })
 }
 
