@@ -6,6 +6,8 @@
 //!                 [--mode baseline|rp|rp-wce] [--util F] [--delay F]
 //!                 [--budget-secs N] [--horizon N] [--lookback N]
 //!                 [--threads N]   (default: CCMATIC_SYNTH_THREADS, else all cores)
+//!                 [--seed N]      (portfolio seed; default: CCMATIC_SEED, else 0)
+//!                 [--dispatch-min N]  (serial below N candidates; 0 forces the portfolio)
 //!                 [--stats]       (kernel counters: pivots, promotions, coverage)
 //!                 [--certify]     (checker-replayed proof certificates on every verdict)
 //! ccmatic verify  --cca "b1,b2,b3,b4,g"   (β taps then γ; rationals like 3/2)
@@ -82,7 +84,9 @@ fn usage() -> ExitCode {
          flags: --space no-cwnd-small|no-cwnd-large|cwnd-small|cwnd-large\n\
          \x20      --mode baseline|rp|rp-wce   --util F --delay F\n\
          \x20      --budget-secs N --horizon N --lookback N --jitter N\n\
-         \x20      --threads N  (synth fan-out; default $CCMATIC_SYNTH_THREADS, else cores)\n\
+         \x20      --threads N  (portfolio width; default $CCMATIC_SYNTH_THREADS, else cores)\n\
+         \x20      --seed N  (search diversification seed; default $CCMATIC_SEED, else 0)\n\
+         \x20      --dispatch-min N  (run serially below N candidates; 0 forces the portfolio)\n\
          \x20      --stats  (print kernel counters: pivots, promotions, fast-path coverage)\n\
          \x20      --certify  (synth/verify: re-check every UNSAT verdict against a\n\
          \x20                  DRAT+Farkas certificate with the independent checker)\n\
@@ -156,6 +160,11 @@ fn main() -> ExitCode {
         .get("--threads")
         .and_then(|v| v.parse::<usize>().ok().filter(|&n| n > 0))
         .unwrap_or_else(|| ccmatic::env::env_threads_or_cores("CCMATIC_SYNTH_THREADS"));
+    let seed = args
+        .get("--seed")
+        .and_then(|v| v.parse::<u64>().ok())
+        .or_else(|| ccmatic::env::env_seed("CCMATIC_SEED"))
+        .unwrap_or(0);
     let certify = args.has("--certify");
     let opts = SynthOptions {
         shape: shape.clone(),
@@ -166,6 +175,11 @@ fn main() -> ExitCode {
         wce_precision: rat(1, 2),
         incremental: true,
         threads,
+        seed,
+        dispatch_min: args
+            .get("--dispatch-min")
+            .and_then(|v| v.parse::<u128>().ok())
+            .unwrap_or(ccmatic::synth::DEFAULT_DISPATCH_MIN),
         certify,
     };
 
@@ -198,11 +212,14 @@ fn main() -> ExitCode {
                 Outcome::Solution(spec) => {
                     println!("SOLUTION  {spec}");
                     println!(
-                        "iterations {} · verifier probes {} · replay hits {} · speculative wasted {} · {:.1}s",
+                        "iterations {} · verifier probes {} · replay hits {} · wasted steps {} · shards stolen {} · clauses shared {}/{} · {:.1}s",
                         r.stats.iterations,
                         r.verifier_probes,
                         r.stats.replay_hits,
                         r.stats.speculative_wasted,
+                        r.stats.shards_stolen,
+                        r.stats.shared_clauses_exported,
+                        r.stats.shared_clauses_imported,
                         r.stats.wall.as_secs_f64()
                     );
                     ExitCode::SUCCESS
@@ -230,6 +247,7 @@ fn main() -> ExitCode {
                 wce_precision: rat(1, 2),
                 incremental: true,
                 certify,
+                search: Default::default(),
             });
             let result = v.verify(&spec);
             if certify {

@@ -175,6 +175,7 @@ mod tests {
                     wce_precision: rat(1, 2),
                     incremental: true,
                     certify: false,
+                    search: ccmatic_smt::SearchConfig::default(),
                 });
                 v.verify(&spec).is_ok()
             };

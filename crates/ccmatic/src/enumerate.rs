@@ -98,6 +98,8 @@ mod tests {
             wce_precision: Rat::new(1i64.into(), 2i64.into()),
             incremental: true,
             threads: 1,
+            seed: 0,
+            dispatch_min: crate::synth::DEFAULT_DISPATCH_MIN,
             certify: false,
         };
         let result = enumerate_all(&opts);
@@ -110,6 +112,7 @@ mod tests {
             wce_precision: opts.wce_precision.clone(),
             incremental: true,
             certify: false,
+            search: ccmatic_smt::SearchConfig::default(),
         });
         for s in &result.solutions {
             assert!(v.verify(s).is_ok(), "enumerated non-solution {s}");

@@ -1,5 +1,7 @@
 //! Environment-variable knobs shared by the sweep and synthesis thread
-//! pools.
+//! pools: `CCMATIC_SWEEP_THREADS` / `CCMATIC_SYNTH_THREADS` (worker
+//! counts) and `CCMATIC_SEED` (the portfolio diversification seed,
+//! overridden by an explicit `--seed` flag).
 //!
 //! A misspelt `CCMATIC_SWEEP_THREADS=fourty` used to be silently ignored,
 //! quietly running the sweep at a different width than the operator asked
@@ -37,6 +39,24 @@ pub fn env_threads_or_cores(var: &'static str) -> usize {
         .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1))
 }
 
+/// Read a `u64` search seed from `var` (e.g. `CCMATIC_SEED`). Unset
+/// returns `None`; set but unparsable warns once to stderr and returns
+/// `None`.
+pub fn env_seed(var: &'static str) -> Option<u64> {
+    let raw = std::env::var(var).ok()?;
+    match raw.trim().parse::<u64>() {
+        Ok(n) => Some(n),
+        Err(_) => {
+            let mut warned = WARNED.lock().unwrap();
+            if !warned.contains(&var) {
+                warned.push(var);
+                eprintln!("warning: ignoring {var}={raw:?}: expected an unsigned integer seed");
+            }
+            None
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -54,6 +74,17 @@ mod tests {
         std::env::set_var("CCMATIC_TEST_THREADS_VALID", "3");
         assert_eq!(env_threads("CCMATIC_TEST_THREADS_VALID"), Some(3));
         assert_eq!(env_threads_or_cores("CCMATIC_TEST_THREADS_VALID"), 3);
+    }
+
+    #[test]
+    fn seed_parses_and_rejects_garbage() {
+        assert_eq!(env_seed("CCMATIC_TEST_SEED_UNSET"), None);
+        std::env::set_var("CCMATIC_TEST_SEED_VALID", "42");
+        assert_eq!(env_seed("CCMATIC_TEST_SEED_VALID"), Some(42));
+        std::env::set_var("CCMATIC_TEST_SEED_ZERO", "0");
+        assert_eq!(env_seed("CCMATIC_TEST_SEED_ZERO"), Some(0));
+        std::env::set_var("CCMATIC_TEST_SEED_BAD", "-1");
+        assert_eq!(env_seed("CCMATIC_TEST_SEED_BAD"), None);
     }
 
     #[test]

@@ -26,7 +26,7 @@
 use crate::template::{CcaSpec, TemplateShape};
 use ccac_model::{NetConfig, Thresholds, Trace};
 use ccmatic_num::Rat;
-use ccmatic_smt::{Context, Interrupt, LinExpr, RealVar, SatResult, Solver, Term};
+use ccmatic_smt::{Context, Interrupt, LinExpr, RealVar, SatResult, SearchConfig, Solver, Term};
 use std::time::Instant;
 
 /// How much of the candidate space each counterexample eliminates.
@@ -45,6 +45,17 @@ struct Coeff {
     selectors: Vec<(Rat, Term)>,
 }
 
+/// Outcome of one interruptible proposal attempt.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Proposal {
+    /// A coefficient assignment consistent with everything learned so far.
+    Candidate(CcaSpec),
+    /// The (possibly shard-restricted) space holds no further candidate.
+    Exhausted,
+    /// The interrupt fired before the solver could decide.
+    Interrupted,
+}
+
 /// The SMT-backed generator.
 pub struct SmtGenerator {
     ctx: Context,
@@ -60,12 +71,26 @@ pub struct SmtGenerator {
 }
 
 impl SmtGenerator {
-    /// Create a generator over the given search space.
+    /// Create a generator over the given search space with the default
+    /// (deterministic, undiversified) SAT search.
     pub fn new(
         shape: TemplateShape,
         net: NetConfig,
         thresholds: Thresholds,
         mode: FeasibilityMode,
+    ) -> Self {
+        Self::new_with_config(shape, net, thresholds, mode, SearchConfig::default())
+    }
+
+    /// Create a generator whose SAT core searches under `config` — the
+    /// portfolio hands each worker a different diversification profile so
+    /// workers explore the candidate space in different orders.
+    pub fn new_with_config(
+        shape: TemplateShape,
+        net: NetConfig,
+        thresholds: Thresholds,
+        mode: FeasibilityMode,
+        config: SearchConfig,
     ) -> Self {
         assert!(
             net.history > shape.lookback,
@@ -75,6 +100,9 @@ impl SmtGenerator {
         );
         let mut ctx = Context::new();
         let mut solver = Solver::new();
+        // Before any assertion: the seed and phase policy apply to
+        // variables as they are created.
+        solver.set_search_config(config);
         let mut coeffs = Vec::new();
         let domain = shape.domain.values();
         let names: Vec<String> = Self::coeff_names(&shape);
@@ -151,6 +179,51 @@ impl SmtGenerator {
                 unreachable!("generator solver runs without a conflict budget or interrupt")
             }
         }
+    }
+
+    /// Like [`SmtGenerator::propose`], but abandons the search when
+    /// `interrupt` fires (deadline passed or cancel flag raised) instead of
+    /// treating `Unknown` as impossible. The solver's own interrupt is
+    /// restored to none before returning, so later plain `propose` calls
+    /// keep their exhaustive-completeness contract.
+    pub fn propose_interruptible(&mut self, interrupt: &Interrupt) -> Proposal {
+        self.solver.interrupt = interrupt.clone();
+        let result = match self.solver.check(&self.ctx) {
+            SatResult::Sat => Proposal::Candidate(self.read_model()),
+            SatResult::Unsat => Proposal::Exhausted,
+            SatResult::Unknown => Proposal::Interrupted,
+        };
+        self.solver.interrupt = Interrupt::none();
+        result
+    }
+
+    /// Restrict the generator to one shard of the candidate space: push an
+    /// assertion scope and pin the first `prefix.len()` coefficients (in
+    /// [`CcaSpec::flat`] order — alphas, betas, gamma) to the given values.
+    ///
+    /// Everything asserted afterwards — shard-local counterexample
+    /// constraints included — lives in the pushed scope and vanishes at
+    /// [`SmtGenerator::exit_shard`], so a worker can move between shards
+    /// without polluting the base space.
+    pub fn enter_shard(&mut self, prefix: &[Rat]) {
+        debug_assert!(prefix.len() <= self.coeffs.len());
+        self.solver.push();
+        for (coeff, v) in self.coeffs.iter().zip(prefix) {
+            let sel = coeff
+                .selectors
+                .iter()
+                .find(|(a, _)| a == v)
+                .expect("shard value must be in the domain")
+                .1;
+            self.solver.assert(&self.ctx, sel);
+        }
+    }
+
+    /// Leave the current shard: pop the scope pushed by
+    /// [`SmtGenerator::enter_shard`], discarding the shard selectors and any
+    /// shard-local learning.
+    pub fn exit_shard(&mut self) {
+        self.solver.pop();
     }
 
     /// Read the current satisfying model as a coefficient assignment.
@@ -521,6 +594,7 @@ mod tests {
             wce_precision: Rat::new(1i64.into(), 4i64.into()),
             incremental: true,
             certify: false,
+            search: SearchConfig::default(),
         });
         let mut g =
             SmtGenerator::new(shape, net, Thresholds::default(), FeasibilityMode::RangePruning);
@@ -557,6 +631,7 @@ mod tests {
             wce_precision: Rat::new(1i64.into(), 2i64.into()),
             incremental: true,
             certify: false,
+            search: SearchConfig::default(),
         });
         let broken = CcaSpec { alpha: vec![], beta: vec![int(0), int(0)], gamma: int(0) };
         let cex = verifier.verify(&broken).expect_err("refuted");

@@ -1,20 +1,36 @@
 //! End-to-end synthesis: wire the generator and verifier into the CEGIS
 //! engine (the paper's Table-1 experiment, "time to synthesize first
 //! solution").
+//!
+//! With `threads > 1` and a large enough search space, synthesis runs as a
+//! *portfolio*: each worker owns a diversified generator/verifier pair, the
+//! candidate space is partitioned into coefficient-prefix shards workers
+//! steal from a shared queue, counterexamples are broadcast into every
+//! worker's replay cache, and (on the incremental path) short learned
+//! clauses flow between the workers' SAT cores through a
+//! [`ClauseExchange`]. Tiny spaces skip all of that: below
+//! [`SynthOptions::dispatch_min`] candidates the serial loop wins on
+//! per-candidate overhead alone, so the dispatcher falls back to it.
 
-use crate::generator::{FeasibilityMode, SmtGenerator};
+use crate::generator::{FeasibilityMode, Proposal, SmtGenerator};
 use crate::replay::TraceReplay;
 use crate::template::{CcaSpec, TemplateShape};
 use crate::verifier::{CcaVerifier, CertAudit, VerifyConfig};
 use ccac_model::{NetConfig, Thresholds, Trace};
 use ccmatic_cegis::{
-    BatchProposal, Budget, Generator, Outcome, ParallelConfig, Stats, Verdict, Verifier,
+    BatchProposal, Budget, Generator, Outcome, PortfolioWorker, Stats, StepOutcome, StepReport,
+    Verdict, Verifier, WorkerStats,
 };
 use ccmatic_num::Rat;
-use ccmatic_smt::Interrupt;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use ccmatic_smt::{ClauseExchange, Interrupt, SearchConfig};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
+
+/// Search spaces smaller than this run serially even when `threads > 1`:
+/// spinning up worker solvers and barrier rounds costs more than a tiny
+/// space's whole enumeration.
+pub const DEFAULT_DISPATCH_MIN: u128 = 1024;
 
 /// Which of the paper's §3.1.2 optimizations to enable — the three columns
 /// of Table 1.
@@ -67,11 +83,20 @@ pub struct SynthOptions {
     pub budget: Budget,
     /// WCE binary-search precision.
     pub wce_precision: Rat,
-    /// Use the verifier's incremental (push/pop scope) path.
+    /// Use the verifier's incremental (push/pop scope) path. Also gates
+    /// clause sharing: only incremental workers share an identical base
+    /// encoding (and therefore SAT variable numbering).
     pub incremental: bool,
-    /// Verification fan-out: 1 runs the serial loop, >1 the speculative
-    /// parallel engine with this many worker verifiers.
+    /// Worker count: 1 runs the serial loop, >1 the shard-stealing
+    /// portfolio with this many diversified generator/verifier pairs.
     pub threads: usize,
+    /// Base RNG seed for search diversification. Worker `w` searches under
+    /// [`SearchConfig::diversified`]`(seed, w)`; fixed seeds make portfolio
+    /// runs reproducible.
+    pub seed: u64,
+    /// Below this many candidates the portfolio dispatcher falls back to
+    /// the serial loop regardless of `threads`.
+    pub dispatch_min: u128,
     /// Certify every verifier verdict: UNSAT answers must carry a
     /// checker-accepted DRAT+Farkas certificate, SAT answers an
     /// exact-audited model (see [`VerifyConfig::certify`]).
@@ -89,6 +114,8 @@ impl Default for SynthOptions {
             wce_precision: Rat::new(1i64.into(), 4i64.into()),
             incremental: true,
             threads: 1,
+            seed: 0,
+            dispatch_min: DEFAULT_DISPATCH_MIN,
             certify: false,
         }
     }
@@ -108,6 +135,8 @@ pub struct SynthResult {
     /// Aggregate certificate-audit totals across all worker verifiers
     /// (all zero unless `opts.certify`).
     pub cert_audit: CertAudit,
+    /// Per-worker portfolio counters (empty for serial runs).
+    pub workers: Vec<WorkerStats>,
 }
 
 /// Adapter: [`SmtGenerator`] as a [`ccmatic_cegis::Generator`].
@@ -150,74 +179,16 @@ impl Generator for GenAdapter {
 }
 
 /// Adapter: [`CcaVerifier`] as a [`ccmatic_cegis::Verifier`].
-///
-/// Solver probes are published to a shared counter after every call, so
-/// the parallel engine (which owns one adapter per worker) can still
-/// report an aggregate probe count.
 pub struct VerAdapter {
-    /// The wrapped verifier.
+    /// The wrapped verifier. Probe counts and certificate-audit totals are
+    /// read off `inner` directly after the run.
     pub inner: CcaVerifier,
-    probes: Arc<AtomicU64>,
-    reported: u64,
-    certs: Arc<CertTotals>,
-    certs_reported: CertAudit,
-}
-
-/// Shared certificate-audit totals, published by every worker verifier the
-/// same way solver probes are.
-#[derive(Default)]
-pub struct CertTotals {
-    checked: AtomicU64,
-    clauses: AtomicU64,
-    bytes: AtomicU64,
-    check_ns: AtomicU64,
-}
-
-impl CertTotals {
-    /// Snapshot the totals.
-    pub fn load(&self) -> CertAudit {
-        CertAudit {
-            checked: self.checked.load(Ordering::Relaxed),
-            clauses: self.clauses.load(Ordering::Relaxed),
-            bytes: self.bytes.load(Ordering::Relaxed),
-            check_ns: self.check_ns.load(Ordering::Relaxed),
-        }
-    }
 }
 
 impl VerAdapter {
-    /// Wrap `inner` with private counters.
+    /// Wrap `inner`.
     pub fn new(inner: CcaVerifier) -> Self {
-        Self::with_sinks(inner, Arc::new(AtomicU64::new(0)), Arc::new(CertTotals::default()))
-    }
-
-    /// Wrap `inner`, publishing probe counts into `probes`.
-    pub fn with_probe_sink(inner: CcaVerifier, probes: Arc<AtomicU64>) -> Self {
-        Self::with_sinks(inner, probes, Arc::new(CertTotals::default()))
-    }
-
-    /// Wrap `inner`, publishing probe counts into `probes` and certificate
-    /// audit totals into `certs`.
-    pub fn with_sinks(inner: CcaVerifier, probes: Arc<AtomicU64>, certs: Arc<CertTotals>) -> Self {
-        VerAdapter { inner, probes, reported: 0, certs, certs_reported: CertAudit::default() }
-    }
-
-    fn publish_probes(&mut self) {
-        let current = self.inner.solver_probes;
-        self.probes.fetch_add(current - self.reported, Ordering::Relaxed);
-        self.reported = current;
-        let audit = self.inner.cert_audit;
-        self.certs
-            .checked
-            .fetch_add(audit.checked - self.certs_reported.checked, Ordering::Relaxed);
-        self.certs
-            .clauses
-            .fetch_add(audit.clauses - self.certs_reported.clauses, Ordering::Relaxed);
-        self.certs.bytes.fetch_add(audit.bytes - self.certs_reported.bytes, Ordering::Relaxed);
-        self.certs
-            .check_ns
-            .fetch_add(audit.check_ns - self.certs_reported.check_ns, Ordering::Relaxed);
-        self.certs_reported = audit;
+        VerAdapter { inner }
     }
 }
 
@@ -226,9 +197,7 @@ impl Verifier for VerAdapter {
     type CounterExample = Trace;
 
     fn verify(&mut self, candidate: &CcaSpec) -> Result<(), Trace> {
-        let result = self.inner.verify(candidate);
-        self.publish_probes();
-        result
+        self.inner.verify(candidate)
     }
 
     fn verify_interruptible(
@@ -238,30 +207,41 @@ impl Verifier for VerAdapter {
         cancel: Option<&Arc<AtomicBool>>,
     ) -> Verdict<Trace> {
         let interrupt = Interrupt { deadline, cancel: cancel.cloned() };
-        let verdict = self.inner.verify_interruptible(candidate, &interrupt);
-        self.publish_probes();
-        verdict
+        self.inner.verify_interruptible(candidate, &interrupt)
     }
 }
 
+/// The serial loop's search configuration: the run seed with the default
+/// (deterministic) policies, so single-threaded behaviour is unchanged
+/// from the pre-portfolio code.
+fn serial_search(opts: &SynthOptions) -> SearchConfig {
+    SearchConfig { seed: opts.seed, ..SearchConfig::default() }
+}
+
 fn make_generator(opts: &SynthOptions) -> GenAdapter {
-    GenAdapter::new(SmtGenerator::new(
+    GenAdapter::new(SmtGenerator::new_with_config(
         opts.shape.clone(),
         opts.net.clone(),
         opts.thresholds.clone(),
         opts.mode.feasibility(),
+        serial_search(opts),
     ))
 }
 
-fn make_verifier(opts: &SynthOptions) -> CcaVerifier {
-    CcaVerifier::new(VerifyConfig {
+fn verify_config(opts: &SynthOptions, search: SearchConfig) -> VerifyConfig {
+    VerifyConfig {
         net: opts.net.clone(),
         thresholds: opts.thresholds.clone(),
         worst_case: opts.mode.worst_case(),
         wce_precision: opts.wce_precision.clone(),
         incremental: opts.incremental,
         certify: opts.certify,
-    })
+        search,
+    }
+}
+
+fn make_verifier(opts: &SynthOptions) -> CcaVerifier {
+    CcaVerifier::new(verify_config(opts, serial_search(opts)))
 }
 
 /// The replay prefilter matching `opts`' generator semantics.
@@ -274,36 +254,241 @@ pub fn build_loop(opts: &SynthOptions) -> (GenAdapter, VerAdapter) {
     (make_generator(opts), VerAdapter::new(make_verifier(opts)))
 }
 
-/// Run CEGIS until the first solution (or exhaustion/budget).
+/// Partition the candidate space into shards for `workers` workers: each
+/// shard pins a prefix of the coefficient vector (in [`CcaSpec::flat`]
+/// order) to one combination of domain values. The prefix length is the
+/// smallest that yields at least one shard per worker, capped one short of
+/// the full coefficient count so a shard always leaves the generator a
+/// real sub-space to search.
 ///
-/// `opts.threads == 1` runs the serial loop with the concrete replay
-/// prefilter; `> 1` fans candidate batches out to that many worker
-/// verifiers through [`ccmatic_cegis::run_parallel`].
-pub fn synthesize(opts: &SynthOptions) -> SynthResult {
+/// Shards are ordered lexicographically by domain position; the portfolio
+/// resolves simultaneous solutions in favour of the lowest shard, so this
+/// order is part of the deterministic-outcome contract.
+pub fn shard_plan(shape: &TemplateShape, workers: usize) -> Vec<Vec<Rat>> {
+    let domain = shape.domain.values();
+    if domain.is_empty() {
+        return Vec::new();
+    }
+    let max_prefix = shape.num_coefficients().saturating_sub(1).max(1);
+    let mut prefix_len = 1usize;
+    let mut count = domain.len();
+    while count < workers && prefix_len < max_prefix {
+        prefix_len += 1;
+        count = count.saturating_mul(domain.len());
+    }
+    let mut prefixes: Vec<Vec<Rat>> = vec![Vec::new()];
+    for _ in 0..prefix_len {
+        let mut next = Vec::with_capacity(prefixes.len() * domain.len());
+        for p in &prefixes {
+            for v in &domain {
+                let mut q = p.clone();
+                q.push(v.clone());
+                next.push(q);
+            }
+        }
+        prefixes = next;
+    }
+    prefixes
+}
+
+/// One portfolio worker: a diversified generator/verifier pair plus the
+/// broadcast-counterexample replay cache.
+struct CcaWorker {
+    generator: SmtGenerator,
+    verifier: CcaVerifier,
+    replay: TraceReplay,
+    shards: Arc<Vec<Vec<Rat>>>,
+    /// Every counterexample this worker knows (own + broadcast), fed to the
+    /// replay prefilter. Outlives shards.
+    cached: Vec<Trace>,
+    /// Traces asserted into the generator inside the *current* shard scope.
+    /// Cleared on shard entry/exit — the assertions vanish with the scope.
+    shard_learned: Vec<Trace>,
+}
+
+impl CcaWorker {
+    /// Assert `trace`'s constraint at the current (shard) scope unless it
+    /// is already asserted there.
+    fn learn_in_shard(&mut self, trace: Trace) {
+        if self.shard_learned.contains(&trace) {
+            return;
+        }
+        self.generator.learn(&trace);
+        self.shard_learned.push(trace);
+    }
+}
+
+impl PortfolioWorker for CcaWorker {
+    type Candidate = CcaSpec;
+    type Cex = Trace;
+
+    fn enter_shard(&mut self, shard: usize) {
+        self.generator.enter_shard(&self.shards[shard]);
+        self.shard_learned.clear();
+    }
+
+    fn exit_shard(&mut self) {
+        self.generator.exit_shard();
+        self.shard_learned.clear();
+    }
+
+    fn cache_cex(&mut self, cex: Trace) {
+        if !self.cached.contains(&cex) {
+            self.cached.push(cex);
+        }
+    }
+
+    fn exchange(&mut self, round: u64) -> (u64, u64) {
+        self.verifier.exchange_clauses(round)
+    }
+
+    fn step(
+        &mut self,
+        deadline: Option<Instant>,
+        cancel: &Arc<AtomicBool>,
+    ) -> StepReport<CcaSpec, Trace> {
+        if cancel.load(Ordering::Relaxed) || deadline.is_some_and(|d| Instant::now() >= d) {
+            return StepReport::bare(StepOutcome::Interrupted);
+        }
+        let interrupt = Interrupt { deadline, cancel: Some(cancel.clone()) };
+
+        let gen_start = Instant::now();
+        let proposal = self.generator.propose_interruptible(&interrupt);
+        let mut generator_time = gen_start.elapsed();
+        let spec = match proposal {
+            Proposal::Candidate(spec) => spec,
+            Proposal::Exhausted => {
+                return StepReport { generator_time, ..StepReport::bare(StepOutcome::Exhausted) }
+            }
+            Proposal::Interrupted => {
+                return StepReport { generator_time, ..StepReport::bare(StepOutcome::Interrupted) }
+            }
+        };
+
+        // Replay prefilter over the broadcast cache: a known trace that
+        // kills the candidate saves a verifier call. Learning it pins the
+        // kill into the generator for the rest of this shard.
+        let hit = self.cached.iter().find(|t| self.replay.refutes(&spec, t)).cloned();
+        if let Some(trace) = hit {
+            let learn_start = Instant::now();
+            self.learn_in_shard(trace);
+            generator_time += learn_start.elapsed();
+            return StepReport {
+                replay_hits: 1,
+                generator_time,
+                ..StepReport::bare(StepOutcome::Refuted)
+            };
+        }
+
+        let ver_start = Instant::now();
+        let verdict = self.verifier.verify_interruptible(&spec, &interrupt);
+        let verifier_time = ver_start.elapsed();
+        match verdict {
+            Verdict::Pass => StepReport {
+                verifier_calls: 1,
+                generator_time,
+                verifier_time,
+                ..StepReport::bare(StepOutcome::Solution(spec))
+            },
+            Verdict::Fail(trace) => {
+                let learn_start = Instant::now();
+                self.learn_in_shard(trace.clone());
+                self.cache_cex(trace.clone());
+                generator_time += learn_start.elapsed();
+                StepReport {
+                    new_cexs: vec![trace],
+                    verifier_calls: 1,
+                    generator_time,
+                    verifier_time,
+                    ..StepReport::bare(StepOutcome::Refuted)
+                }
+            }
+            Verdict::Timeout => StepReport {
+                verifier_calls: 1,
+                generator_time,
+                verifier_time,
+                ..StepReport::bare(StepOutcome::Interrupted)
+            },
+        }
+    }
+}
+
+fn synthesize_serial(opts: &SynthOptions) -> SynthResult {
     let mut generator = make_generator(opts);
     let replayer = make_replay(opts);
     let replay = |c: &CcaSpec, cex: &Trace| replayer.refutes(c, cex);
-    let probes = Arc::new(AtomicU64::new(0));
-    let certs = Arc::new(CertTotals::default());
-    let run = if opts.threads <= 1 {
-        let mut verifier =
-            VerAdapter::with_sinks(make_verifier(opts), probes.clone(), certs.clone());
-        ccmatic_cegis::run_with_replay(&mut generator, &mut verifier, replay, &opts.budget)
-    } else {
-        let cfg = ParallelConfig::new(opts.threads);
-        ccmatic_cegis::run_parallel(
-            &mut generator,
-            |_worker| VerAdapter::with_sinks(make_verifier(opts), probes.clone(), certs.clone()),
-            replay,
-            &opts.budget,
-            &cfg,
-        )
-    };
+    let mut verifier = VerAdapter::new(make_verifier(opts));
+    let run = ccmatic_cegis::run_with_replay(&mut generator, &mut verifier, replay, &opts.budget);
     SynthResult {
         outcome: run.outcome,
         stats: run.stats,
-        verifier_probes: probes.load(Ordering::Relaxed),
-        cert_audit: certs.load(),
+        verifier_probes: verifier.inner.solver_probes,
+        cert_audit: verifier.inner.cert_audit,
+        workers: Vec::new(),
+    }
+}
+
+fn synthesize_portfolio(opts: &SynthOptions) -> SynthResult {
+    let shards = Arc::new(shard_plan(&opts.shape, opts.threads));
+    // Clause sharing requires identical base encodings (and thus variable
+    // numbering) across workers — only the incremental path has one.
+    let exchange = opts.incremental.then(|| Arc::new(ClauseExchange::new(opts.threads)));
+    let mut workers: Vec<CcaWorker> = (0..opts.threads)
+        .map(|w| {
+            let search = SearchConfig::diversified(opts.seed, w);
+            let generator = SmtGenerator::new_with_config(
+                opts.shape.clone(),
+                opts.net.clone(),
+                opts.thresholds.clone(),
+                opts.mode.feasibility(),
+                search.clone(),
+            );
+            let mut verifier = CcaVerifier::new(verify_config(opts, search));
+            if let Some(ex) = &exchange {
+                verifier.attach_exchange(ex.clone(), w);
+            }
+            CcaWorker {
+                generator,
+                verifier,
+                replay: make_replay(opts),
+                shards: shards.clone(),
+                cached: Vec::new(),
+                shard_learned: Vec::new(),
+            }
+        })
+        .collect();
+    let run = ccmatic_cegis::run_portfolio(&mut workers, shards.len(), &opts.budget);
+    let verifier_probes = workers.iter().map(|w| w.verifier.solver_probes).sum();
+    let mut cert_audit = CertAudit::default();
+    for w in &workers {
+        let a = w.verifier.cert_audit;
+        cert_audit.checked += a.checked;
+        cert_audit.clauses += a.clauses;
+        cert_audit.bytes += a.bytes;
+        cert_audit.check_ns += a.check_ns;
+    }
+    SynthResult {
+        outcome: run.outcome,
+        stats: run.stats,
+        verifier_probes,
+        cert_audit,
+        workers: run.workers,
+    }
+}
+
+/// Run CEGIS until the first solution (or exhaustion/budget).
+///
+/// `opts.threads == 1` — or a search space below `opts.dispatch_min` —
+/// runs the serial loop with the concrete replay prefilter; otherwise the
+/// space is split into coefficient-prefix shards and `opts.threads`
+/// diversified workers race over them through
+/// [`ccmatic_cegis::run_portfolio`], sharing counterexamples (and, on the
+/// incremental path, learned clauses) as they go.
+pub fn synthesize(opts: &SynthOptions) -> SynthResult {
+    if opts.threads <= 1 || opts.shape.search_space_size() < opts.dispatch_min {
+        synthesize_serial(opts)
+    } else {
+        synthesize_portfolio(opts)
     }
 }
 
@@ -333,6 +518,8 @@ mod tests {
             wce_precision: Rat::new(1i64.into(), 2i64.into()),
             incremental: true,
             threads: 1,
+            seed: 0,
+            dispatch_min: DEFAULT_DISPATCH_MIN,
             certify: false,
         }
     }
@@ -363,6 +550,7 @@ mod tests {
                     wce_precision: opts.wce_precision.clone(),
                     incremental: true,
                     certify: false,
+                    search: SearchConfig::default(),
                 });
                 assert!(v.verify(&spec).is_ok(), "synthesized CCA failed re-verification: {spec}");
             }
@@ -382,5 +570,46 @@ mod tests {
         let tap_sum = spec.beta.iter().fold(Rat::zero(), |acc, b| &acc + b);
         assert!(tap_sum.is_zero(), "rate taps should cancel (rate-proportional rule), got {spec}");
         assert!(spec.gamma > int(0), "needs a positive additive term, got {spec}");
+    }
+
+    #[test]
+    fn shard_plan_covers_the_space_and_scales_with_workers() {
+        let shape = TemplateShape { lookback: 3, use_cwnd: false, domain: CoeffDomain::Small };
+        // One worker: a single-coefficient prefix, 3 shards.
+        let small = shard_plan(&shape, 1);
+        assert_eq!(small.len(), 3);
+        assert!(small.iter().all(|p| p.len() == 1));
+        // Four workers: 3 < 4, so the prefix grows to 2 coefficients.
+        let wide = shard_plan(&shape, 4);
+        assert_eq!(wide.len(), 9);
+        assert!(wide.iter().all(|p| p.len() == 2));
+        // Every shard is distinct.
+        for i in 0..wide.len() {
+            for j in (i + 1)..wide.len() {
+                assert_ne!(wide[i], wide[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn shard_plan_prefix_never_consumes_the_whole_template() {
+        // 2 coefficients total (β1, γ): even with absurd worker counts the
+        // prefix is capped at 1 coefficient, leaving the generator a real
+        // sub-space per shard.
+        let shape = TemplateShape { lookback: 1, use_cwnd: false, domain: CoeffDomain::Small };
+        let plan = shard_plan(&shape, 64);
+        assert_eq!(plan.len(), 3);
+        assert!(plan.iter().all(|p| p.len() == 1));
+    }
+
+    #[test]
+    fn tiny_spaces_dispatch_serially_even_with_many_threads() {
+        // 3⁴ = 81 < DEFAULT_DISPATCH_MIN: the dispatcher must fall back to
+        // the serial loop, so the result carries no per-worker stats.
+        let opts = SynthOptions { threads: 4, ..quick_opts(OptMode::RangePruningWce) };
+        assert!(opts.shape.search_space_size() < opts.dispatch_min);
+        let result = synthesize(&opts);
+        let Outcome::Solution(_) = result.outcome else { panic!("no solution") };
+        assert!(result.workers.is_empty(), "serial fallback must not spin up workers");
     }
 }

@@ -19,6 +19,7 @@ fn cfg(worst_case: bool, incremental: bool) -> VerifyConfig {
         wce_precision: rat(1, 4),
         incremental,
         certify: false,
+        search: Default::default(),
     }
 }
 

@@ -16,9 +16,11 @@
 //! loop drives CCA synthesis (the `ccmatic` crate), ABR
 //! verification tuning, and the unit-test toy domains below.
 
-pub mod parallel;
+pub mod portfolio;
 
-pub use parallel::{run_parallel, ParallelConfig};
+pub use portfolio::{
+    run_portfolio, PortfolioResult, PortfolioWorker, StepOutcome, StepReport, WorkerStats,
+};
 
 use std::sync::atomic::AtomicBool;
 use std::sync::Arc;
@@ -153,10 +155,15 @@ pub struct Stats {
     /// refuted by re-running an already-learned trace against the
     /// candidate's rule directly, without an SMT call.
     pub replay_hits: u64,
-    /// Speculative verifier results discarded without being committed (the
-    /// parallel engine only: work overtaken by a lower-index sibling's
-    /// counterexample or solution).
+    /// Portfolio step reports discarded without being merged (work on a
+    /// shard overtaken by a solution in a lower shard).
     pub speculative_wasted: u64,
+    /// Shards pulled from the portfolio queue beyond each worker's first.
+    pub shards_stolen: u64,
+    /// Learned clauses published to the portfolio clause exchange.
+    pub shared_clauses_exported: u64,
+    /// Sibling clauses imported from the portfolio clause exchange.
+    pub shared_clauses_imported: u64,
     /// Total wall-clock of the run.
     pub wall: Duration,
 }
@@ -281,8 +288,8 @@ where
 /// With an exact generator (one whose learned constraints exclude every
 /// replay-refutable candidate, like the SMT generator) the prefilter never
 /// fires on the serial path — it is a cross-check there, and pays off in
-/// the parallel engine where batch-mates are proposed before each other's
-/// counterexamples exist. A consecutive-kill cap forces an SMT call every
+/// the portfolio engine where siblings propose candidates before each
+/// other's counterexamples arrive. A consecutive-kill cap forces an SMT call every
 /// `REPLAY_KILL_CAP` kills so inexact generators still make progress.
 pub fn run_with_replay<G, V, R>(
     generator: &mut G,
@@ -505,7 +512,7 @@ mod tests {
     #[test]
     fn replay_never_fires_with_exact_generator() {
         // Range pruning learns exactly what replay checks, so the prefilter
-        // must never fire — the serial-path cross-check the parallel engine
+        // must never fire — the serial-path cross-check the portfolio engine
         // relies on.
         let mut g = EnumGen { remaining: (0..=100).collect(), range_pruning: true };
         let mut v = ThresholdVerifier { hidden: 37, calls: 0, worst_case: true };

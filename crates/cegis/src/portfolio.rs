@@ -1,0 +1,606 @@
+//! Deterministic lockstep portfolio engine with work-stealing candidate
+//! shards.
+//!
+//! The template space is partitioned into *shards* (in `ccmatic`, blocks of
+//! candidate coefficient assignments selected by blocking-clause prefixes).
+//! Workers pull shards from a shared queue — every shard beyond a worker's
+//! first is a *steal* — and run the CEGIS loop inside their shard, one
+//! candidate attempt per engine round. Between rounds the coordinator
+//! broadcasts every newly discovered counterexample to every other worker's
+//! replay cache and drives the bounded clause exchange, so diversified
+//! workers prune each other's search spaces.
+//!
+//! # Determinism
+//!
+//! Fixed seeds must give bit-identical outcomes even though workers race on
+//! wall-clock. Three rules make the engine's observable behavior a pure
+//! function of the worker implementations:
+//!
+//! 1. **Barriers.** Rounds are synchronous: every participating worker runs
+//!    exactly one [`PortfolioWorker::step`] per round, and the coordinator
+//!    merges the round's reports in worker-index order. Counterexample
+//!    broadcast and clause-exchange visibility advance only at barriers.
+//! 2. **Min-shard solutions.** When solutions appear, the one from the
+//!    lowest shard wins; lower shards keep running until they resolve, so
+//!    the winner does not depend on which worker happened to finish first.
+//! 3. **Deterministic discard.** A solution at shard `s` cancels (mid-step,
+//!    via a shared [`AtomicBool`]) only workers on shards strictly above `s`.
+//!    Whether such a sibling noticed the cancel or managed to finish its
+//!    step is racy — so the coordinator computes the round's winning shard
+//!    *before* merging and discards every report from a higher shard
+//!    unmerged (counted in [`Stats::speculative_wasted`]). Cancelled
+//!    workers are retired: they receive no further rounds and publish no
+//!    further clauses, so nothing racy ever feeds back into the run.
+//!
+//! Budgets are checked at barriers. If the iteration or wall budget fires
+//! while a (re-verified) solution is already known, the solution is
+//! returned — it is sound regardless of what the unexplored lower shards
+//! might contain.
+
+use crate::{Budget, Outcome, Stats};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Sentinel in the shard-of-worker table for "no shard assigned".
+const UNASSIGNED: usize = usize::MAX;
+
+/// How one [`PortfolioWorker::step`] ended.
+#[derive(Debug)]
+pub enum StepOutcome<C> {
+    /// The worker's verifier certified this candidate (within the current
+    /// shard).
+    Solution(C),
+    /// The candidate was refuted — by a cached counterexample replay or a
+    /// fresh verifier counterexample — and the worker learned from it.
+    Refuted,
+    /// The current shard holds no further candidates consistent with
+    /// everything learned: the shard is exhausted (a completeness claim
+    /// local to the shard).
+    Exhausted,
+    /// The deadline or the cancel flag fired before the step resolved; no
+    /// claim is made about the shard.
+    Interrupted,
+}
+
+/// Result of one candidate attempt, with counters for the coordinator to
+/// merge (discarded reports are never merged, so workers need not worry
+/// about racy counters on the cancel path).
+#[derive(Debug)]
+pub struct StepReport<C, X> {
+    /// How the attempt ended.
+    pub outcome: StepOutcome<C>,
+    /// Counterexamples discovered by this step, for broadcast to sibling
+    /// replay caches. Replay kills of already-known traces go here as an
+    /// empty list — siblings already have them.
+    pub new_cexs: Vec<X>,
+    /// Verifier invocations made by this step (0 for a replay kill).
+    pub verifier_calls: u64,
+    /// Candidates killed by the concrete replay prefilter this step.
+    pub replay_hits: u64,
+    /// Time inside the generator (propose + learn).
+    pub generator_time: Duration,
+    /// Time inside the verifier.
+    pub verifier_time: Duration,
+}
+
+impl<C, X> StepReport<C, X> {
+    /// A report with the given outcome and all counters zero.
+    pub fn bare(outcome: StepOutcome<C>) -> Self {
+        StepReport {
+            outcome,
+            new_cexs: Vec::new(),
+            verifier_calls: 0,
+            replay_hits: 0,
+            generator_time: Duration::ZERO,
+            verifier_time: Duration::ZERO,
+        }
+    }
+}
+
+/// One diversified CEGIS worker driven by [`run_portfolio`].
+///
+/// A worker owns its generator + verifier pair (in `ccmatic`, a warm
+/// incremental SMT solver each). The engine guarantees `enter_shard` /
+/// `exit_shard` bracket every shard, `cache_cex` and `exchange` happen
+/// between steps, and at most one method runs at a time.
+pub trait PortfolioWorker {
+    /// The kind of artifact being synthesized.
+    type Candidate: Send;
+    /// The kind of counterexample broadcast between workers.
+    type Cex: Clone + PartialEq + Send;
+
+    /// Restrict the candidate space to shard `shard` (e.g. push an SMT
+    /// scope asserting the shard's coefficient prefix).
+    fn enter_shard(&mut self, shard: usize);
+
+    /// Leave the current shard, dropping everything learned inside it.
+    fn exit_shard(&mut self);
+
+    /// Add a sibling's counterexample to the replay cache. May be called
+    /// with duplicates of traces this worker already knows.
+    fn cache_cex(&mut self, cex: Self::Cex);
+
+    /// Run one clause-exchange round: publish eligible learned clauses and
+    /// import siblings' publications. Returns `(exported, imported)`
+    /// counts. The default is a no-op for domains without clause sharing.
+    fn exchange(&mut self, round: u64) -> (u64, u64) {
+        let _ = round;
+        (0, 0)
+    }
+
+    /// Attempt one candidate: propose, replay-prefilter against the cache,
+    /// verify. Must return [`StepOutcome::Interrupted`] promptly once
+    /// `cancel` is raised or `deadline` passes.
+    fn step(
+        &mut self,
+        deadline: Option<Instant>,
+        cancel: &Arc<AtomicBool>,
+    ) -> StepReport<Self::Candidate, Self::Cex>;
+}
+
+/// Per-worker counters, reported alongside the aggregate [`Stats`] (these
+/// back the per-worker metadata in the benchmark tables).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct WorkerStats {
+    /// Merged (non-discarded) steps this worker ran.
+    pub iterations: u64,
+    /// Verifier invocations across merged steps.
+    pub verifier_calls: u64,
+    /// Replay-prefilter kills across merged steps.
+    pub replay_hits: u64,
+    /// Shards this worker pulled from the queue beyond its first.
+    pub shards_stolen: u64,
+    /// Learned clauses this worker published to the exchange.
+    pub shared_clauses_exported: u64,
+    /// Sibling clauses this worker imported from the exchange.
+    pub shared_clauses_imported: u64,
+}
+
+/// Result of [`run_portfolio`]: the outcome, aggregate counters, and the
+/// per-worker breakdown.
+#[derive(Debug)]
+pub struct PortfolioResult<C> {
+    /// Why the run stopped.
+    pub outcome: Outcome<C>,
+    /// Aggregate counters across all workers.
+    pub stats: Stats,
+    /// Per-worker counters, indexed by worker.
+    pub workers: Vec<WorkerStats>,
+}
+
+/// A worker's mailbox message for one round.
+enum Cmd<X> {
+    Round { round: u64, shard: usize, cexs: Vec<X> },
+    Finish,
+}
+
+/// A worker's answer for one round.
+struct Report<C, X> {
+    worker: usize,
+    shard: usize,
+    exported: u64,
+    imported: u64,
+    step: StepReport<C, X>,
+}
+
+/// Run the CEGIS portfolio over `num_shards` shards under `budget`.
+///
+/// Shards are assigned to workers in ascending order from a shared queue;
+/// [`Outcome::NoSolution`] is claimed only when every shard was exhausted.
+/// `num_shards == 0` means an empty candidate space and returns
+/// [`Outcome::NoSolution`] immediately.
+///
+/// # Panics
+/// Panics if `workers` is empty, or if a worker thread panics.
+pub fn run_portfolio<W: PortfolioWorker + Send>(
+    workers: &mut [W],
+    num_shards: usize,
+    budget: &Budget,
+) -> PortfolioResult<W::Candidate> {
+    let n = workers.len();
+    assert!(n > 0, "portfolio needs at least one worker");
+    let start = Instant::now();
+    let deadline = start.checked_add(budget.max_wall);
+
+    let shard_of: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(UNASSIGNED)).collect();
+    let cancels: Vec<Arc<AtomicBool>> = (0..n).map(|_| Arc::new(AtomicBool::new(false))).collect();
+    let shard_of = &shard_of;
+    let cancels = &cancels;
+
+    thread::scope(|scope| {
+        let (report_tx, report_rx) = mpsc::channel::<Report<W::Candidate, W::Cex>>();
+        let mut cmd_txs = Vec::with_capacity(n);
+        for (idx, worker) in workers.iter_mut().enumerate() {
+            let (cmd_tx, cmd_rx) = mpsc::channel::<Cmd<W::Cex>>();
+            cmd_txs.push(cmd_tx);
+            let report_tx = report_tx.clone();
+            scope.spawn(move || {
+                let mut current: Option<usize> = None;
+                while let Ok(cmd) = cmd_rx.recv() {
+                    let Cmd::Round { round, shard, cexs } = cmd else { break };
+                    if current != Some(shard) {
+                        if current.is_some() {
+                            worker.exit_shard();
+                        }
+                        worker.enter_shard(shard);
+                        current = Some(shard);
+                    }
+                    for cex in cexs {
+                        worker.cache_cex(cex);
+                    }
+                    let (exported, imported) = worker.exchange(round);
+                    let step = worker.step(deadline, &cancels[idx]);
+                    if matches!(step.outcome, StepOutcome::Solution(_)) {
+                        // Mid-round cancel: only siblings on strictly
+                        // higher shards, whose reports the coordinator
+                        // discards by rule — see the module docs.
+                        for (j, sj) in shard_of.iter().enumerate() {
+                            let s = sj.load(Ordering::SeqCst);
+                            if j != idx && s != UNASSIGNED && s > shard {
+                                cancels[j].store(true, Ordering::SeqCst);
+                            }
+                        }
+                    }
+                    if matches!(step.outcome, StepOutcome::Solution(_) | StepOutcome::Exhausted) {
+                        worker.exit_shard();
+                        current = None;
+                    }
+                    if report_tx
+                        .send(Report { worker: idx, shard, exported, imported, step })
+                        .is_err()
+                    {
+                        break;
+                    }
+                }
+                if current.is_some() {
+                    worker.exit_shard();
+                }
+            });
+        }
+
+        let mut queue: VecDeque<usize> = (0..num_shards).collect();
+        let mut assigned: Vec<Option<usize>> = vec![None; n];
+        let mut had_shard = vec![false; n];
+        let mut wstats = vec![WorkerStats::default(); n];
+        let mut all_cexs: Vec<(usize, W::Cex)> = Vec::new();
+        let mut cursors = vec![0usize; n];
+        let mut best: Option<(usize, W::Candidate)> = None;
+        let mut speculative_wasted = 0u64;
+        let mut incomplete = false;
+        let mut total_iterations = 0u64;
+        let mut round: u64 = 0;
+        let mut budget_hit = false;
+        let mut gen_time = Duration::ZERO;
+        let mut ver_time = Duration::ZERO;
+
+        loop {
+            if total_iterations >= budget.max_iterations || start.elapsed() >= budget.max_wall {
+                budget_hit = true;
+                break;
+            }
+            if best.is_none() {
+                for i in 0..n {
+                    if assigned[i].is_none() {
+                        if let Some(s) = queue.pop_front() {
+                            if had_shard[i] {
+                                wstats[i].shards_stolen += 1;
+                            }
+                            had_shard[i] = true;
+                            assigned[i] = Some(s);
+                            shard_of[i].store(s, Ordering::SeqCst);
+                        }
+                    }
+                }
+            }
+            let participants: Vec<usize> = (0..n).filter(|&i| assigned[i].is_some()).collect();
+            if participants.is_empty() {
+                break;
+            }
+            round += 1;
+            for &i in &participants {
+                let cexs: Vec<W::Cex> = all_cexs[cursors[i]..]
+                    .iter()
+                    .filter(|(origin, _)| *origin != i)
+                    .map(|(_, x)| x.clone())
+                    .collect();
+                cursors[i] = all_cexs.len();
+                let shard = assigned[i].expect("participant has a shard");
+                assert!(
+                    cmd_txs[i].send(Cmd::Round { round, shard, cexs }).is_ok(),
+                    "portfolio worker {i} exited unexpectedly"
+                );
+            }
+            let mut reports: Vec<Option<Report<W::Candidate, W::Cex>>> =
+                (0..n).map(|_| None).collect();
+            for _ in 0..participants.len() {
+                let rep = report_rx.recv().expect("portfolio worker dropped its report channel");
+                let slot = rep.worker;
+                reports[slot] = Some(rep);
+            }
+            // Establish the round's winning shard BEFORE merging, so whether
+            // a cancelled higher-shard sibling finished its step never
+            // influences what gets merged.
+            let mut round_best = best.as_ref().map(|(s, _)| *s);
+            for rep in reports.iter().flatten() {
+                if matches!(rep.step.outcome, StepOutcome::Solution(_)) {
+                    round_best = Some(round_best.map_or(rep.shard, |b| b.min(rep.shard)));
+                }
+            }
+            for i in 0..n {
+                let Some(rep) = reports[i].take() else { continue };
+                if round_best.is_some_and(|b| rep.shard > b) {
+                    speculative_wasted += 1;
+                    assigned[i] = None;
+                    shard_of[i].store(UNASSIGNED, Ordering::SeqCst);
+                    continue;
+                }
+                let ws = &mut wstats[i];
+                ws.iterations += 1;
+                total_iterations += 1;
+                ws.verifier_calls += rep.step.verifier_calls;
+                ws.replay_hits += rep.step.replay_hits;
+                ws.shared_clauses_exported += rep.exported;
+                ws.shared_clauses_imported += rep.imported;
+                gen_time += rep.step.generator_time;
+                ver_time += rep.step.verifier_time;
+                for cex in rep.step.new_cexs {
+                    if !all_cexs.iter().any(|(_, x)| *x == cex) {
+                        all_cexs.push((i, cex));
+                    }
+                }
+                match rep.step.outcome {
+                    StepOutcome::Solution(c) => {
+                        assigned[i] = None;
+                        shard_of[i].store(UNASSIGNED, Ordering::SeqCst);
+                        queue.clear();
+                        best = Some((rep.shard, c));
+                    }
+                    StepOutcome::Exhausted => {
+                        assigned[i] = None;
+                        shard_of[i].store(UNASSIGNED, Ordering::SeqCst);
+                    }
+                    StepOutcome::Refuted => {}
+                    StepOutcome::Interrupted => {
+                        // Deadline fired mid-step (cancel-interrupts land in
+                        // the discard branch above). The worker keeps its
+                        // shard; the wall check at the top ends the run.
+                        incomplete = true;
+                    }
+                }
+            }
+        }
+
+        for tx in &cmd_txs {
+            let _ = tx.send(Cmd::Finish);
+        }
+        drop(cmd_txs);
+
+        let outcome = match best {
+            Some((_, c)) => Outcome::Solution(c),
+            None if budget_hit || incomplete => Outcome::BudgetExhausted,
+            None => Outcome::NoSolution,
+        };
+        let mut stats = Stats {
+            speculative_wasted,
+            generator_time: gen_time,
+            verifier_time: ver_time,
+            wall: start.elapsed(),
+            ..Stats::default()
+        };
+        for ws in &wstats {
+            stats.iterations += ws.iterations;
+            stats.verifier_calls += ws.verifier_calls;
+            stats.replay_hits += ws.replay_hits;
+            stats.shards_stolen += ws.shards_stolen;
+            stats.shared_clauses_exported += ws.shared_clauses_exported;
+            stats.shared_clauses_imported += ws.shared_clauses_imported;
+        }
+        PortfolioResult { outcome, stats, workers: wstats }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Toy domain (same as the serial engine's tests): synthesize an
+    /// integer in [0, 100] that is ≥ a hidden threshold. Shards are
+    /// ascending chunks of the domain; a counterexample `x` concretely
+    /// refutes every candidate `c <= x`.
+    struct ToyWorker {
+        hidden: i64,
+        /// When set, failures report the *largest* failing value
+        /// (the worst-case-counterexample analogue).
+        worst_case: bool,
+        shards: Vec<Vec<i64>>,
+        remaining: Vec<i64>,
+        cached: Vec<i64>,
+        step_sleep: Duration,
+    }
+
+    impl ToyWorker {
+        fn fleet(n: usize, hidden: i64, worst_case: bool) -> Vec<ToyWorker> {
+            let shards: Vec<Vec<i64>> =
+                (0..=100).collect::<Vec<i64>>().chunks(21).map(<[i64]>::to_vec).collect();
+            (0..n)
+                .map(|_| ToyWorker {
+                    hidden,
+                    worst_case,
+                    shards: shards.clone(),
+                    remaining: Vec::new(),
+                    cached: Vec::new(),
+                    step_sleep: Duration::ZERO,
+                })
+                .collect()
+        }
+    }
+
+    impl PortfolioWorker for ToyWorker {
+        type Candidate = i64;
+        type Cex = i64;
+
+        fn enter_shard(&mut self, shard: usize) {
+            self.remaining = self.shards[shard].clone();
+        }
+
+        fn exit_shard(&mut self) {
+            self.remaining.clear();
+        }
+
+        fn cache_cex(&mut self, cex: i64) {
+            if !self.cached.contains(&cex) {
+                self.cached.push(cex);
+            }
+        }
+
+        fn step(
+            &mut self,
+            deadline: Option<Instant>,
+            cancel: &Arc<AtomicBool>,
+        ) -> StepReport<i64, i64> {
+            if cancel.load(Ordering::SeqCst) || deadline.is_some_and(|d| Instant::now() >= d) {
+                return StepReport::bare(StepOutcome::Interrupted);
+            }
+            if !self.step_sleep.is_zero() {
+                thread::sleep(self.step_sleep);
+            }
+            let Some(&c) = self.remaining.first() else {
+                return StepReport::bare(StepOutcome::Exhausted);
+            };
+            // Concrete replay prefilter over broadcast counterexamples.
+            if let Some(&x) = self.cached.iter().find(|&&x| c <= x) {
+                self.remaining.retain(|&v| v > x);
+                let mut rep = StepReport::bare(StepOutcome::Refuted);
+                rep.replay_hits = 1;
+                return rep;
+            }
+            if c >= self.hidden {
+                let mut rep = StepReport::bare(StepOutcome::Solution(c));
+                rep.verifier_calls = 1;
+                return rep;
+            }
+            let cex = if self.worst_case { self.hidden - 1 } else { c };
+            self.remaining.retain(|&v| v > cex);
+            self.cache_cex(cex);
+            let mut rep = StepReport::bare(StepOutcome::Refuted);
+            rep.verifier_calls = 1;
+            rep.new_cexs = vec![cex];
+            rep
+        }
+    }
+
+    #[test]
+    fn agrees_with_serial_semantics_across_worker_counts() {
+        // Pruning only ever removes values ≤ some failing value < hidden,
+        // so the min-shard rule always lands on `hidden` itself — the same
+        // answer the serial engine finds.
+        for &hidden in &[0i64, 17, 99] {
+            for n in [1usize, 2, 4] {
+                let mut workers = ToyWorker::fleet(n, hidden, false);
+                let r = run_portfolio(&mut workers, 5, &Budget::default());
+                match r.outcome {
+                    Outcome::Solution(c) => assert_eq!(c, hidden, "hidden={hidden} n={n}"),
+                    other => panic!("hidden={hidden} n={n}: expected solution, got {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lowest_shard_solution_wins() {
+        // hidden = 0: every shard's first candidate passes, so with 4
+        // workers round 1 produces several solutions at once. The shard-0
+        // answer must win and the higher-shard reports must be discarded.
+        let mut workers = ToyWorker::fleet(4, 0, false);
+        let r = run_portfolio(&mut workers, 5, &Budget::default());
+        match r.outcome {
+            Outcome::Solution(c) => assert_eq!(c, 0),
+            other => panic!("expected solution, got {other:?}"),
+        }
+        assert_eq!(r.stats.speculative_wasted, 3, "three sibling solutions discarded");
+        assert_eq!(r.stats.iterations, 1, "only the winning step is merged");
+    }
+
+    #[test]
+    fn exhausting_every_shard_proves_no_solution() {
+        for n in [1usize, 2, 4] {
+            let mut workers = ToyWorker::fleet(n, 1000, false);
+            let r = run_portfolio(&mut workers, 5, &Budget::default());
+            assert!(
+                matches!(r.outcome, Outcome::NoSolution),
+                "n={n}: expected NoSolution, got {:?}",
+                r.outcome
+            );
+            let stolen: u64 = r.workers.iter().map(|w| w.shards_stolen).sum();
+            assert_eq!(stolen, 5 - n as u64, "all shards beyond the initial grab are steals");
+        }
+    }
+
+    #[test]
+    fn empty_shard_space_is_no_solution() {
+        let mut workers = ToyWorker::fleet(2, 50, false);
+        let r = run_portfolio(&mut workers, 0, &Budget::default());
+        assert!(matches!(r.outcome, Outcome::NoSolution));
+        assert_eq!(r.stats.iterations, 0);
+    }
+
+    #[test]
+    fn iteration_budget_bounds_total_work() {
+        let budget = Budget { max_iterations: 5, max_wall: Duration::from_secs(3600) };
+        let mut workers = ToyWorker::fleet(4, 1000, false);
+        let r = run_portfolio(&mut workers, 5, &budget);
+        assert!(matches!(r.outcome, Outcome::BudgetExhausted));
+        // The check sits at the round barrier, so at most one extra round
+        // (4 workers) can land past the limit.
+        assert!(r.stats.iterations >= 5 && r.stats.iterations < 5 + 4, "{}", r.stats.iterations);
+    }
+
+    #[test]
+    fn wall_budget_ends_slow_runs() {
+        let budget = Budget { max_iterations: u64::MAX, max_wall: Duration::from_millis(50) };
+        let mut workers = ToyWorker::fleet(2, 1000, false);
+        for w in &mut workers {
+            w.step_sleep = Duration::from_millis(20);
+        }
+        let r = run_portfolio(&mut workers, 5, &budget);
+        assert!(matches!(r.outcome, Outcome::BudgetExhausted));
+        assert!(r.stats.wall >= Duration::from_millis(50));
+    }
+
+    #[test]
+    fn broadcast_counterexamples_prune_sibling_shards() {
+        // hidden = 90 lives in the last shard. Baseline counterexamples
+        // from higher shards (e.g. 63 from shard 3) concretely kill every
+        // candidate in lower shards, so siblings exhaust via replay kills
+        // instead of verifier calls.
+        let mut workers = ToyWorker::fleet(4, 90, false);
+        let r = run_portfolio(&mut workers, 5, &Budget::default());
+        match r.outcome {
+            Outcome::Solution(c) => assert_eq!(c, 90),
+            other => panic!("expected solution, got {other:?}"),
+        }
+        assert!(r.stats.replay_hits >= 1, "broadcast cexs should fire the replay prefilter");
+        let stolen: u64 = r.workers.iter().map(|w| w.shards_stolen).sum();
+        assert!(stolen >= 1, "the last shard must be stolen by a freed worker");
+    }
+
+    #[test]
+    fn fixed_runs_are_reproducible() {
+        let fingerprint = |r: &PortfolioResult<i64>| {
+            let sol = match &r.outcome {
+                Outcome::Solution(c) => Some(*c),
+                _ => None,
+            };
+            (sol, r.stats.iterations, r.stats.speculative_wasted, r.workers.clone())
+        };
+        let run = || {
+            let mut workers = ToyWorker::fleet(4, 37, true);
+            run_portfolio(&mut workers, 5, &Budget::default())
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(fingerprint(&a), fingerprint(&b), "same fleet, same merged history");
+    }
+}

@@ -1,0 +1,140 @@
+//! Bounded, deterministic clause exchange between portfolio workers.
+//!
+//! Diversified solvers attacking the same base formula learn different
+//! clauses; sharing the short, low-LBD ones lets each worker prune parts of
+//! the search space a sibling already refuted. Soundness rests on two
+//! contracts enforced by the SAT core (see `SatSolver::queue_shared_imports`):
+//!
+//! * only **epoch-0** clauses are exported — consequences of the base-scope
+//!   assertions alone, never of a worker's private push/pop scopes — and the
+//!   importer re-tags them epoch 0, so scope retention stays correct;
+//! * every export records the exporter's base variable count, and the
+//!   importer rejects clauses whose numbering does not match its own base
+//!   (workers share clauses only when they built *identical* base
+//!   encodings, so equal counts mean equal meanings).
+//!
+//! With proof logging on, imports additionally pass a certificate gate:
+//! theory lemmas re-enter the importer's proof with their Farkas witness,
+//! and plain learned clauses must pass an importer-side RUP test (they may
+//! validly fail it — the importer might lack the exporter's premises — in
+//! which case the clause is dropped, never trusted).
+//!
+//! [`ClauseExchange`] itself is a small mutex-guarded log with per-worker
+//! read cursors. Workers publish at most once per exchange round and the
+//! portfolio engine orders rounds with barriers, so every worker observes
+//! the same clauses in the same order on every run with the same seed —
+//! the exchange is deterministic by construction, not by luck.
+
+use crate::sat::Lit;
+use ccmatic_num::Rat;
+use std::sync::Mutex;
+
+/// A learned clause in transit between workers.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SharedClause {
+    /// The clause, sorted by literal code (canonical form).
+    pub lits: Vec<Lit>,
+    /// Literal-block distance at learning time (1 for units).
+    pub lbd: u32,
+    /// The exporter's base-scope variable count; importers with a different
+    /// base reject the clause.
+    pub base_vars: u32,
+    /// Farkas witness when the clause is a theory lemma; empty for clauses
+    /// learned by resolution.
+    pub farkas: Vec<(Lit, Rat)>,
+}
+
+/// One worker's publication for one exchange round.
+struct Entry {
+    round: u64,
+    source: usize,
+    clauses: Vec<SharedClause>,
+}
+
+struct Log {
+    entries: Vec<Entry>,
+    /// Per-worker read position into `entries`.
+    cursors: Vec<usize>,
+}
+
+/// Multi-producer clause log with per-worker cursors.
+///
+/// The portfolio engine guarantees that all publications for round `r`
+/// happen before any worker collects with `before_round > r`, so a plain
+/// cursor walk suffices; entries within one round are sorted by worker
+/// index before delivery to erase arrival-order nondeterminism.
+pub struct ClauseExchange {
+    log: Mutex<Log>,
+    /// Soft cap on clauses retained per worker publication.
+    per_publish_cap: usize,
+}
+
+impl ClauseExchange {
+    /// An exchange for `workers` participants.
+    pub fn new(workers: usize) -> Self {
+        ClauseExchange {
+            log: Mutex::new(Log { entries: Vec::new(), cursors: vec![0; workers] }),
+            per_publish_cap: 256,
+        }
+    }
+
+    /// Publish `clauses` as `worker`'s contribution for `round`. Call at
+    /// most once per worker per round; oversized batches are truncated.
+    pub fn publish(&self, worker: usize, round: u64, mut clauses: Vec<SharedClause>) {
+        clauses.truncate(self.per_publish_cap);
+        if clauses.is_empty() {
+            return;
+        }
+        let mut log = self.log.lock().unwrap();
+        debug_assert!(log.entries.last().is_none_or(|e| e.round <= round));
+        log.entries.push(Entry { round, source: worker, clauses });
+    }
+
+    /// Collect every clause published by *other* workers in rounds strictly
+    /// before `before_round` that `worker` has not seen yet, in
+    /// (round, worker) order.
+    pub fn collect(&self, worker: usize, before_round: u64) -> Vec<SharedClause> {
+        let mut log = self.log.lock().unwrap();
+        let mut picked: Vec<(u64, usize, usize)> = Vec::new();
+        let mut cursor = log.cursors[worker];
+        while cursor < log.entries.len() && log.entries[cursor].round < before_round {
+            if log.entries[cursor].source != worker {
+                picked.push((log.entries[cursor].round, log.entries[cursor].source, cursor));
+            }
+            cursor += 1;
+        }
+        log.cursors[worker] = cursor;
+        picked.sort_unstable_by_key(|&(round, source, _)| (round, source));
+        picked.into_iter().flat_map(|(_, _, idx)| log.entries[idx].clauses.to_vec()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clause(code: u32) -> SharedClause {
+        SharedClause { lits: vec![Lit(code)], lbd: 1, base_vars: 64, farkas: Vec::new() }
+    }
+
+    #[test]
+    fn delivers_others_clauses_once_in_order() {
+        let ex = ClauseExchange::new(3);
+        ex.publish(1, 1, vec![clause(2)]);
+        ex.publish(0, 1, vec![clause(4)]);
+        // Round-1 publications are invisible until the round-2 barrier.
+        assert!(ex.collect(2, 1).is_empty());
+        let got = ex.collect(2, 2);
+        assert_eq!(got, vec![clause(4), clause(2)], "sorted by worker index");
+        assert!(ex.collect(2, 2).is_empty(), "cursor advanced");
+        // Worker 0 never sees its own publication.
+        assert_eq!(ex.collect(0, 2), vec![clause(2)]);
+    }
+
+    #[test]
+    fn empty_publications_are_dropped() {
+        let ex = ClauseExchange::new(2);
+        ex.publish(0, 1, Vec::new());
+        assert!(ex.collect(1, 5).is_empty());
+    }
+}

@@ -37,6 +37,7 @@ fn main() {
         wce_precision: opts.wce_precision.clone(),
         incremental: true,
         certify: false,
+        search: Default::default(),
     });
     let rocc = known::rocc();
     match verifier.verify(&rocc) {

@@ -27,6 +27,8 @@ fn main() {
         wce_precision: rat(1, 2),
         incremental: true,
         threads: 1,
+        seed: 0,
+        dispatch_min: ccmatic::synth::DEFAULT_DISPATCH_MIN,
         certify: false,
     };
 

@@ -22,6 +22,8 @@ fn synthesize_then_simulate() {
         wce_precision: rat(1, 2),
         incremental: true,
         threads: 1,
+        seed: 0,
+        dispatch_min: ccmatic::synth::DEFAULT_DISPATCH_MIN,
         certify: false,
     };
     let result = synthesize(&opts);

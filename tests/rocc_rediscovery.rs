@@ -16,6 +16,7 @@ fn paper_verifier() -> CcaVerifier {
         wce_precision: rat(1, 2),
         incremental: true,
         certify: false,
+        search: Default::default(),
     })
 }
 

@@ -21,6 +21,7 @@ fn verifier() -> CcaVerifier {
         wce_precision: rat(1, 2),
         incremental: true,
         certify: false,
+        search: Default::default(),
     })
 }
 
