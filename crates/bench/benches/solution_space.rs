@@ -26,6 +26,7 @@ fn main() {
         seed: 0,
         dispatch_min: ccmatic::synth::DEFAULT_DISPATCH_MIN,
         certify: false,
+        region_pruning: true,
     };
     bench_case("enumerate_lookback2_small", 1, 5, || {
         let r = enumerate_all(&opts);

@@ -48,6 +48,7 @@ fn main() {
             seed: 0,
             dispatch_min: ccmatic::synth::DEFAULT_DISPATCH_MIN,
             certify: false,
+            region_pruning: true,
         };
         println!(
             "\n## {} / {} — {} candidates",

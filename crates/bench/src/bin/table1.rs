@@ -2,13 +2,15 @@
 //! solution, per search space × optimization method.
 //!
 //! ```sh
-//! cargo run --release -p ccmatic-bench --bin table1 -- [--scale ci|paper] [--budget-secs N] [--stats]
+//! cargo run --release -p ccmatic-bench --bin table1 -- [--scale ci|paper] [--budget-secs N] [--stats] [--expected]
 //! ```
 //!
 //! Default: CI scale with a 120 s per-cell budget. At `--scale paper` the
 //! grid matches the paper's (3⁵ … 9⁹); expect the Baseline column to DNF,
 //! exactly as the paper reports ("did not finish within a week" — our
-//! budget substitutes for the week).
+//! budget substitutes for the week). Pass `--expected` to also print the
+//! paper's reference numbers; by default the log carries only measured
+//! results.
 
 use ccmatic::synth::OptMode;
 use ccmatic_bench::{
@@ -42,11 +44,15 @@ fn main() {
     let budget = Duration::from_secs(budget_secs);
 
     println!("# Table 1 — time to synthesize first solution ({scale:?} scale, {budget_secs}s/cell budget)\n");
-    println!("Paper reference (Xeon 6226R, Z3 4.8.17, 1 core):");
-    println!("  No-cwnd/Small : Baseline 100 itr / 3m  → RP 30/30s → RP+WCE 7/3s");
-    println!("  No-cwnd/Large : Baseline DNF           → RP 60/1m  → RP+WCE 50/1m");
-    println!("  cwnd/Small    : Baseline DNF           → RP 100/9m → RP+WCE 50/30s");
-    println!("  cwnd/Large    : Baseline DNF           → RP 360/32h→ RP+WCE 80/45m\n");
+    // Measured results only by default: the paper's expected-shape table
+    // is opt-in so CI logs aren't mistaken for measurements.
+    if args.iter().any(|a| a == "--expected") {
+        println!("Paper reference (Xeon 6226R, Z3 4.8.17, 1 core):");
+        println!("  No-cwnd/Small : Baseline 100 itr / 3m  → RP 30/30s → RP+WCE 7/3s");
+        println!("  No-cwnd/Large : Baseline DNF           → RP 60/1m  → RP+WCE 50/1m");
+        println!("  cwnd/Small    : Baseline DNF           → RP 100/9m → RP+WCE 50/30s");
+        println!("  cwnd/Large    : Baseline DNF           → RP 360/32h→ RP+WCE 80/45m\n");
+    }
 
     let mut rows = table1_rows(scale);
     rows.truncate(max_rows);
@@ -65,11 +71,13 @@ fn main() {
             );
             if show_stats {
                 eprintln!(
-                    "  stats: {:.2} probes/iteration · {} pivots · {} promotions · fast-path {:.2}%",
+                    "  stats: {:.2} probes/iteration · {} pivots · {} promotions · fast-path {:.2}% · {} regions pruned · {} cexs subsumed",
                     cell.verifier_probes as f64 / cell.iterations.max(1) as f64,
                     cell.pivots,
                     cell.promotions,
                     cell.fast_fraction() * 100.0,
+                    cell.regions_pruned,
+                    cell.cex_subsumed,
                 );
             }
             cells.push(cell);

@@ -69,6 +69,7 @@ fn main() {
         seed: 0,
         dispatch_min: ccmatic::synth::DEFAULT_DISPATCH_MIN,
         certify: false,
+        region_pruning: true,
     };
 
     let threads = sweep_threads();

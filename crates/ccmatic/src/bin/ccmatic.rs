@@ -181,6 +181,7 @@ fn main() -> ExitCode {
             .and_then(|v| v.parse::<u128>().ok())
             .unwrap_or(ccmatic::synth::DEFAULT_DISPATCH_MIN),
         certify,
+        region_pruning: !args.has("--no-region-pruning"),
     };
 
     let kernel = args.has("--stats").then(KernelSnapshot::take);
@@ -196,6 +197,12 @@ fn main() -> ExitCode {
                 if threads == 1 { "" } else { "s" }
             );
             let r = synthesize(&opts);
+            if kernel.is_some() {
+                eprintln!(
+                    "pruning: regions pruned {} · cexs subsumed {}",
+                    r.stats.regions_pruned, r.stats.cex_subsumed
+                );
+            }
             if certify {
                 // Reaching this line means every certificate was accepted —
                 // a rejected one panics inside the verifier with the

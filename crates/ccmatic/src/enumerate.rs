@@ -101,6 +101,7 @@ mod tests {
             seed: 0,
             dispatch_min: crate::synth::DEFAULT_DISPATCH_MIN,
             certify: false,
+            region_pruning: true,
         };
         let result = enumerate_all(&opts);
         assert!(result.complete, "tiny space must be exhausted within budget");

@@ -5,8 +5,9 @@
 //!
 //! A misspelt `CCMATIC_SWEEP_THREADS=fourty` used to be silently ignored,
 //! quietly running the sweep at a different width than the operator asked
-//! for. Unparsable values now warn once (per variable, per process) on
-//! stderr and fall back to the default.
+//! for. Unparsable values — including a set-but-empty `CCMATIC_SEED=`,
+//! which usually means a shell substitution came up blank — warn once
+//! (per variable, per process) on stderr and fall back to the default.
 
 use std::sync::Mutex;
 
@@ -14,20 +15,39 @@ use std::sync::Mutex;
 /// complains once rather than per run.
 static WARNED: Mutex<Vec<&'static str>> = Mutex::new(Vec::new());
 
+/// Warn once per variable per process.
+fn warn_once(var: &'static str, msg: &str) {
+    let mut warned = WARNED.lock().unwrap();
+    if !warned.contains(&var) {
+        warned.push(var);
+        eprintln!("{msg}");
+    }
+}
+
+/// `true` iff `var` has been warned about in this process (test hook for
+/// the warn-once contract on malformed and empty values).
+#[cfg(test)]
+fn has_warned(var: &'static str) -> bool {
+    WARNED.lock().unwrap().contains(&var)
+}
+
 /// Read a positive thread count from `var`. Unset returns `None`; set but
-/// unparsable (or zero) warns once to stderr and returns `None`.
+/// empty, unparsable, or zero warns once to stderr and returns `None`.
 pub fn env_threads(var: &'static str) -> Option<usize> {
     let raw = std::env::var(var).ok()?;
+    if raw.trim().is_empty() {
+        warn_once(var, &format!("warning: {var} is set but empty; using the default"));
+        return None;
+    }
     match raw.trim().parse::<usize>() {
         Ok(n) if n > 0 => Some(n),
         _ => {
-            let mut warned = WARNED.lock().unwrap();
-            if !warned.contains(&var) {
-                warned.push(var);
-                eprintln!(
+            warn_once(
+                var,
+                &format!(
                     "warning: ignoring {var}={raw:?}: expected a positive integer thread count"
-                );
-            }
+                ),
+            );
             None
         }
     }
@@ -40,18 +60,21 @@ pub fn env_threads_or_cores(var: &'static str) -> usize {
 }
 
 /// Read a `u64` search seed from `var` (e.g. `CCMATIC_SEED`). Unset
-/// returns `None`; set but unparsable warns once to stderr and returns
-/// `None`.
+/// returns `None`; set but empty or unparsable warns once to stderr and
+/// returns `None`.
 pub fn env_seed(var: &'static str) -> Option<u64> {
     let raw = std::env::var(var).ok()?;
+    if raw.trim().is_empty() {
+        warn_once(var, &format!("warning: {var} is set but empty; using the default"));
+        return None;
+    }
     match raw.trim().parse::<u64>() {
         Ok(n) => Some(n),
         Err(_) => {
-            let mut warned = WARNED.lock().unwrap();
-            if !warned.contains(&var) {
-                warned.push(var);
-                eprintln!("warning: ignoring {var}={raw:?}: expected an unsigned integer seed");
-            }
+            warn_once(
+                var,
+                &format!("warning: ignoring {var}={raw:?}: expected an unsigned integer seed"),
+            );
             None
         }
     }
@@ -94,5 +117,25 @@ mod tests {
         std::env::set_var("CCMATIC_TEST_THREADS_ZERO", "0");
         assert_eq!(env_threads("CCMATIC_TEST_THREADS_ZERO"), None);
         assert!(env_threads_or_cores("CCMATIC_TEST_THREADS_ZERO") >= 1);
+    }
+
+    #[test]
+    fn empty_value_warns_like_malformed_ones() {
+        // `CCMATIC_SEED=` (set but empty) must not be treated as quietly
+        // unset: it falls back AND registers a warning, same as garbage.
+        std::env::set_var("CCMATIC_TEST_SEED_EMPTY", "");
+        assert!(!has_warned("CCMATIC_TEST_SEED_EMPTY"));
+        assert_eq!(env_seed("CCMATIC_TEST_SEED_EMPTY"), None);
+        assert!(has_warned("CCMATIC_TEST_SEED_EMPTY"));
+
+        std::env::set_var("CCMATIC_TEST_THREADS_EMPTY", "  ");
+        assert!(!has_warned("CCMATIC_TEST_THREADS_EMPTY"));
+        assert_eq!(env_threads("CCMATIC_TEST_THREADS_EMPTY"), None);
+        assert!(has_warned("CCMATIC_TEST_THREADS_EMPTY"));
+        assert!(env_threads_or_cores("CCMATIC_TEST_THREADS_EMPTY") >= 1);
+
+        // Genuinely unset variables stay silent.
+        assert_eq!(env_seed("CCMATIC_TEST_SEED_NEVER_SET"), None);
+        assert!(!has_warned("CCMATIC_TEST_SEED_NEVER_SET"));
     }
 }

@@ -22,12 +22,39 @@
 //!   `∀t. S_τ(t) ≤ A(t)  ∧  (W_τ(t) > W_τ(t−1) ⟹ A(t) ≤ C·(t+h) − W_τ(t))`
 //!   (the paper's `[Sₜ, ∞]` / `[Sₜ, Cₜ−Wₜ]` intervals, derived by algebraic
 //!   manipulation of the CCAC constraints).
+//!
+//! On top of the feasibility encoding sits *region pruning* (DESIGN.md
+//! §11, on by default, toggled by [`SmtGenerator::set_region_pruning`]):
+//!
+//! * For no-cwnd shapes under range pruning, `learn` asserts σ in
+//!   *region form* — the sender max-recursion is unrolled into per-step
+//!   linear ledger expressions over the coefficient variables themselves,
+//!   so a trace adds **zero** fresh real variables instead of `2·(T+1)`
+//!   response variables plus tightness disjunctions. The encoding is
+//!   logically equivalent (response variables are functionally determined
+//!   by the coefficients), pinned by an enumeration-equality test.
+//! * [`SmtGenerator::learn_refuted`] additionally walks the refuted
+//!   candidate's coefficient neighbourhood (grid steps + symmetric tap
+//!   swaps), asserting a propositional blocking clause for every
+//!   neighbour the trace *concretely* refutes (checked by
+//!   [`TraceReplay::refutes`], so each block is redundant with the
+//!   asserted σ and outcomes are unchanged) — one trace kills a whole
+//!   candidate region by SAT unit propagation instead of LRA reasoning.
 
+use crate::replay::TraceReplay;
 use crate::template::{CcaSpec, TemplateShape};
 use ccac_model::{NetConfig, Thresholds, Trace};
 use ccmatic_num::Rat;
 use ccmatic_smt::{Context, Interrupt, LinExpr, RealVar, SatResult, SearchConfig, Solver, Term};
+use std::collections::VecDeque;
 use std::time::Instant;
+
+/// Replay checks the dominance BFS of [`SmtGenerator::learn_refuted`] may
+/// spend per learned trace. Each check is a few hundred exact rational
+/// operations — microseconds against the milliseconds a solver conflict
+/// costs — but an unbounded walk over the Large domains could still visit
+/// thousands of candidates per trace.
+const REGION_BFS_CAP: usize = 128;
 
 /// How much of the candidate space each counterexample eliminates.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -66,8 +93,19 @@ pub struct SmtGenerator {
     mode: FeasibilityMode,
     /// alphas (if any) then betas then gamma.
     coeffs: Vec<Coeff>,
+    /// Concrete replayer gating every dominance/symmetry block (must match
+    /// this generator's net/thresholds/mode so `refutes` mirrors `learn`).
+    replay: TraceReplay,
+    /// Region pruning (region-form σ + the dominance BFS). On by default;
+    /// the differential suite toggles it off to compare against the
+    /// response-variable path.
+    region_pruning: bool,
     /// Counterexamples learned (kept for reporting).
     pub num_learned: u64,
+    /// Blocking clauses asserted by the dominance/symmetry BFS of
+    /// [`SmtGenerator::learn_refuted`] — each one a replay-verified
+    /// candidate kill the SAT core can propagate without LRA help.
+    pub regions_pruned: u64,
 }
 
 impl SmtGenerator {
@@ -131,7 +169,27 @@ impl SmtGenerator {
             }
             coeffs.push(Coeff { value, selectors });
         }
-        SmtGenerator { ctx, solver, shape, net, thresholds, mode, coeffs, num_learned: 0 }
+        let replay = TraceReplay::new(net.clone(), thresholds.clone(), mode);
+        SmtGenerator {
+            ctx,
+            solver,
+            shape,
+            net,
+            thresholds,
+            mode,
+            coeffs,
+            replay,
+            region_pruning: true,
+            num_learned: 0,
+            regions_pruned: 0,
+        }
+    }
+
+    /// Enable or disable region pruning (region-form σ and the dominance
+    /// BFS). Used by the differential suite to compare against the plain
+    /// response-variable encoding; production paths leave it on.
+    pub fn set_region_pruning(&mut self, on: bool) {
+        self.region_pruning = on;
     }
 
     fn coeff_names(shape: &TemplateShape) -> Vec<String> {
@@ -321,10 +379,18 @@ impl SmtGenerator {
         ccmatic_cegis::BatchProposal { candidates, interrupted }
     }
 
-    /// Learn a counterexample trace: assert `feasible(A, τ) ⟹ desired(A, τ)`
-    /// over fresh response variables for this trace.
+    /// Learn a counterexample trace: assert `σ = feasible(A, τ) ⟹
+    /// desired(A, τ)`. No-cwnd shapes under range pruning use the
+    /// region-form encoding when region pruning is on (directly over the
+    /// coefficient variables, no per-trace response variables); everything
+    /// else takes the response-variable path below.
     pub fn learn(&mut self, cex: &Trace) {
         self.num_learned += 1;
+        if self.region_pruning && !self.shape.use_cwnd && self.mode == FeasibilityMode::RangePruning
+        {
+            self.learn_region_form(cex);
+            return;
+        }
         let n = self.num_learned;
         let t_end = self.net.t_max();
         let history = self.net.history as i64;
@@ -453,6 +519,209 @@ impl SmtGenerator {
         let all = self.ctx.and(cs);
         self.solver.assert(&self.ctx, all);
     }
+
+    /// Region-form learning (no-cwnd + range pruning): assert σ(A, τ)
+    /// directly over the coefficient variables.
+    ///
+    /// Without cwnd taps the template is linear in the coefficients, so
+    /// `cwnd(k) = γ + Σᵢ βᵢ·S_τ(k−i−2)` is a linear expression with
+    /// trace-constant multipliers, and the sender recursion
+    /// `A(t) = max(A(t−1), S_τ(t−1) + cwnd(t))` unrolls to
+    /// `A(t) = max(A_τ(−1), ℓ₀, …, ℓ_t)` with ledger terms
+    /// `ℓ_k = S_τ(k−1) + cwnd(k)`. Every predicate over `A(t)` becomes a
+    /// Boolean combination of linear atoms over the coefficients:
+    ///
+    /// * `A(t) ≥ b` ⟺ some max term reaches `b` (a disjunction),
+    /// * `A(t) ≤ b` ⟺ every max term stays at or below `b` (a conjunction),
+    /// * `A(T) < A(0) + d` ⟺ every `M_T` term is beaten by some `M_0`
+    ///   term plus `d`,
+    ///
+    /// and `cwnd(T) > cwnd(0)` collapses to the single atom
+    /// `Σᵢ βᵢ·(S_τ(T−i−2) − S_τ(−i−2)) > 0` (γ cancels). The encoding is
+    /// logically equivalent to the response-variable path — response
+    /// variables are functionally determined by the coefficients — so the
+    /// excluded candidate set is identical (pinned by the
+    /// enumeration-equality differential test) while the solver keeps
+    /// working over the same handful of real variables no matter how many
+    /// traces are learned.
+    fn learn_region_form(&mut self, cex: &Trace) {
+        let t_end = self.net.t_max();
+        let history = self.net.history as i64;
+        let link_rate = self.net.link_rate.clone();
+        let gamma = self.gamma().value;
+        let betas: Vec<RealVar> = (0..self.shape.lookback).map(|i| self.beta(i).value).collect();
+
+        // cwnd(k) over the coefficient variables.
+        let cwnd_expr = |k: i64| -> LinExpr {
+            let mut e = LinExpr::var(gamma);
+            for (i, b) in betas.iter().enumerate() {
+                e = e + LinExpr::term(*b, cex.s_at(k - i as i64 - 2).clone());
+            }
+            e
+        };
+        // Ledger: A(t) = max(A_τ(−1), ledger[0..=t]).
+        let ledger: Vec<LinExpr> = (0..=t_end)
+            .map(|k| LinExpr::constant(cex.s_at(k - 1).clone()) + cwnd_expr(k))
+            .collect();
+        let a_init = cex.a_at(-1).clone();
+
+        // Feasibility: S_τ(t) ≤ A(t), plus the waste-point upper bound.
+        let mut feas = Vec::new();
+        for t in 0..=t_end {
+            let upto = &ledger[..=t as usize];
+            feas.push(a_ge(&mut self.ctx, &a_init, upto, cex.s_at(t)));
+            if cex.waste_increased(t) {
+                let tokens = &(&link_rate * &Rat::from(t + history)) - cex.w_at(t);
+                feas.push(a_le(&mut self.ctx, &a_init, upto, &tokens));
+            }
+        }
+        let feasible = self.ctx.and(feas);
+
+        // Desired property, same shape as the response-variable path.
+        let th = self.thresholds.clone();
+        let work = cex.s_at(t_end) - cex.s_at(0);
+        let target = &(&th.util * &link_rate) * &Rat::from(t_end);
+        let util_ok = if work >= target { self.ctx.tru() } else { self.ctx.fls() };
+        let cwnd_up = self.ctx.gt(cwnd_expr(t_end), cwnd_expr(0));
+        let cwnd_down = self.ctx.lt(cwnd_expr(t_end), cwnd_expr(0));
+        let mut queue_cs = Vec::new();
+        for t in 0..=t_end {
+            let bound = cex.s_at(t) + &th.delay;
+            queue_cs.push(a_le(&mut self.ctx, &a_init, &ledger[..=t as usize], &bound));
+        }
+        let queue_ok = self.ctx.and(queue_cs);
+        // queue_down: A(T) − S_τ(T) < A(0) − S_τ(0), i.e. A(T) < A(0) + d
+        // with d = S_τ(T) − S_τ(0).
+        let d = cex.s_at(t_end) - cex.s_at(0);
+        let m0 = [LinExpr::constant(a_init.clone()), ledger[0].clone()];
+        let mut m_t: Vec<LinExpr> = Vec::with_capacity(ledger.len() + 1);
+        m_t.push(LinExpr::constant(a_init.clone()));
+        m_t.extend(ledger.iter().cloned());
+        let mut conj = Vec::with_capacity(m_t.len());
+        for m in &m_t {
+            let mut ors = Vec::with_capacity(m0.len());
+            for n in &m0 {
+                ors.push(self.ctx.lt(m.clone(), n.clone() + LinExpr::constant(d.clone())));
+            }
+            conj.push(self.ctx.or(ors));
+        }
+        let queue_down = self.ctx.and(conj);
+
+        let c1 = self.ctx.or(vec![util_ok, cwnd_up]);
+        let c2 = self.ctx.or(vec![queue_ok, queue_down, cwnd_down]);
+        let desired = self.ctx.and(vec![c1, c2]);
+        let sigma = self.ctx.implies(feasible, desired);
+        self.solver.assert(&self.ctx, sigma);
+    }
+
+    /// [`SmtGenerator::learn`] plus replay-verified *region blocking*: walk
+    /// the refuted candidate's coefficient neighbourhood (one domain step
+    /// per coefficient, breadth-first, plus symmetric β-tap swaps where the
+    /// trace cannot tell two taps apart) and assert a propositional
+    /// blocking clause for every neighbour the trace concretely refutes.
+    ///
+    /// Soundness: every block is gated by [`TraceReplay::refutes`], which
+    /// implements exactly `¬σ(·, cex)` — and `σ(·, cex)` was just
+    /// asserted, so each blocking clause is *redundant* with the learned
+    /// constraint. Outcomes (solution set, exhaustion claims) are
+    /// therefore unchanged; the payoff is that the SAT core excludes the
+    /// refuted region by unit propagation over selector literals instead
+    /// of rediscovering each kill through LRA conflicts.
+    pub fn learn_refuted(&mut self, refuted: &CcaSpec, cex: &Trace) {
+        self.learn(cex);
+        if !self.region_pruning {
+            return;
+        }
+        let domain = self.shape.domain.values();
+        if domain.len() < 2 {
+            return;
+        }
+        let t_end = self.net.t_max();
+        let start = refuted.flat();
+        let mut seen: Vec<Vec<Rat>> = vec![start.clone()];
+        let mut queue: VecDeque<Vec<Rat>> = VecDeque::from([start]);
+        // Symmetry orbit seeds: β taps whose trace samples coincide at
+        // every template read are interchangeable *on this trace*, so the
+        // tap-swapped candidate fails identically — worth seeding even
+        // though it is not a grid neighbour of the refuted point.
+        for i in 0..refuted.beta.len() {
+            for j in (i + 1)..refuted.beta.len() {
+                if refuted.beta[i] == refuted.beta[j] {
+                    continue;
+                }
+                let interchangeable =
+                    (0..=t_end).all(|t| cex.s_at(t - i as i64 - 2) == cex.s_at(t - j as i64 - 2));
+                if !interchangeable {
+                    continue;
+                }
+                let mut swapped = refuted.clone();
+                swapped.beta.swap(i, j);
+                let flat = swapped.flat();
+                if !seen.contains(&flat) && self.replay.refutes(&swapped, cex) {
+                    self.block(&swapped);
+                    self.regions_pruned += 1;
+                    seen.push(flat.clone());
+                    queue.push_back(flat);
+                }
+            }
+        }
+        let mut checked = 0usize;
+        'bfs: while let Some(flat) = queue.pop_front() {
+            for p in 0..flat.len() {
+                let Some(di) = domain.iter().position(|v| v == &flat[p]) else { continue };
+                for nd in [di.checked_sub(1), Some(di + 1)].into_iter().flatten() {
+                    if nd >= domain.len() {
+                        continue;
+                    }
+                    let mut nf = flat.clone();
+                    nf[p] = domain[nd].clone();
+                    if seen.contains(&nf) {
+                        continue;
+                    }
+                    seen.push(nf.clone());
+                    checked += 1;
+                    let spec = self.spec_from_flat(&nf);
+                    if self.replay.refutes(&spec, cex) {
+                        self.block(&spec);
+                        self.regions_pruned += 1;
+                        queue.push_back(nf);
+                    }
+                    if checked >= REGION_BFS_CAP {
+                        break 'bfs;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Rebuild a [`CcaSpec`] from its [`CcaSpec::flat`] coefficient vector.
+    fn spec_from_flat(&self, flat: &[Rat]) -> CcaSpec {
+        let alphas = if self.shape.use_cwnd { self.shape.lookback } else { 0 };
+        let (alpha, rest) = flat.split_at(alphas);
+        let (beta, gamma) = rest.split_at(self.shape.lookback);
+        CcaSpec { alpha: alpha.to_vec(), beta: beta.to_vec(), gamma: gamma[0].clone() }
+    }
+}
+
+/// `max(a_init, terms…) ≥ b`: some max term reaches `b`. Constant atoms
+/// fold inside the context.
+fn a_ge(ctx: &mut Context, a_init: &Rat, terms: &[LinExpr], b: &Rat) -> Term {
+    let mut ors = Vec::with_capacity(terms.len() + 1);
+    ors.push(ctx.ge(LinExpr::constant(a_init.clone()), LinExpr::constant(b.clone())));
+    for m in terms {
+        ors.push(ctx.ge(m.clone(), LinExpr::constant(b.clone())));
+    }
+    ctx.or(ors)
+}
+
+/// `max(a_init, terms…) ≤ b`: every max term stays at or below `b`.
+fn a_le(ctx: &mut Context, a_init: &Rat, terms: &[LinExpr], b: &Rat) -> Term {
+    let mut ands = Vec::with_capacity(terms.len() + 1);
+    ands.push(ctx.le(LinExpr::constant(a_init.clone()), LinExpr::constant(b.clone())));
+    for m in terms {
+        ands.push(ctx.le(m.clone(), LinExpr::constant(b.clone())));
+    }
+    ctx.and(ands)
 }
 
 #[cfg(test)]

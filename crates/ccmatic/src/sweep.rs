@@ -146,6 +146,7 @@ mod tests {
             seed: 0,
             dispatch_min: crate::synth::DEFAULT_DISPATCH_MIN,
             certify: false,
+            region_pruning: true,
         }
     }
 

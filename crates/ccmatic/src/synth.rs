@@ -101,6 +101,11 @@ pub struct SynthOptions {
     /// checker-accepted DRAT+Farkas certificate, SAT answers an
     /// exact-audited model (see [`VerifyConfig::certify`]).
     pub certify: bool,
+    /// Region pruning (DESIGN.md §11): region-form σ encoding, the
+    /// replay-verified dominance BFS, and counterexample-trace
+    /// subsumption. On by default; the differential suite turns it off to
+    /// pin pruned == unpruned outcomes.
+    pub region_pruning: bool,
 }
 
 impl Default for SynthOptions {
@@ -117,6 +122,7 @@ impl Default for SynthOptions {
             seed: 0,
             dispatch_min: DEFAULT_DISPATCH_MIN,
             certify: false,
+            region_pruning: true,
         }
     }
 }
@@ -141,19 +147,33 @@ pub struct SynthResult {
 
 /// Adapter: [`SmtGenerator`] as a [`ccmatic_cegis::Generator`].
 ///
-/// Deduplicates learned traces: the engine re-submits a counterexample it
+/// Deduplicates learned traces (the engine re-submits a counterexample it
 /// already holds whenever the replay prefilter kills a candidate with it,
-/// and asserting the same trace constraint twice only bloats the solver.
+/// and asserting the same trace constraint twice only bloats the solver)
+/// and — with region pruning on — *subsumes* them: a new trace whose kill
+/// set is contained in an already-asserted trace's
+/// ([`TraceReplay::subsumes`]) is dropped before assertion, keeping the
+/// per-propose assertion set to the strongest traces only.
 pub struct GenAdapter {
     /// The wrapped SMT generator.
     pub inner: SmtGenerator,
+    /// Traces asserted into `inner` (append-only: the subsumption skip is
+    /// sound only against traces that really are asserted).
     learned: Vec<Trace>,
+    /// Subsumption oracle; must match `inner`'s configuration.
+    replayer: TraceReplay,
+    /// Whether subsumption filtering is enabled (mirrors
+    /// [`SynthOptions::region_pruning`]).
+    subsume: bool,
+    /// Traces dropped because an already-asserted trace subsumed them.
+    pub cex_subsumed: u64,
 }
 
 impl GenAdapter {
-    /// Wrap `inner` with an empty learned-trace set.
-    pub fn new(inner: SmtGenerator) -> Self {
-        GenAdapter { inner, learned: Vec::new() }
+    /// Wrap `inner` with an empty learned-trace set. `replayer` must be
+    /// built from the same net/thresholds/mode as `inner`.
+    pub fn new(inner: SmtGenerator, replayer: TraceReplay, subsume: bool) -> Self {
+        GenAdapter { inner, learned: Vec::new(), replayer, subsume, cex_subsumed: 0 }
     }
 }
 
@@ -165,11 +185,17 @@ impl Generator for GenAdapter {
         self.inner.propose()
     }
 
-    fn learn(&mut self, _candidate: &CcaSpec, cex: &Trace) {
+    fn learn(&mut self, candidate: &CcaSpec, cex: &Trace) {
         if self.learned.iter().any(|t| t == cex) {
             return;
         }
-        self.inner.learn(cex);
+        if self.subsume && self.learned.iter().any(|t| self.replayer.subsumes(t, cex)) {
+            // An asserted trace already excludes everything this one
+            // would (the refuted candidate included) — skip the assertion.
+            self.cex_subsumed += 1;
+            return;
+        }
+        self.inner.learn_refuted(candidate, cex);
         self.learned.push(cex.clone());
     }
 
@@ -219,13 +245,15 @@ fn serial_search(opts: &SynthOptions) -> SearchConfig {
 }
 
 fn make_generator(opts: &SynthOptions) -> GenAdapter {
-    GenAdapter::new(SmtGenerator::new_with_config(
+    let mut inner = SmtGenerator::new_with_config(
         opts.shape.clone(),
         opts.net.clone(),
         opts.thresholds.clone(),
         opts.mode.feasibility(),
         serial_search(opts),
-    ))
+    );
+    inner.set_region_pruning(opts.region_pruning);
+    GenAdapter::new(inner, make_replay(opts), opts.region_pruning)
 }
 
 fn verify_config(opts: &SynthOptions, search: SearchConfig) -> VerifyConfig {
@@ -299,21 +327,33 @@ struct CcaWorker {
     replay: TraceReplay,
     shards: Arc<Vec<Vec<Rat>>>,
     /// Every counterexample this worker knows (own + broadcast), fed to the
-    /// replay prefilter. Outlives shards.
+    /// replay prefilter. Outlives shards. With region pruning on, kept
+    /// subsumption-reduced: only traces no other cached trace subsumes.
     cached: Vec<Trace>,
     /// Traces asserted into the generator inside the *current* shard scope.
     /// Cleared on shard entry/exit — the assertions vanish with the scope.
     shard_learned: Vec<Trace>,
+    /// Whether subsumption filtering is enabled (mirrors
+    /// [`SynthOptions::region_pruning`]).
+    subsume: bool,
+    /// Subsumption drops: shard assertions skipped plus broadcast traces
+    /// dropped from (or evicted out of) the replay cache.
+    cex_subsumed: u64,
 }
 
 impl CcaWorker {
     /// Assert `trace`'s constraint at the current (shard) scope unless it
-    /// is already asserted there.
-    fn learn_in_shard(&mut self, trace: Trace) {
+    /// is already asserted there — or an asserted trace subsumes it, in
+    /// which case the shard scope already excludes everything it would.
+    fn learn_in_shard(&mut self, refuted: &CcaSpec, trace: Trace) {
         if self.shard_learned.contains(&trace) {
             return;
         }
-        self.generator.learn(&trace);
+        if self.subsume && self.shard_learned.iter().any(|t| self.replay.subsumes(t, &trace)) {
+            self.cex_subsumed += 1;
+            return;
+        }
+        self.generator.learn_refuted(refuted, &trace);
         self.shard_learned.push(trace);
     }
 }
@@ -333,9 +373,24 @@ impl PortfolioWorker for CcaWorker {
     }
 
     fn cache_cex(&mut self, cex: Trace) {
-        if !self.cached.contains(&cex) {
-            self.cached.push(cex);
+        if self.cached.contains(&cex) {
+            return;
         }
+        if self.subsume {
+            // Subsumption at the exchange boundary: an incoming trace a
+            // cached one subsumes is dropped; cached traces the incoming
+            // one subsumes are evicted. Either way every kill the dropped
+            // trace could score, a surviving trace scores too, so the
+            // prefilter loses no power while the scan stays short.
+            if self.cached.iter().any(|t| self.replay.subsumes(t, &cex)) {
+                self.cex_subsumed += 1;
+                return;
+            }
+            let before = self.cached.len();
+            self.cached.retain(|t| !self.replay.subsumes(&cex, t));
+            self.cex_subsumed += (before - self.cached.len()) as u64;
+        }
+        self.cached.push(cex);
     }
 
     fn exchange(&mut self, round: u64) -> (u64, u64) {
@@ -371,7 +426,7 @@ impl PortfolioWorker for CcaWorker {
         let hit = self.cached.iter().find(|t| self.replay.refutes(&spec, t)).cloned();
         if let Some(trace) = hit {
             let learn_start = Instant::now();
-            self.learn_in_shard(trace);
+            self.learn_in_shard(&spec, trace);
             generator_time += learn_start.elapsed();
             return StepReport {
                 replay_hits: 1,
@@ -392,7 +447,7 @@ impl PortfolioWorker for CcaWorker {
             },
             Verdict::Fail(trace) => {
                 let learn_start = Instant::now();
-                self.learn_in_shard(trace.clone());
+                self.learn_in_shard(&spec, trace.clone());
                 self.cache_cex(trace.clone());
                 generator_time += learn_start.elapsed();
                 StepReport {
@@ -418,7 +473,10 @@ fn synthesize_serial(opts: &SynthOptions) -> SynthResult {
     let replayer = make_replay(opts);
     let replay = |c: &CcaSpec, cex: &Trace| replayer.refutes(c, cex);
     let mut verifier = VerAdapter::new(make_verifier(opts));
-    let run = ccmatic_cegis::run_with_replay(&mut generator, &mut verifier, replay, &opts.budget);
+    let mut run =
+        ccmatic_cegis::run_with_replay(&mut generator, &mut verifier, replay, &opts.budget);
+    run.stats.regions_pruned = generator.inner.regions_pruned;
+    run.stats.cex_subsumed = generator.cex_subsumed;
     SynthResult {
         outcome: run.outcome,
         stats: run.stats,
@@ -436,13 +494,14 @@ fn synthesize_portfolio(opts: &SynthOptions) -> SynthResult {
     let mut workers: Vec<CcaWorker> = (0..opts.threads)
         .map(|w| {
             let search = SearchConfig::diversified(opts.seed, w);
-            let generator = SmtGenerator::new_with_config(
+            let mut generator = SmtGenerator::new_with_config(
                 opts.shape.clone(),
                 opts.net.clone(),
                 opts.thresholds.clone(),
                 opts.mode.feasibility(),
                 search.clone(),
             );
+            generator.set_region_pruning(opts.region_pruning);
             let mut verifier = CcaVerifier::new(verify_config(opts, search));
             if let Some(ex) = &exchange {
                 verifier.attach_exchange(ex.clone(), w);
@@ -454,10 +513,14 @@ fn synthesize_portfolio(opts: &SynthOptions) -> SynthResult {
                 shards: shards.clone(),
                 cached: Vec::new(),
                 shard_learned: Vec::new(),
+                subsume: opts.region_pruning,
+                cex_subsumed: 0,
             }
         })
         .collect();
-    let run = ccmatic_cegis::run_portfolio(&mut workers, shards.len(), &opts.budget);
+    let mut run = ccmatic_cegis::run_portfolio(&mut workers, shards.len(), &opts.budget);
+    run.stats.regions_pruned = workers.iter().map(|w| w.generator.regions_pruned).sum();
+    run.stats.cex_subsumed = workers.iter().map(|w| w.cex_subsumed).sum();
     let verifier_probes = workers.iter().map(|w| w.verifier.solver_probes).sum();
     let mut cert_audit = CertAudit::default();
     for w in &workers {
@@ -521,6 +584,7 @@ mod tests {
             seed: 0,
             dispatch_min: DEFAULT_DISPATCH_MIN,
             certify: false,
+            region_pruning: true,
         }
     }
 

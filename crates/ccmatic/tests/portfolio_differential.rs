@@ -37,6 +37,7 @@ fn base_opts(shape: TemplateShape, net: NetConfig, threads: usize) -> SynthOptio
         // Force the portfolio path on these deliberately tiny spaces.
         dispatch_min: 0,
         certify: false,
+        region_pruning: true,
     }
 }
 

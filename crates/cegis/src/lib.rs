@@ -164,6 +164,14 @@ pub struct Stats {
     pub shared_clauses_exported: u64,
     /// Sibling clauses imported from the portfolio clause exchange.
     pub shared_clauses_imported: u64,
+    /// Candidates blocked by counterexample *region* generalization —
+    /// replay-verified neighbors and symmetry images of a refuted candidate
+    /// excluded beyond the refuted point itself.
+    pub regions_pruned: u64,
+    /// Learned counterexample traces dropped (or evicted) because another
+    /// asserted trace subsumes them — every candidate they refute, the
+    /// subsuming trace refutes too.
+    pub cex_subsumed: u64,
     /// Total wall-clock of the run.
     pub wall: Duration,
 }

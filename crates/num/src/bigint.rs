@@ -413,6 +413,17 @@ impl BigInt {
         self.gcd_limbs(other)
     }
 
+    /// Least common multiple of the absolute values (always non-negative;
+    /// `lcm(0, x) = 0`). Computed as `|self / gcd · other|` so the
+    /// intermediate never exceeds the result.
+    pub fn lcm(&self, other: &BigInt) -> BigInt {
+        if self.is_zero() || other.is_zero() {
+            return BigInt::zero();
+        }
+        let g = self.gcd(other);
+        (&(self / &g) * other).abs()
+    }
+
     /// Approximate conversion to `f64` (for reporting only; never used in
     /// solver decisions).
     pub fn to_f64(&self) -> f64 {
@@ -783,6 +794,31 @@ mod tests {
         assert!(!BigInt::one().is_zero());
         assert_eq!(BigInt::zero().to_string(), "0");
         assert_eq!(BigInt::one().to_string(), "1");
+    }
+
+    #[test]
+    fn lcm_basics() {
+        assert_eq!(bi(4).lcm(&bi(6)), bi(12));
+        assert_eq!(bi(-4).lcm(&bi(6)), bi(12));
+        assert_eq!(bi(4).lcm(&bi(-6)), bi(12));
+        assert_eq!(bi(7).lcm(&bi(7)), bi(7));
+        assert_eq!(bi(0).lcm(&bi(5)), bi(0));
+        assert_eq!(bi(5).lcm(&bi(0)), bi(0));
+        assert_eq!(bi(1).lcm(&bi(9)), bi(9));
+    }
+
+    #[test]
+    fn lcm_promotes_past_i64() {
+        // lcm(2^62, 3·2^62) = 3·2^62 > i64::MAX must promote, not wrap.
+        let a = bi(1i64 << 62);
+        let b = &bi(3) * &bi(1i64 << 62);
+        let l = a.lcm(&b);
+        assert_eq!(l, b.abs());
+        assert!(!is_small(&l));
+        // Coprime pair whose product leaves i64.
+        let p = bi(i64::MAX);
+        let q = bi(i64::MAX - 1);
+        assert_eq!(p.lcm(&q), &p * &q);
     }
 
     #[test]

@@ -89,6 +89,15 @@ impl Rat {
         Some((self.num.to_i64()?, self.den.to_i64()?))
     }
 
+    /// `true` iff both numerator and denominator fit an `i64` — the
+    /// precondition for the cross-multiplying arithmetic fast path. The
+    /// simplex consults this to decide when a tableau row's coefficients
+    /// have left the fast path and content normalization should fold the
+    /// common factor into the row scale.
+    pub fn is_small(&self) -> bool {
+        self.small_parts().is_some()
+    }
+
     /// The rational 0.
     pub fn zero() -> Self {
         Rat { num: BigInt::zero(), den: BigInt::one() }
@@ -486,6 +495,18 @@ mod tests {
     #[should_panic(expected = "zero denominator")]
     fn zero_denominator_panics() {
         let _ = rat(1, 0);
+    }
+
+    #[test]
+    fn is_small_tracks_the_fast_path_boundary() {
+        assert!(Rat::zero().is_small());
+        assert!(rat(i64::MAX, 1).is_small());
+        assert!(rat(i64::MIN, 1).is_small());
+        assert!(rat(1, i64::MAX).is_small());
+        // 2^63 in either component leaves the fast path.
+        let big = &BigInt::from(i64::MAX) + &BigInt::one();
+        assert!(!Rat::new(big.clone(), BigInt::one()).is_small());
+        assert!(!Rat::new(BigInt::one(), big).is_small());
     }
 
     #[test]

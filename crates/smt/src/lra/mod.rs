@@ -43,9 +43,25 @@ pub struct SimVar(pub u32);
 
 /// A sparse tableau row: `(variable, coefficient)` entries sorted by
 /// variable, with no zero coefficients stored.
-#[derive(Clone, Debug, Default)]
+///
+/// The row's meaning carries a positive *scale* factor: a basic variable
+/// `v` with this row satisfies `v = scale · Σ coeff·nonbasic`. Pivoting
+/// folds the `1/a_bj` division into the scale instead of multiplying it
+/// through every entry, and [`Row::normalize`] divides out the rational
+/// content whenever entries leave the i64 fast path — so big-limb
+/// arithmetic is confined to one scalar per row rather than smeared
+/// across every coefficient (*effective* coefficient = `scale · entry`;
+/// `scale > 0`, so entry signs still drive pivot selection).
+#[derive(Clone, Debug)]
 struct Row {
     entries: Vec<(SimVar, Rat)>,
+    scale: Rat,
+}
+
+impl Default for Row {
+    fn default() -> Self {
+        Row { entries: Vec::new(), scale: Rat::one() }
+    }
 }
 
 impl Row {
@@ -83,10 +99,16 @@ impl Row {
         self.entries.iter().map(|(v, c)| (*v, c))
     }
 
-    /// `self += k·other` as a linear merge of the two sorted entry lists.
-    /// The merged result is built in `scratch`, which is then swapped in;
-    /// the buffers alternate across calls so neither is reallocated once
-    /// warm.
+    /// Effective coefficient of `v` (scale folded in), if present.
+    fn effective(&self, v: SimVar) -> Option<Rat> {
+        self.get(v).map(|c| &self.scale * c)
+    }
+
+    /// `self.entries += k·other.entries` as a linear merge of the two
+    /// sorted entry lists — scales are *not* consulted; the caller folds
+    /// both rows' scales into `k`. The merged result is built in
+    /// `scratch`, which is then swapped in; the buffers alternate across
+    /// calls so neither is reallocated once warm.
     fn add_scaled(&mut self, other: &Row, k: &Rat, scratch: &mut Vec<(SimVar, Rat)>) {
         scratch.clear();
         scratch.reserve(self.entries.len() + other.entries.len());
@@ -117,6 +139,33 @@ impl Row {
         }
         scratch.extend(a);
         std::mem::swap(&mut self.entries, scratch);
+    }
+
+    /// Big-op confinement: when any entry has left the i64 fast path,
+    /// divide every entry by the row's rational content (gcd of numerators
+    /// over lcm of denominators — the canonical factor making the entries
+    /// a primitive integer vector) and fold it into the scale. Entries
+    /// that merely share a huge accumulated pivot factor drop back to
+    /// small integers; the factor lives on in the single `scale` scalar.
+    fn normalize(&mut self) {
+        if self.entries.iter().all(|(_, c)| c.is_small()) {
+            return;
+        }
+        let mut gn = ccmatic_num::BigInt::zero();
+        let mut ld = ccmatic_num::BigInt::one();
+        for (_, c) in &self.entries {
+            gn = gn.gcd(c.numer());
+            ld = ld.lcm(c.denom());
+        }
+        let content = Rat::new(gn, ld);
+        if content == Rat::one() {
+            return;
+        }
+        let inv = content.recip();
+        for (_, c) in self.entries.iter_mut() {
+            *c *= &inv;
+        }
+        self.scale *= &content;
     }
 }
 
@@ -259,11 +308,14 @@ impl Simplex {
                 continue;
             }
             if let Some(sub) = &self.rows[v.0 as usize] {
-                row.add_scaled(sub, c, &mut scratch);
+                // Fold the substituted row's scale into the merge factor:
+                // c·v = c·(scale·Σ entry·x) = (c·scale)·Σ entry·x.
+                row.add_scaled(sub, &(c * &sub.scale), &mut scratch);
             } else {
                 row.add_term(*v, c);
             }
         }
+        row.normalize();
         self.scratch = scratch;
         let s = self.new_var();
         // Initial value = row evaluated at current assignment.
@@ -271,6 +323,7 @@ impl Simplex {
         for (v, c) in row.iter() {
             val = &val + &self.value[v.0 as usize].scale(c);
         }
+        val = val.scale(&row.scale);
         self.value[s.0 as usize] = val;
         self.rows[s.0 as usize] = Some(row);
         s
@@ -349,8 +402,8 @@ impl Simplex {
         let delta = &new_val - &self.value[v.0 as usize];
         for b in 0..self.rows.len() {
             if let Some(row) = &self.rows[b] {
-                if let Some(c) = row.get(v) {
-                    let adj = delta.scale(c);
+                if let Some(c) = row.effective(v) {
+                    let adj = delta.scale(&c);
                     self.value[b] = &self.value[b] + &adj;
                 }
             }
@@ -386,9 +439,19 @@ impl Simplex {
             };
             let bi = b.0 as usize;
             let row = self.rows[bi].as_ref().expect("violating variable is basic");
-            // Find a nonbasic variable that can move `b` toward its bound
-            // (lowest index — Bland's rule prevents cycling).
+            let scale = row.scale.clone();
+            // One pass over the row: find a pivot column (lowest index —
+            // Bland's rule prevents cycling) and, in the same scan,
+            // propagate bounds — accumulate the extreme value the row can
+            // reach given the nonbasic bounds in the helpful direction.
+            // If every term is bounded and the extreme still misses `b`'s
+            // bound, the system is infeasible *now*: emit the Farkas
+            // conflict immediately instead of pivoting toward it (the
+            // fully-blocked dead end below is the special case where every
+            // nonbasic already sits at its limiting bound).
             let mut pivot_col: Option<SimVar> = None;
+            let mut extreme: Option<(DeltaRat, Vec<(Tag, Rat)>)> =
+                Some((DeltaRat::zero(), Vec::new()));
             for (j, c) in row.iter() {
                 let ji = j.0 as usize;
                 let can_fix = if below {
@@ -400,17 +463,55 @@ impl Simplex {
                     (c.is_positive() && self.can_decrease(ji))
                         || (c.is_negative() && self.can_increase(ji))
                 };
-                if can_fix {
+                if can_fix && pivot_col.is_none() {
                     pivot_col = Some(j);
+                }
+                if let Some((acc, lams)) = &mut extreme {
+                    // The bound limiting this term in the helpful
+                    // direction: increasing b wants positive-coefficient
+                    // vars at their upper bounds (and vice versa).
+                    let wants_upper = below == c.is_positive();
+                    let lim = if wants_upper { &self.upper[ji] } else { &self.lower[ji] };
+                    match lim {
+                        Some(bv) => {
+                            let eff = &scale * c;
+                            *acc = &*acc + &bv.value.scale(&eff);
+                            lams.push((bv.tag, eff.abs()));
+                        }
+                        // Unbounded in the helpful direction: the row can
+                        // reach any value, no conclusion.
+                        None => extreme = None,
+                    }
+                }
+                if pivot_col.is_some() && extreme.is_none() {
                     break;
+                }
+            }
+            if let Some((reach, lams)) = extreme {
+                let (own, missed) = if below {
+                    let l = self.lower[bi].as_ref().unwrap();
+                    (l.tag, reach < l.value)
+                } else {
+                    let u = self.upper[bi].as_ref().unwrap();
+                    (u.tag, reach > u.value)
+                };
+                if missed {
+                    let mut farkas = Vec::new();
+                    TheoryConflict::add_farkas(&mut farkas, own, Rat::one());
+                    for (tag, lam) in lams {
+                        TheoryConflict::add_farkas(&mut farkas, tag, lam);
+                    }
+                    return Err(TheoryConflict::from_farkas(farkas));
                 }
             }
             let Some(j) = pivot_col else {
                 // Infeasible: every nonbasic is pinned at the blocking bound.
                 // The Farkas combination uses multiplier 1 for the violated
-                // bound on `b` and |c| for each blocking bound: since
-                // `b = Σ c·x` holds identically, the variable parts cancel
-                // and the constants sum to a negative value.
+                // bound on `b` and |scale·c| for each blocking bound: since
+                // `b = scale·Σ c·x` holds identically, the variable parts
+                // cancel and the constants sum to a negative value. (With
+                // bound propagation above this is only reachable when a
+                // blocked bound equals the reachable extreme exactly.)
                 let own = if below {
                     self.lower[bi].as_ref().unwrap().tag
                 } else {
@@ -433,7 +534,7 @@ impl Simplex {
                     } else {
                         self.upper[ji].as_ref()
                     };
-                    let lam = if c.is_positive() { c.clone() } else { -c };
+                    let lam = (&scale * c).abs();
                     let tag = blocking.expect("blocking bound must exist").tag;
                     TheoryConflict::add_farkas(&mut farkas, tag, lam);
                 }
@@ -470,30 +571,43 @@ impl Simplex {
         let ji = j.0 as usize;
         // `b`'s row is transformed in place into `j`'s row below; no clone.
         let mut row_j = self.rows[bi].take().expect("pivot row is basic");
+        let s = std::mem::replace(&mut row_j.scale, Rat::one());
         let a_bj = row_j.remove(j).expect("pivot column must be in row");
-        let inv = a_bj.recip();
-        // Value updates: θ = (target − β(b)) / a_bj.
-        let theta = (&target - &self.value[bi]).scale(&inv);
+        // Value updates: θ = (target − β(b)) / (s·a_bj), the effective
+        // pivot coefficient.
+        let inv_eff = (&s * &a_bj).recip();
+        let theta = (&target - &self.value[bi]).scale(&inv_eff);
         self.value[bi] = target;
         self.value[ji] = &self.value[ji] + &theta;
         for i in 0..self.rows.len() {
             if let Some(row) = &self.rows[i] {
-                if let Some(c) = row.get(j) {
-                    let adj = theta.scale(c);
+                if let Some(c) = row.effective(j) {
+                    let adj = theta.scale(&c);
                     self.value[i] = &self.value[i] + &adj;
                 }
             }
         }
-        // Row for j: from b = Σ a_k x_k,
-        //   x_j = (1/a_bj)·b − Σ_{k≠j} (a_k/a_bj)·x_k
-        // Scale the remaining entries of b's row in place, then insert b
-        // (which, having been basic, cannot already appear).
-        let neg_inv = -&inv;
-        for (_, c) in row_j.entries.iter_mut() {
-            *c *= &neg_inv;
+        // Row for j: from b = s·Σ a_k x_k, with σ = sign(a_bj),
+        //   x_j = (1/|a_bj|)·( (σ/s)·b − Σ_{k≠j} σ·a_k·x_k )
+        // — the division by a_bj lives in the new (positive) scale
+        // 1/|a_bj|, so the surviving entries keep their magnitudes (only
+        // flipping sign) and big-number growth is confined to the scale
+        // and the single fresh `b` entry. `b`, having been basic, cannot
+        // already appear in its own row.
+        let positive = a_bj.is_positive();
+        row_j.scale = a_bj.abs().recip();
+        if positive {
+            for (_, c) in row_j.entries.iter_mut() {
+                *c = -&*c;
+            }
         }
-        row_j.add_term(b, &inv);
-        // Substitute x_j in every other row via the shared scratch buffer.
+        let b_entry = if positive { s.recip() } else { -s.recip() };
+        row_j.add_term(b, &b_entry);
+        row_j.normalize();
+        // Substitute x_j in every other row via the shared scratch buffer,
+        // folding both scales into the merge factor:
+        //   s_i·c·x_j = s_i·c·t·Σ e·x  ⇒  entries += (c·t)·e.
+        let t = row_j.scale.clone();
         let mut scratch = std::mem::take(&mut self.scratch);
         for i in 0..self.rows.len() {
             if i == ji {
@@ -501,7 +615,8 @@ impl Simplex {
             }
             if let Some(row) = &mut self.rows[i] {
                 if let Some(c) = row.remove(j) {
-                    row.add_scaled(&row_j, &c, &mut scratch);
+                    row.add_scaled(&row_j, &(&c * &t), &mut scratch);
+                    row.normalize();
                 }
             }
         }
@@ -732,6 +847,92 @@ mod tests {
         s.check().unwrap();
         let vals = s.concrete_values();
         assert!(&vals[0] + &vals[1] >= int(4));
+    }
+
+    #[test]
+    fn bound_propagation_reports_full_conflict_without_pivoting() {
+        // s = 2x + 3y with x ≤ 1, y ≤ 1 can reach at most 5; s ≥ 6 is
+        // infeasible by bound propagation alone. The conflict must cite
+        // all three bounds with Farkas multipliers matching the row
+        // coefficients (scale 1 here).
+        let mut s = Simplex::new();
+        let x = s.new_var();
+        let y = s.new_var();
+        let sl = s.define_slack(&[(x, int(2)), (y, int(3))]);
+        s.assert_upper(x, dr(int(1)), 1).unwrap();
+        s.assert_upper(y, dr(int(1)), 2).unwrap();
+        s.assert_lower(sl, dr(int(6)), 0).unwrap();
+        let pivots_before = s.pivots;
+        let err = s.check().unwrap_err();
+        assert_eq!(s.pivots, pivots_before, "propagation must fire before any pivot");
+        let mut tags = err.tags;
+        tags.sort_unstable();
+        assert_eq!(tags, vec![0, 1, 2]);
+        let lam = |t: Tag| err.farkas.iter().find(|e| e.0 == t).map(|e| e.1.clone());
+        assert_eq!(lam(0), Some(int(1)));
+        assert_eq!(lam(1), Some(int(2)));
+        assert_eq!(lam(2), Some(int(3)));
+    }
+
+    #[test]
+    fn huge_shared_factors_are_confined_to_the_row_scale() {
+        // Coefficients sharing a > 2^63 factor: content normalization must
+        // bring every stored entry back to the i64 fast path while the
+        // system still solves exactly.
+        let huge = Rat::new(
+            &ccmatic_num::BigInt::from(i64::MAX) * &ccmatic_num::BigInt::from(4i64),
+            ccmatic_num::BigInt::one(),
+        );
+        let mut s = Simplex::new();
+        let x = s.new_var();
+        let y = s.new_var();
+        let sl = s.define_slack(&[(x, &huge * &int(1)), (y, &huge * &int(2))]);
+        for row in s.rows.iter().flatten() {
+            assert!(
+                row.entries.iter().all(|(_, c)| c.is_small()),
+                "normalization left a big entry: {:?}",
+                row.entries
+            );
+        }
+        // huge·x + 2·huge·y = 3·huge has the solution x = y = 1.
+        let rhs = &huge * &int(3);
+        s.assert_upper(sl, dr(rhs.clone()), 0).unwrap();
+        s.assert_lower(sl, dr(rhs.clone()), 1).unwrap();
+        s.assert_lower(x, dr(int(1)), 2).unwrap();
+        s.assert_upper(x, dr(int(1)), 3).unwrap();
+        s.check().unwrap();
+        let vals = s.concrete_values();
+        assert_eq!(vals[y.0 as usize], int(1));
+    }
+
+    #[test]
+    fn pivoting_keeps_entry_magnitudes_from_compounding() {
+        // A chain of fractional-coefficient slacks pivoted repeatedly: the
+        // 1/a_bj factors must accumulate in row scales, leaving every
+        // stored entry on the i64 fast path.
+        let mut s = Simplex::new();
+        let vars: Vec<SimVar> = (0..4).map(|_| s.new_var()).collect();
+        let mut slacks = Vec::new();
+        for w in vars.windows(2) {
+            slacks.push(s.define_slack(&[(w[0], rat(1, 3)), (w[1], rat(5, 7))]));
+        }
+        for (i, sl) in slacks.iter().enumerate() {
+            s.assert_lower(*sl, dr(int(i as i64 + 1)), i as u32).unwrap();
+        }
+        s.assert_upper(vars[0], dr(int(0)), 100).unwrap();
+        s.check().unwrap();
+        assert!(s.pivots > 0, "the chain must force pivoting");
+        for row in s.rows.iter().flatten() {
+            assert!(row.scale.is_positive(), "row scale must stay positive");
+            assert!(row.entries.iter().all(|(_, c)| c.is_small()));
+        }
+        // The model still satisfies every constraint exactly.
+        let vals = s.concrete_values();
+        for (i, w) in vars.windows(2).enumerate() {
+            let lhs =
+                &(&vals[w[0].0 as usize] * &rat(1, 3)) + &(&vals[w[1].0 as usize] * &rat(5, 7));
+            assert!(lhs >= int(i as i64 + 1), "slack {i} violated: {lhs}");
+        }
     }
 
     #[test]

@@ -29,6 +29,7 @@ fn main() {
         seed: 0,
         dispatch_min: ccmatic::synth::DEFAULT_DISPATCH_MIN,
         certify: false,
+        region_pruning: true,
     };
     println!(
         "Synthesizing a CCA: search space {} candidates, targets util ≥ {} / queue ≤ {} BDP\n",

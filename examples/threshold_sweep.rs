@@ -30,6 +30,7 @@ fn main() {
         seed: 0,
         dispatch_min: ccmatic::synth::DEFAULT_DISPATCH_MIN,
         certify: false,
+        region_pruning: true,
     };
 
     println!("## Delay sweep (util ≥ 1/2 fixed)\n");

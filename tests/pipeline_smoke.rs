@@ -25,6 +25,7 @@ fn synthesize_then_simulate() {
         seed: 0,
         dispatch_min: ccmatic::synth::DEFAULT_DISPATCH_MIN,
         certify: false,
+        region_pruning: true,
     };
     let result = synthesize(&opts);
     let Outcome::Solution(spec) = result.outcome else {
