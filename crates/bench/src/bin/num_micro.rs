@@ -114,7 +114,7 @@ fn main() {
     let operands = small_rats(4_000, 42);
     let before = ccmatic_num::arith_snapshot();
     let pivots_before = ccmatic_smt::lra::pivots_total();
-    let results = vec![
+    let results = [
         rat_add_case(&operands),
         rat_mul_case(&operands),
         rat_cmp_case(&operands),

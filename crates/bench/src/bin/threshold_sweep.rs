@@ -2,37 +2,74 @@
 //! utilization and delay targets move.
 //!
 //! ```sh
-//! cargo run --release -p ccmatic-bench --bin threshold_sweep -- [--scale ci|paper] [--budget-secs N]
+//! cargo run --release -p ccmatic-bench --bin threshold_sweep -- \
+//!     [--scale ci|paper] [--budget-secs N] [--sweep-budget-secs N] \
+//!     [--no-warm-start] [--cache-dir DIR] [--require-cached] [--out FILE]
 //! ```
 //!
-//! Sweep points fan out across a worker pool (override with
-//! `CCMATIC_SWEEP_THREADS`). Emits `BENCH_threshold_sweep.json` with the
+//! By default each axis runs warm-started: points execute sequentially
+//! loose→tight, carrying re-validated counterexample traces and
+//! pre-verified solutions forward. `--no-warm-start` restores the cold
+//! parallel fan-out (worker pool, override with `CCMATIC_SWEEP_THREADS`).
+//! With `--cache-dir` every point consults (and populates) the persistent
+//! certificate-backed result cache; `--require-cached` then fails the run
+//! unless *every* point was answered from the cache with zero solver
+//! probes — CI uses this to prove the cache actually short-circuits.
+//!
+//! The sweep-level wall budget (`--sweep-budget-secs`, default
+//! `--budget-secs`) bounds each whole axis: successive points get only the
+//! wall that remains, and overruns are reported as `budget_exceeded` in
+//! the JSON instead of silently blowing past the budget.
+//!
+//! Emits `BENCH_threshold_sweep.json` (or `--out FILE`) with the
 //! machine-readable numbers.
 
 use ccac_model::Thresholds;
-use ccmatic::sweep::{render_table, sweep_delay, sweep_threads, sweep_utilization, SweepRow};
+use ccmatic::cache::ResultCache;
+use ccmatic::sweep::{render_table, sweep_threads, sweep_with_config, SweepConfig, SweepReport};
 use ccmatic::synth::{OptMode, SynthOptions};
 use ccmatic_bench::{table1_rows, write_json, Json, Scale};
 use ccmatic_cegis::Budget;
 use ccmatic_num::{int, rat, Rat};
+use std::process::ExitCode;
 use std::time::{Duration, Instant};
 
-fn sweep_json(rows: &[SweepRow], values: &[Rat], wall_s: f64) -> Json {
+fn sweep_json(report: &SweepReport, values: &[Rat], wall_s: f64) -> Json {
+    let cs = &report.cache_stats;
     Json::obj(vec![
         ("wall_s", Json::Num(wall_s)),
+        ("budget_exceeded", Json::Bool(report.budget_exceeded)),
+        (
+            "cache",
+            Json::obj(vec![
+                ("hits", Json::UInt(cs.hits)),
+                ("misses", Json::UInt(cs.misses)),
+                ("rejected", Json::UInt(cs.rejected)),
+                ("stores", Json::UInt(cs.stores)),
+                ("cert_ms", Json::Num(cs.cert_ms)),
+            ]),
+        ),
         (
             "points",
             Json::Arr(
-                rows.iter()
+                report
+                    .rows
+                    .iter()
                     .zip(values)
                     .map(|(row, v)| {
+                        let s = &row.result.stats;
                         Json::obj(vec![
                             ("threshold", Json::Str(v.to_string())),
                             ("solutions", Json::UInt(row.result.solutions.len() as u64)),
                             ("complete", Json::Bool(row.result.complete)),
-                            ("iterations", Json::UInt(row.result.stats.iterations)),
-                            ("wall_s", Json::Num(row.result.stats.wall.as_secs_f64())),
+                            ("iterations", Json::UInt(s.iterations)),
+                            ("wall_s", Json::Num(s.wall.as_secs_f64())),
                             ("solver_probes", Json::UInt(row.result.solver_probes)),
+                            ("warm_traces_seeded", Json::UInt(s.warm_traces_seeded)),
+                            ("warm_traces_rejected", Json::UInt(s.warm_traces_rejected)),
+                            ("warm_solutions_confirmed", Json::UInt(s.warm_solutions_confirmed)),
+                            ("cache_hits", Json::UInt(s.cache_hits)),
+                            ("cache_cert_ms", Json::Num(s.cache_cert_ms)),
                         ])
                     })
                     .collect(),
@@ -41,14 +78,34 @@ fn sweep_json(rows: &[SweepRow], values: &[Rat], wall_s: f64) -> Json {
     ])
 }
 
-fn main() {
+/// `--require-cached`: every point must have been answered by the cache
+/// (certificate re-check only, zero solver probes).
+fn require_cached(axis: &str, report: &SweepReport, values: &[Rat]) -> bool {
+    let mut ok = true;
+    for (row, v) in report.rows.iter().zip(values) {
+        if row.result.stats.cache_hits == 0 || row.result.solver_probes > 0 {
+            eprintln!(
+                "require-cached FAILED: {axis} point {v} re-solved \
+                 (cache hits {}, solver probes {})",
+                row.result.stats.cache_hits, row.result.solver_probes
+            );
+            ok = false;
+        }
+    }
+    ok
+}
+
+fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().collect();
+    let flag = |k: &str| args.iter().any(|a| a == k);
+    let opt = |k: &str| args.windows(2).find(|w| w[0] == k).map(|w| w[1].clone());
     let scale = if args.iter().any(|a| a == "paper") { Scale::Paper } else { Scale::Ci };
-    let budget_secs: u64 = args
-        .windows(2)
-        .find(|w| w[0] == "--budget-secs")
-        .and_then(|w| w[1].parse().ok())
-        .unwrap_or(600);
+    let budget_secs: u64 = opt("--budget-secs").and_then(|v| v.parse().ok()).unwrap_or(600);
+    let sweep_budget_secs: u64 =
+        opt("--sweep-budget-secs").and_then(|v| v.parse().ok()).unwrap_or(budget_secs);
+    let warm_start = !flag("--no-warm-start");
+    let cache_dir = opt("--cache-dir");
+    let out = opt("--out").unwrap_or_else(|| "BENCH_threshold_sweep.json".into());
 
     // The paper sweeps the No-cwnd/Large space; at ci scale we sweep the
     // Small row so the full sweep fits in minutes.
@@ -72,39 +129,68 @@ fn main() {
         region_pruning: true,
     };
 
+    let make_cfg = || SweepConfig {
+        threads: sweep_threads(),
+        warm_start,
+        cache: cache_dir.as_ref().map(|d| ResultCache::new(d).expect("unusable --cache-dir")),
+        sweep_wall: Some(Duration::from_secs(sweep_budget_secs)),
+    };
+
     let threads = sweep_threads();
     println!(
-        "# Threshold sweeps over {} / {} ({threads} worker threads)\n",
-        row.params, row.domain_label
+        "# Threshold sweeps over {} / {} ({}, {sweep_budget_secs}s per axis)\n",
+        row.params,
+        row.domain_label,
+        if warm_start {
+            "warm-started, sequential".to_string()
+        } else {
+            format!("cold, {threads} worker threads")
+        }
     );
 
+    // Both axes sweep loose→tight so the warm carry's nested-solution
+    // pre-verification pays off.
     println!("## E4: delay sweep at util ≥ 1/2");
     println!("paper: 245 @ ≤8×RTT · 12 @ ≤4 · 9 @ ≤3.6 · 0 @ ≤3\n");
     let delay_values = [int(8), int(4), rat(18, 5), int(3)];
     let t0 = Instant::now();
-    let delay_rows = sweep_delay(&base, &delay_values);
+    let delay_report =
+        sweep_with_config(&base, &delay_values, |t, d| t.delay = d.clone(), &make_cfg());
     let delay_wall = t0.elapsed().as_secs_f64();
-    println!("{}", render_table(&delay_rows));
-    println!("sweep wall: {delay_wall:.1}s\n");
+    println!("{}", render_table(&delay_report.rows));
+    println!("sweep wall: {delay_wall:.1}s (budget exceeded: {})\n", delay_report.budget_exceeded);
 
     println!("## E3: utilization sweep at delay ≤ 4×RTT");
     println!("paper: 12 @ ≥50% · 2 @ ≥65% · 1 @ ≥70% (Eq. iii)\n");
     let util_values = [rat(1, 2), rat(13, 20), rat(7, 10)];
     let t0 = Instant::now();
-    let util_rows = sweep_utilization(&base, &util_values);
+    let util_report =
+        sweep_with_config(&base, &util_values, |t, u| t.util = u.clone(), &make_cfg());
     let util_wall = t0.elapsed().as_secs_f64();
-    println!("{}", render_table(&util_rows));
-    println!("sweep wall: {util_wall:.1}s");
+    println!("{}", render_table(&util_report.rows));
+    println!("sweep wall: {util_wall:.1}s (budget exceeded: {})", util_report.budget_exceeded);
 
     let json = Json::obj(vec![
         ("bench", Json::Str("threshold_sweep".into())),
         ("scale", Json::Str(format!("{scale:?}").to_lowercase())),
         ("budget_secs", Json::UInt(budget_secs)),
+        ("sweep_budget_secs", Json::UInt(sweep_budget_secs)),
+        ("warm_start", Json::Bool(warm_start)),
         ("threads", Json::UInt(threads as u64)),
         ("params", Json::Str(row.params.into())),
         ("domain", Json::Str(row.domain_label.into())),
-        ("delay_sweep", sweep_json(&delay_rows, &delay_values, delay_wall)),
-        ("utilization_sweep", sweep_json(&util_rows, &util_values, util_wall)),
+        ("delay_sweep", sweep_json(&delay_report, &delay_values, delay_wall)),
+        ("utilization_sweep", sweep_json(&util_report, &util_values, util_wall)),
     ]);
-    let _ = write_json("BENCH_threshold_sweep.json", &json);
+    let _ = write_json(&out, &json);
+
+    if flag("--require-cached") {
+        let ok = require_cached("delay", &delay_report, &delay_values)
+            & require_cached("util", &util_report, &util_values);
+        if !ok {
+            return ExitCode::FAILURE;
+        }
+        println!("require-cached: every point answered by certificate re-check");
+    }
+    ExitCode::SUCCESS
 }

@@ -13,6 +13,10 @@
 //! ccmatic verify  --cca "b1,b2,b3,b4,g"   (β taps then γ; rationals like 3/2)
 //!                 [--certify]
 //! ccmatic enumerate [same space/threshold flags]
+//!                 [--cache-dir DIR]  (certificate-backed persistent result cache)
+//! ccmatic sweep   --axis delay|util --values "8,4,3.6,3"  [same space flags]
+//!                 [--no-warm-start]  (default: sequential warm-started sweep)
+//!                 [--cache-dir DIR] [--sweep-budget-secs N]
 //! ccmatic assume  --cca "…"
 //! ccmatic diff    --cca "…" --cca-b "…"
 //! ```
@@ -22,8 +26,10 @@
 
 use ccac_model::{NetConfig, Thresholds};
 use ccmatic::assumptions::describe;
+use ccmatic::cache::ResultCache;
 use ccmatic::differential::{compare, separating_environment};
-use ccmatic::enumerate::enumerate_all;
+use ccmatic::enumerate::enumerate_all_with;
+use ccmatic::sweep::{render_table, sweep_with_config, SweepConfig};
 use ccmatic::synth::{synthesize, OptMode, SynthOptions};
 use ccmatic::template::{CcaSpec, TemplateShape};
 use ccmatic::verifier::{CcaVerifier, VerifyConfig};
@@ -80,7 +86,7 @@ impl KernelSnapshot {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: ccmatic <synth|verify|enumerate|assume|diff> [flags]\n\
+        "usage: ccmatic <synth|verify|enumerate|sweep|assume|diff> [flags]\n\
          flags: --space no-cwnd-small|no-cwnd-large|cwnd-small|cwnd-large\n\
          \x20      --mode baseline|rp|rp-wce   --util F --delay F\n\
          \x20      --budget-secs N --horizon N --lookback N --jitter N\n\
@@ -90,6 +96,10 @@ fn usage() -> ExitCode {
          \x20      --stats  (print kernel counters: pivots, promotions, fast-path coverage)\n\
          \x20      --certify  (synth/verify: re-check every UNSAT verdict against a\n\
          \x20                  DRAT+Farkas certificate with the independent checker)\n\
+         \x20      --cache-dir DIR  (enumerate/sweep: certificate-backed result cache)\n\
+         \x20      --axis delay|util --values \"8,4,3.6,3\"  (sweep points)\n\
+         \x20      --no-warm-start  (sweep: parallel cold points instead of carry-over)\n\
+         \x20      --sweep-budget-secs N  (wall budget for the whole sweep)\n\
          \x20      --cca \"b1,b2,…,g\"  --cca-b \"…\"  (β taps then γ)"
     );
     ExitCode::FAILURE
@@ -278,7 +288,26 @@ fn main() -> ExitCode {
             }
         }
         "enumerate" => {
-            let r = enumerate_all(&opts);
+            let cache = match args.get("--cache-dir").map(ResultCache::new) {
+                Some(Ok(c)) => Some(c),
+                Some(Err(e)) => {
+                    eprintln!("cannot open cache dir: {e}");
+                    return ExitCode::FAILURE;
+                }
+                None => None,
+            };
+            let out = enumerate_all_with(&opts, None, cache.as_ref());
+            let r = &out.result;
+            if out.from_cache {
+                eprintln!(
+                    "cache hit: answered by certificate re-check in {:.1} ms (0 solver probes)",
+                    r.stats.cache_cert_ms
+                );
+            } else if let Some(why) = &out.cache_rejected {
+                eprintln!("cache entry rejected ({why}); solved fresh");
+            } else if out.stored {
+                eprintln!("cache populated for future runs");
+            }
             println!(
                 "{} solution(s), exhaustive: {}, {} iterations",
                 r.solutions.len(),
@@ -287,6 +316,75 @@ fn main() -> ExitCode {
             );
             for s in &r.solutions {
                 println!("  {s}");
+            }
+            if kernel.is_some() {
+                eprintln!(
+                    "warm/cache: traces seeded {} · traces rejected {} · solutions confirmed {} · cache hits {} · cert {:.1} ms",
+                    r.stats.warm_traces_seeded,
+                    r.stats.warm_traces_rejected,
+                    r.stats.warm_solutions_confirmed,
+                    r.stats.cache_hits,
+                    r.stats.cache_cert_ms
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        "sweep" => {
+            let Some(values) = args.get("--values").and_then(|v| {
+                v.split(',').map(|p| Rat::from_decimal_str(p.trim())).collect::<Option<Vec<_>>>()
+            }) else {
+                eprintln!("sweep needs --values \"8,4,3.6,3\" (comma-separated rationals)");
+                return usage();
+            };
+            let cache = match args.get("--cache-dir").map(ResultCache::new) {
+                Some(Ok(c)) => Some(c),
+                Some(Err(e)) => {
+                    eprintln!("cannot open cache dir: {e}");
+                    return ExitCode::FAILURE;
+                }
+                None => None,
+            };
+            let cfg = SweepConfig {
+                threads: ccmatic::sweep::sweep_threads(),
+                warm_start: !args.has("--no-warm-start"),
+                cache,
+                sweep_wall: args
+                    .get("--sweep-budget-secs")
+                    .and_then(|v| v.parse().ok())
+                    .map(Duration::from_secs),
+            };
+            let report = match args.get("--axis").unwrap_or("delay") {
+                "util" => sweep_with_config(&opts, &values, |t, u| t.util = u.clone(), &cfg),
+                "delay" => sweep_with_config(&opts, &values, |t, d| t.delay = d.clone(), &cfg),
+                other => {
+                    eprintln!("unknown sweep axis `{other}` (expected delay or util)");
+                    return usage();
+                }
+            };
+            print!("{}", render_table(&report.rows));
+            println!("budget exceeded: {}", report.budget_exceeded);
+            let cs = &report.cache_stats;
+            if cs.hits + cs.misses + cs.rejected + cs.stores > 0 {
+                println!(
+                    "cache: {} hit(s) · {} miss(es) · {} rejected · {} stored · {:.1} ms in checker",
+                    cs.hits, cs.misses, cs.rejected, cs.stores, cs.cert_ms
+                );
+            }
+            if kernel.is_some() {
+                for row in &report.rows {
+                    let s = &row.result.stats;
+                    eprintln!(
+                        "point util {} delay {}: seeded {} · rejected {} · confirmed {} · cache hits {} · cert {:.1} ms · {:.1}s",
+                        row.thresholds.util,
+                        row.thresholds.delay,
+                        s.warm_traces_seeded,
+                        s.warm_traces_rejected,
+                        s.warm_solutions_confirmed,
+                        s.cache_hits,
+                        s.cache_cert_ms,
+                        s.wall.as_secs_f64()
+                    );
+                }
             }
             ExitCode::SUCCESS
         }

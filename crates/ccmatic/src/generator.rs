@@ -45,6 +45,7 @@ use crate::replay::TraceReplay;
 use crate::template::{CcaSpec, TemplateShape};
 use ccac_model::{NetConfig, Thresholds, Trace};
 use ccmatic_num::Rat;
+use ccmatic_proof::UnsatCertificate;
 use ccmatic_smt::{Context, Interrupt, LinExpr, RealVar, SatResult, SearchConfig, Solver, Term};
 use std::collections::VecDeque;
 use std::time::Instant;
@@ -100,6 +101,16 @@ pub struct SmtGenerator {
     /// the differential suite toggles it off to compare against the
     /// response-variable path.
     region_pruning: bool,
+    /// Proof logging on (set at construction — proofs must be enabled
+    /// before the first assertion). Base-level exhaustion claims then carry
+    /// a checkable UNSAT certificate.
+    certify: bool,
+    /// Scope depth from [`SmtGenerator::enter_shard`]; an Unsat inside a
+    /// shard scope is not a whole-space exhaustion claim.
+    shard_depth: usize,
+    /// The certificate backing the most recent base-level exhaustion claim
+    /// (`propose` → `None` / empty uninterrupted batch), when certifying.
+    last_exhaustion_cert: Option<UnsatCertificate>,
     /// Counterexamples learned (kept for reporting).
     pub num_learned: u64,
     /// Blocking clauses asserted by the dominance/symmetry BFS of
@@ -130,6 +141,32 @@ impl SmtGenerator {
         mode: FeasibilityMode,
         config: SearchConfig,
     ) -> Self {
+        Self::build(shape, net, thresholds, mode, config, false)
+    }
+
+    /// [`SmtGenerator::new_with_config`] with proof logging enabled from
+    /// the first assertion, so base-level exhaustion claims (`propose` →
+    /// `None`) carry an [`UnsatCertificate`] retrievable via
+    /// [`SmtGenerator::take_exhaustion_cert`]. The persistent result cache
+    /// stores that certificate alongside the enumerated solution set.
+    pub fn new_certified(
+        shape: TemplateShape,
+        net: NetConfig,
+        thresholds: Thresholds,
+        mode: FeasibilityMode,
+        config: SearchConfig,
+    ) -> Self {
+        Self::build(shape, net, thresholds, mode, config, true)
+    }
+
+    fn build(
+        shape: TemplateShape,
+        net: NetConfig,
+        thresholds: Thresholds,
+        mode: FeasibilityMode,
+        config: SearchConfig,
+        certify: bool,
+    ) -> Self {
         assert!(
             net.history > shape.lookback,
             "network history {} must exceed template lookback {}",
@@ -139,8 +176,12 @@ impl SmtGenerator {
         let mut ctx = Context::new();
         let mut solver = Solver::new();
         // Before any assertion: the seed and phase policy apply to
-        // variables as they are created.
+        // variables as they are created, and proof logging (when certifying)
+        // must see every input clause.
         solver.set_search_config(config);
+        if certify {
+            solver.enable_proofs();
+        }
         let mut coeffs = Vec::new();
         let domain = shape.domain.values();
         let names: Vec<String> = Self::coeff_names(&shape);
@@ -179,10 +220,33 @@ impl SmtGenerator {
             mode,
             coeffs,
             replay,
+            certify,
+            shard_depth: 0,
+            last_exhaustion_cert: None,
             region_pruning: true,
             num_learned: 0,
             regions_pruned: 0,
         }
+    }
+
+    /// The certificate backing the most recent base-level exhaustion claim,
+    /// if this generator certifies (see [`SmtGenerator::new_certified`]).
+    pub fn take_exhaustion_cert(&mut self) -> Option<UnsatCertificate> {
+        self.last_exhaustion_cert.take()
+    }
+
+    /// One solver check; when certifying, an Unsat with no scoped blocks in
+    /// force (`scoped == false`) is a whole-space exhaustion claim and its
+    /// proof snapshot is retained for [`SmtGenerator::take_exhaustion_cert`].
+    fn check_tracking_exhaustion(&mut self, scoped: bool) -> SatResult {
+        if !self.certify {
+            return self.solver.check(&self.ctx);
+        }
+        let certified = self.solver.check_certified(&self.ctx);
+        if certified.result == SatResult::Unsat && !scoped && self.shard_depth == 0 {
+            self.last_exhaustion_cert = certified.certificate;
+        }
+        certified.result
     }
 
     /// Enable or disable region pruning (region-form σ and the dominance
@@ -226,7 +290,7 @@ impl SmtGenerator {
     /// Ask the solver for a coefficient assignment consistent with every
     /// learned counterexample. `None` means the space is exhausted.
     pub fn propose(&mut self) -> Option<CcaSpec> {
-        match self.solver.check(&self.ctx) {
+        match self.check_tracking_exhaustion(false) {
             SatResult::Sat => Some(self.read_model()),
             SatResult::Unsat => None,
             // `None` from propose is a *completeness claim* ("no candidate
@@ -246,7 +310,7 @@ impl SmtGenerator {
     /// keep their exhaustive-completeness contract.
     pub fn propose_interruptible(&mut self, interrupt: &Interrupt) -> Proposal {
         self.solver.interrupt = interrupt.clone();
-        let result = match self.solver.check(&self.ctx) {
+        let result = match self.check_tracking_exhaustion(false) {
             SatResult::Sat => Proposal::Candidate(self.read_model()),
             SatResult::Unsat => Proposal::Exhausted,
             SatResult::Unknown => Proposal::Interrupted,
@@ -265,6 +329,7 @@ impl SmtGenerator {
     /// without polluting the base space.
     pub fn enter_shard(&mut self, prefix: &[Rat]) {
         debug_assert!(prefix.len() <= self.coeffs.len());
+        self.shard_depth += 1;
         self.solver.push();
         for (coeff, v) in self.coeffs.iter().zip(prefix) {
             let sel = coeff
@@ -281,6 +346,7 @@ impl SmtGenerator {
     /// [`SmtGenerator::enter_shard`], discarding the shard selectors and any
     /// shard-local learning.
     pub fn exit_shard(&mut self) {
+        self.shard_depth -= 1;
         self.solver.pop();
     }
 
@@ -351,7 +417,7 @@ impl SmtGenerator {
             None => Interrupt::none(),
         };
         while candidates.len() < k {
-            match self.solver.check(&self.ctx) {
+            match self.check_tracking_exhaustion(pushes > 0) {
                 SatResult::Sat => {
                     let spec = self.read_model();
                     if candidates.len() + 1 < k {

@@ -1,6 +1,7 @@
-//! A minimal JSON value + serializer, so the bench binaries can emit
-//! machine-readable `BENCH_*.json` files without pulling a serialization
-//! dependency into the workspace.
+//! A minimal JSON value + serializer/parser, shared by the persistent
+//! result cache ([`crate::cache`]) and — via a re-export — the bench
+//! binaries' machine-readable `BENCH_*.json` files, without pulling a
+//! serialization dependency into the workspace.
 
 use std::fmt::Write as _;
 
@@ -240,6 +241,16 @@ fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
     *pos += 1;
     let mut out = String::new();
     loop {
+        // Bulk-copy runs of plain ASCII first: cache entries embed
+        // megabyte certificate blobs, and validating the whole remaining
+        // input per character would make parsing quadratic.
+        let start = *pos;
+        while matches!(b.get(*pos), Some(&c) if c != b'"' && c != b'\\' && c.is_ascii()) {
+            *pos += 1;
+        }
+        if *pos > start {
+            out.push_str(std::str::from_utf8(&b[start..*pos]).map_err(|e| e.to_string())?);
+        }
         match b.get(*pos) {
             None => return Err("unterminated string".into()),
             Some(b'"') => {
@@ -269,9 +280,17 @@ fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
                 *pos += 1;
             }
             Some(_) => {
-                // Advance one UTF-8 scalar (input is a &str, so this is
-                // always on a char boundary).
-                let s = std::str::from_utf8(&b[*pos..]).map_err(|e| e.to_string())?;
+                // One non-ASCII scalar: decode from a 4-byte window (the
+                // input came from a &str, so a boundary cut can't happen).
+                let end = (*pos + 4).min(b.len());
+                let s = match std::str::from_utf8(&b[*pos..end]) {
+                    Ok(s) => s,
+                    Err(e) if e.valid_up_to() > 0 => {
+                        std::str::from_utf8(&b[*pos..*pos + e.valid_up_to()])
+                            .expect("validated prefix")
+                    }
+                    Err(e) => return Err(e.to_string()),
+                };
                 let c = s.chars().next().expect("non-empty");
                 out.push(c);
                 *pos += c.len_utf8();
@@ -359,6 +378,19 @@ mod tests {
         assert!(Json::parse("true false").is_err());
         assert!(Json::parse("\"unterminated").is_err());
         assert!(Json::parse("nul").is_err());
+    }
+
+    #[test]
+    fn large_string_parses_in_linear_time() {
+        // A certificate-sized blob (1 MB) with escapes and non-ASCII mixed
+        // in; the quadratic per-char validation this guards against took
+        // ~20 s here.
+        let blob = "a 12 strict 3/4 v0:-7/2 β\n".repeat(40_000);
+        let doc = Json::obj(vec![("cert", Json::Str(blob.clone()))]).render();
+        let t0 = std::time::Instant::now();
+        let parsed = Json::parse(&doc).expect("parse");
+        assert!(t0.elapsed() < std::time::Duration::from_secs(5), "string parse is quadratic");
+        assert_eq!(parsed.get("cert").and_then(Json::as_str), Some(blob.as_str()));
     }
 
     #[test]

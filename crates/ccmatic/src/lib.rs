@@ -53,11 +53,14 @@
 
 pub mod assumptions;
 pub mod brute;
+pub mod cache;
 pub mod conditional;
 pub mod differential;
 pub mod enumerate;
 pub mod env;
+pub mod fingerprint;
 pub mod generator;
+pub mod json;
 pub mod known;
 pub mod replay;
 pub mod sweep;
@@ -65,8 +68,12 @@ pub mod synth;
 pub mod template;
 pub mod verifier;
 
-pub use enumerate::{enumerate_all, EnumerateResult};
+pub use cache::{CacheStats, ResultCache};
+pub use enumerate::{
+    enumerate_all, enumerate_all_with, EnumerateResult, WarmEnumeration, WarmStart,
+};
 pub use replay::TraceReplay;
+pub use sweep::{sweep_with_config, SweepConfig, SweepReport, SweepRow};
 pub use synth::{synthesize, OptMode, SynthOptions, SynthResult};
 pub use template::{CcaSpec, CoeffDomain, TemplateShape};
 pub use verifier::{CcaVerifier, CertAudit, VerifyConfig};

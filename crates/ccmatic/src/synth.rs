@@ -167,13 +167,30 @@ pub struct GenAdapter {
     subsume: bool,
     /// Traces dropped because an already-asserted trace subsumed them.
     pub cex_subsumed: u64,
+    /// Every (refuted candidate, trace) pair actually asserted, in order —
+    /// the warm-start carry for the next sweep point, which re-validates
+    /// each pair against *its* thresholds before re-asserting.
+    refuted_log: Vec<(CcaSpec, Trace)>,
 }
 
 impl GenAdapter {
     /// Wrap `inner` with an empty learned-trace set. `replayer` must be
     /// built from the same net/thresholds/mode as `inner`.
     pub fn new(inner: SmtGenerator, replayer: TraceReplay, subsume: bool) -> Self {
-        GenAdapter { inner, learned: Vec::new(), replayer, subsume, cex_subsumed: 0 }
+        GenAdapter {
+            inner,
+            learned: Vec::new(),
+            replayer,
+            subsume,
+            cex_subsumed: 0,
+            refuted_log: Vec::new(),
+        }
+    }
+
+    /// The (refuted candidate, trace) pairs asserted during this run, for
+    /// warm-starting a neighboring problem instance.
+    pub fn take_refuted_log(&mut self) -> Vec<(CcaSpec, Trace)> {
+        std::mem::take(&mut self.refuted_log)
     }
 }
 
@@ -197,6 +214,7 @@ impl Generator for GenAdapter {
         }
         self.inner.learn_refuted(candidate, cex);
         self.learned.push(cex.clone());
+        self.refuted_log.push((candidate.clone(), cex.clone()));
     }
 
     fn propose_batch(&mut self, k: usize, deadline: Option<Instant>) -> BatchProposal<CcaSpec> {
@@ -245,7 +263,12 @@ fn serial_search(opts: &SynthOptions) -> SearchConfig {
 }
 
 fn make_generator(opts: &SynthOptions) -> GenAdapter {
-    let mut inner = SmtGenerator::new_with_config(
+    // Certify mode also certifies the *generator*: base-level exhaustion
+    // claims then carry an UNSAT certificate (retained by the result
+    // cache as the enumeration-completeness proof).
+    let build =
+        if opts.certify { SmtGenerator::new_certified } else { SmtGenerator::new_with_config };
+    let mut inner = build(
         opts.shape.clone(),
         opts.net.clone(),
         opts.thresholds.clone(),

@@ -133,6 +133,11 @@ pub struct CcaVerifier {
     pub solver_probes: u64,
     /// Certificate-checking totals (all zero unless `cfg.certify`).
     pub cert_audit: CertAudit,
+    /// The checker-accepted certificate behind the most recent Pass
+    /// verdict (`cfg.certify` only; cleared at the start of every verify
+    /// call). The persistent result cache persists these so a cache hit
+    /// can re-establish each solution's verdict without a solver.
+    last_pass_cert: Option<ccmatic_proof::UnsatCertificate>,
     /// Lazily-built incremental state (`cfg.incremental` only).
     inc: Option<IncState>,
     /// Portfolio clause exchange plus this verifier's worker index, when
@@ -151,10 +156,17 @@ impl CcaVerifier {
             calls: 0,
             solver_probes: 0,
             cert_audit: CertAudit::default(),
+            last_pass_cert: None,
             inc: None,
             exchange: None,
             imports_reported: 0,
         }
+    }
+
+    /// The certificate behind the most recent Pass verdict, when
+    /// certifying (`None` after a Fail/Timeout or outside certify mode).
+    pub fn take_last_pass_cert(&mut self) -> Option<ccmatic_proof::UnsatCertificate> {
+        self.last_pass_cert.take()
     }
 
     /// Drop the cached incremental encoding (required after mutating `cfg`).
@@ -263,6 +275,7 @@ impl CcaVerifier {
         interrupt: &Interrupt,
     ) -> Verdict<Trace> {
         self.calls += 1;
+        self.last_pass_cert = None;
         // The template needs S(t−1−lookback) for t = 0; the caller must
         // allocate enough history.
         debug_assert!(
@@ -299,6 +312,7 @@ impl CcaVerifier {
                     if self.cfg.certify {
                         let cert = certificate.expect("certify mode must produce a certificate");
                         self.cert_audit.replay(&cert, "WCE infeasibility");
+                        self.last_pass_cert = Some(*cert);
                     }
                     Verdict::Pass
                 }
@@ -333,6 +347,7 @@ impl CcaVerifier {
                         let cert =
                             out.certificate.expect("certify mode must produce a certificate");
                         self.cert_audit.replay(&cert, "verifier UNSAT verdict");
+                        self.last_pass_cert = Some(cert);
                     }
                     SatResult::Sat => {
                         assert_eq!(
@@ -407,6 +422,7 @@ impl CcaVerifier {
                     if self.cfg.certify {
                         let cert = certificate.expect("certify mode must produce a certificate");
                         self.cert_audit.replay(&cert, "scoped WCE infeasibility");
+                        self.last_pass_cert = Some(*cert);
                     }
                     Verdict::Pass
                 }
@@ -435,6 +451,7 @@ impl CcaVerifier {
                         let cert =
                             out.certificate.expect("certify mode must produce a certificate");
                         self.cert_audit.replay(&cert, "incremental UNSAT verdict");
+                        self.last_pass_cert = Some(cert);
                     }
                     SatResult::Sat => {
                         assert_eq!(

@@ -172,6 +172,20 @@ pub struct Stats {
     /// asserted trace subsumes them — every candidate they refute, the
     /// subsuming trace refutes too.
     pub cex_subsumed: u64,
+    /// Warm-start: carried counterexample traces that still refute their
+    /// original candidate at the new thresholds and were re-asserted.
+    pub warm_traces_seeded: u64,
+    /// Warm-start: carried traces whose refutation did not survive the
+    /// threshold change and were demoted to the replay prefilter only.
+    pub warm_traces_rejected: u64,
+    /// Warm-start: neighbor solutions that re-verified at the new
+    /// thresholds and were admitted without any generator work.
+    pub warm_solutions_confirmed: u64,
+    /// Persistent-cache lookups answered by a certificate re-check instead
+    /// of a solve.
+    pub cache_hits: u64,
+    /// Wall-clock milliseconds spent re-checking cached certificates.
+    pub cache_cert_ms: f64,
     /// Total wall-clock of the run.
     pub wall: Duration,
 }
@@ -311,10 +325,32 @@ where
     G::CounterExample: Clone,
     R: Fn(&G::Candidate, &G::CounterExample) -> bool,
 {
+    run_with_replay_seeded(generator, verifier, replay, budget, Vec::new())
+}
+
+/// [`run_with_replay`] with the replay cache pre-populated. Each seed is a
+/// counterexample carried over from a *different* problem instance (a
+/// neighboring sweep point); seeds are never asserted blindly — a seed only
+/// acts when `replay(candidate, seed)` re-establishes, under the *current*
+/// problem's semantics, that it concretely refutes the candidate at hand,
+/// so an inapplicable seed is inert rather than unsound.
+pub fn run_with_replay_seeded<G, V, R>(
+    generator: &mut G,
+    verifier: &mut V,
+    replay: R,
+    budget: &Budget,
+    seeds: Vec<G::CounterExample>,
+) -> RunResult<G::Candidate>
+where
+    G: Generator,
+    V: Verifier<Candidate = G::Candidate, CounterExample = G::CounterExample>,
+    G::CounterExample: Clone,
+    R: Fn(&G::Candidate, &G::CounterExample) -> bool,
+{
     let start = Instant::now();
     let deadline = start.checked_add(budget.max_wall);
     let mut stats = Stats::default();
-    let mut learned: Vec<G::CounterExample> = Vec::new();
+    let mut learned: Vec<G::CounterExample> = seeds;
     let mut consecutive_kills = 0u32;
     loop {
         if stats.iterations >= budget.max_iterations || start.elapsed() >= budget.max_wall {

@@ -119,6 +119,91 @@ impl UnsatCertificate {
         }
         total
     }
+
+    /// Parses the one-line-per-step text format back into a certificate:
+    /// the exact inverse of [`UnsatCertificate::to_text`]. Persisted
+    /// certificates (the on-disk result cache) round-trip through this;
+    /// any malformed line is an error, never a silently dropped step, so a
+    /// corrupted cache entry fails loudly and falls back to a fresh solve.
+    pub fn from_text(text: &str) -> Result<UnsatCertificate, String> {
+        fn num<T: std::str::FromStr>(
+            tok: Option<&str>,
+            what: &str,
+            line: usize,
+        ) -> Result<T, String> {
+            tok.ok_or_else(|| format!("line {line}: missing {what}"))?
+                .parse::<T>()
+                .map_err(|_| format!("line {line}: bad {what}"))
+        }
+        fn rat(tok: &str, what: &str, line: usize) -> Result<Rat, String> {
+            Rat::from_decimal_str(tok).ok_or_else(|| format!("line {line}: bad {what} `{tok}`"))
+        }
+        fn pair(tok: &str, what: &str, line: usize) -> Result<(u32, Rat), String> {
+            let (l, c) =
+                tok.split_once(':').ok_or_else(|| format!("line {line}: bad {what} `{tok}`"))?;
+            let l = l.parse::<u32>().map_err(|_| format!("line {line}: bad {what} `{tok}`"))?;
+            Ok((l, rat(c, what, line)?))
+        }
+        let mut steps = Vec::new();
+        for (i, raw) in text.lines().enumerate() {
+            let line = i + 1;
+            let mut toks = raw.split_ascii_whitespace();
+            let step = match toks.next() {
+                None => continue, // blank line (e.g. a trailing newline)
+                Some("a") => {
+                    let var = num::<u32>(toks.next(), "atom var", line)?;
+                    let strict = match toks.next() {
+                        Some("0") => false,
+                        Some("1") => true,
+                        _ => return Err(format!("line {line}: bad strict flag")),
+                    };
+                    let bound = rat(
+                        toks.next().ok_or_else(|| format!("line {line}: missing bound"))?,
+                        "bound",
+                        line,
+                    )?;
+                    let expr =
+                        toks.map(|t| pair(t, "atom term", line)).collect::<Result<Vec<_>, _>>()?;
+                    ProofStep::Atom { var, expr, bound, strict }
+                }
+                Some("i") => ProofStep::Input {
+                    id: num::<u64>(toks.next(), "clause id", line)?,
+                    lits: toks
+                        .map(|t| num::<u32>(Some(t), "literal", line))
+                        .collect::<Result<_, _>>()?,
+                },
+                Some("r") => ProofStep::Rup {
+                    id: num::<u64>(toks.next(), "clause id", line)?,
+                    lits: toks
+                        .map(|t| num::<u32>(Some(t), "literal", line))
+                        .collect::<Result<_, _>>()?,
+                },
+                Some("t") => {
+                    let id = num::<u64>(toks.next(), "clause id", line)?;
+                    let mut lits = Vec::new();
+                    let mut saw_f = false;
+                    for t in toks.by_ref() {
+                        if t == "f" {
+                            saw_f = true;
+                            break;
+                        }
+                        lits.push(num::<u32>(Some(t), "literal", line)?);
+                    }
+                    if !saw_f {
+                        return Err(format!("line {line}: theory step missing `f` marker"));
+                    }
+                    let farkas = toks
+                        .map(|t| pair(t, "farkas term", line))
+                        .collect::<Result<Vec<_>, _>>()?;
+                    ProofStep::Theory { id, lits, farkas }
+                }
+                Some("d") => ProofStep::Delete { id: num::<u64>(toks.next(), "clause id", line)? },
+                Some(tag) => return Err(format!("line {line}: unknown step tag `{tag}`")),
+            };
+            steps.push(step);
+        }
+        Ok(UnsatCertificate { steps })
+    }
 }
 
 /// Aggregate counters a sink maintains as the solver logs, surfaced in

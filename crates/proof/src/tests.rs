@@ -201,3 +201,60 @@ fn writer_sink_streams_the_same_text() {
     }
     assert_eq!(String::from_utf8(buf).unwrap(), mem.snapshot().unwrap().to_text());
 }
+
+#[test]
+fn text_format_roundtrips_through_from_text() {
+    let cert = UnsatCertificate {
+        steps: vec![
+            ProofStep::Atom {
+                var: 3,
+                expr: vec![(0, rat(1, 1)), (2, rat(-7, 2))],
+                bound: rat(18, 5),
+                strict: true,
+            },
+            ProofStep::Atom { var: 4, expr: vec![], bound: Rat::zero(), strict: false },
+            ProofStep::Input { id: 1, lits: vec![p(3), n(4)] },
+            ProofStep::Rup { id: 2, lits: vec![n(3)] },
+            ProofStep::Theory { id: 3, lits: vec![p(4)], farkas: vec![(p(4), rat(3, 2))] },
+            ProofStep::Theory { id: 4, lits: vec![], farkas: vec![] },
+            ProofStep::Rup { id: 5, lits: vec![] },
+            ProofStep::Delete { id: 1 },
+        ],
+    };
+    let text = cert.to_text();
+    let back = UnsatCertificate::from_text(&text).expect("rendered text must parse");
+    assert_eq!(back.steps, cert.steps);
+    assert_eq!(back.to_text(), text);
+}
+
+#[test]
+fn real_refutations_roundtrip_and_still_check() {
+    for cert in [sat_refutation(), theory_refutation()] {
+        let back = UnsatCertificate::from_text(&cert.to_text()).unwrap();
+        assert_eq!(back.steps, cert.steps);
+        check(&back).expect("round-tripped certificate must still check");
+    }
+}
+
+#[test]
+fn from_text_rejects_malformed_lines() {
+    for bad in [
+        "x 1 2\n",         // unknown tag
+        "a 1 2 0\n",       // strict flag out of range
+        "a 1 0\n",         // missing bound
+        "a 1 0 1/2 3:\n",  // empty coefficient in pair
+        "a 1 0 1/2 3;4\n", // malformed pair separator
+        "i\n",             // missing clause id
+        "i one 2\n",       // non-numeric id
+        "r 1 -2\n",        // negative literal token
+        "t 1 2 3\n",       // theory step without `f` marker
+        "t 1 f 2:x\n",     // non-rational farkas coefficient
+        "d\n",             // missing delete id
+        "i 1 2\nq 3\n",    // good line followed by bad line
+    ] {
+        assert!(UnsatCertificate::from_text(bad).is_err(), "must reject {bad:?}");
+    }
+    // Blank lines and a trailing newline are tolerated.
+    let ok = UnsatCertificate::from_text("i 1 2\n\nr 2\n").unwrap();
+    assert_eq!(ok.steps.len(), 2);
+}
