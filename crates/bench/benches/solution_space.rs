@@ -27,6 +27,7 @@ fn main() {
         dispatch_min: ccmatic::synth::DEFAULT_DISPATCH_MIN,
         certify: false,
         region_pruning: true,
+        theory_sync: true,
     };
     bench_case("enumerate_lookback2_small", 1, 5, || {
         let r = enumerate_all(&opts);

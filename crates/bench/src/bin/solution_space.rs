@@ -49,6 +49,7 @@ fn main() {
             dispatch_min: ccmatic::synth::DEFAULT_DISPATCH_MIN,
             certify: false,
             region_pruning: true,
+            theory_sync: true,
         };
         println!(
             "\n## {} / {} — {} candidates",

@@ -79,16 +79,33 @@ fn main() {
                     cell.regions_pruned,
                     cell.cex_subsumed,
                 );
+                eprintln!(
+                    "  theory: {} props · {} bounds asserted · {} reused",
+                    cell.theory_props, cell.bounds_asserted, cell.bounds_reused,
+                );
             }
             cells.push(cell);
         }
+        // The same-build A/B pair for the trail-sync speedup claim: re-run
+        // the RP+WCE cell with the legacy reset-and-reassert theory bridge.
+        eprintln!("running {} / {} / RP+WCE (no-sync) …", row.params, row.domain_label);
+        let nosync = run_cell_with(&row, OptMode::RangePruningWce, budget, true, 1, false, false);
+        let sync_wall = cells[2].wall;
+        eprintln!(
+            "  → {} in {} ({} iterations, {:.2}x the trail-synced cell)",
+            if nosync.solved { "solved" } else { "DNF" },
+            fmt_duration(nosync.wall, true),
+            nosync.iterations,
+            nosync.wall.as_secs_f64() / sync_wall.as_secs_f64().max(1e-9),
+        );
+        cells.push(nosync);
         // The before/after pair for the incremental-verifier speedup claim:
         // re-run the RP+WCE cell with the pre-scope from-scratch verifier.
         eprintln!(
             "running {} / {} / RP+WCE (from-scratch verifier) …",
             row.params, row.domain_label
         );
-        let scratch = run_cell_with(&row, OptMode::RangePruningWce, budget, false, 1, false);
+        let scratch = run_cell_with(&row, OptMode::RangePruningWce, budget, false, 1, false, true);
         eprintln!(
             "  → {} in {} ({} iterations, {} verifier probes)",
             if scratch.solved { "solved" } else { "DNF" },
@@ -101,7 +118,7 @@ fn main() {
         // certificate. Reported next to the uncertified cell so the
         // overhead factor is visible per row.
         eprintln!("running {} / {} / RP+WCE (certified) …", row.params, row.domain_label);
-        let certified = run_cell_with(&row, OptMode::RangePruningWce, budget, true, 1, true);
+        let certified = run_cell_with(&row, OptMode::RangePruningWce, budget, true, 1, true, true);
         let plain_wall = cells[2].wall;
         eprintln!(
             "  → {} in {} ({} proof clauses, {} cert bytes, {:.1} ms in checker, {:.2}x uncertified)",
@@ -123,7 +140,8 @@ fn main() {
                 "running {} / {} / RP+WCE ({} workers) …",
                 row.params, row.domain_label, threads
             );
-            let cell = run_cell_with(&row, OptMode::RangePruningWce, budget, true, threads, false);
+            let cell =
+                run_cell_with(&row, OptMode::RangePruningWce, budget, true, threads, false, true);
             eprintln!(
                 "  → {} in {} ({} iterations, {} replay hits, {} wasted, {} shards stolen, {}/{} clauses shared)",
                 if cell.solved { "solved" } else { "DNF" },
@@ -142,9 +160,11 @@ fn main() {
 
     println!("{}", render_table1(&results));
     println!("\nDNF = no solution within the per-cell budget (the paper's analogue: one week).");
-    println!("The second RP+WCE line of each row is the from-scratch (non-incremental) verifier;");
-    println!("the (2T)/(4T) lines run the shard-stealing portfolio at that worker count");
-    println!("(tiny spaces auto-fall back to the serial loop below the dispatch threshold).");
+    println!("Each row's extra RP+WCE lines: (no-sync) = the legacy reset-and-reassert theory");
+    println!("bridge (the trail-sync A/B pair), (scratch) = the non-incremental verifier,");
+    println!("(certified) = checker-replayed proofs on every verdict; the (2T)/(4T) lines run");
+    println!("the shard-stealing portfolio at that worker count (tiny spaces auto-fall back");
+    println!("to the serial loop below the dispatch threshold).");
 
     let json = Json::obj(vec![
         ("bench", Json::Str("table1".into())),

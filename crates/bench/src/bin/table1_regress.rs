@@ -6,12 +6,16 @@
 //! ```
 //!
 //! A cell regresses when the baseline solved it and the fresh run either
-//! no longer solves it or takes more than 2× the baseline wall time (plus
-//! a 1 s noise floor, so sub-second cells don't flap on scheduler jitter).
-//! Cells are matched by the full identity tuple (params, domain, method,
-//! incremental, threads, certified); baseline cells missing from the fresh
-//! run count as regressions, fresh-only cells are ignored. Exit status is
-//! nonzero iff any cell regressed.
+//! no longer solves it, takes more than 2× the baseline wall time (plus
+//! a 1 s noise floor, so sub-second cells don't flap on scheduler jitter),
+//! or spends more than 2× the baseline's simplex `pivots` or bignum
+//! `big_ops` (plus generous absolute floors) — the arithmetic-volume gates
+//! exist because wall alone can hide a kernel regression on a time-sliced
+//! runner. Cells are matched by the full identity tuple (params, domain,
+//! method, incremental, threads, certified, theory_sync); baseline cells
+//! missing from the fresh run count as regressions, fresh-only cells (e.g.
+//! the `(no-sync)` A/B legs on older baselines) are ignored. Exit status
+//! is nonzero iff any cell regressed.
 
 use ccmatic_bench::Json;
 use std::process::ExitCode;
@@ -21,12 +25,22 @@ const MAX_SLOWDOWN: f64 = 2.0;
 /// Absolute seconds added to the allowance: sub-second cells vary more
 /// than 2× run-to-run on shared CI runners.
 const NOISE_FLOOR_S: f64 = 1.0;
+/// Factor over the baseline's per-cell `pivots` / `big_ops` beyond which
+/// the cell regressed, independent of wall.
+const MAX_OP_GROWTH: f64 = 2.0;
+/// Absolute pivot allowance: portfolio scheduling can shift a small cell's
+/// pivot count by thousands without anything being wrong.
+const FLOOR_PIVOTS: f64 = 10_000.0;
+/// Absolute big-op allowance, same reasoning at bignum-op granularity.
+const FLOOR_BIG_OPS: f64 = 1_000_000.0;
 
 /// Identity + measurement of one cell, flattened from the nested JSON.
 struct Cell {
     key: String,
     solved: bool,
     wall_s: f64,
+    pivots: f64,
+    big_ops: f64,
 }
 
 fn load(path: &str) -> Result<Vec<Cell>, String> {
@@ -41,18 +55,25 @@ fn load(path: &str) -> Result<Vec<Cell>, String> {
             let get_bool = |k: &str| cell.get(k).and_then(Json::as_bool).unwrap_or(false);
             let get_num = |k: &str| cell.get(k).and_then(Json::as_f64).unwrap_or(0.0);
             let method = cell.get("method").and_then(Json::as_str).unwrap_or("?");
+            // Missing on pre-trail-sync baselines, where every cell ran
+            // the (then-only) synchronized-equivalent path: default true
+            // so old baselines keep matching fresh default cells.
+            let theory_sync = cell.get("theory_sync").and_then(Json::as_bool).unwrap_or(true);
             cells.push(Cell {
                 key: format!(
-                    "{params} / {domain} / {method}{}{}{}",
+                    "{params} / {domain} / {method}{}{}{}{}",
                     if get_bool("incremental") { "" } else { " (scratch)" },
                     match get_num("threads") as u64 {
                         0 | 1 => String::new(),
                         t => format!(" ({t}T)"),
                     },
                     if get_bool("certified") { " (certified)" } else { "" },
+                    if theory_sync { "" } else { " (no-sync)" },
                 ),
                 solved: get_bool("solved"),
                 wall_s: get_num("wall_s"),
+                pivots: get_num("pivots"),
+                big_ops: get_num("big_ops"),
             });
         }
     }
@@ -95,6 +116,26 @@ fn main() -> ExitCode {
                 println!(
                     "REGRESSION  {}: {:.2}s → {:.2}s (allowed ≤ {:.2}s)",
                     base.key, base.wall_s, f.wall_s, allowance
+                );
+            }
+            Some(f) if f.pivots > base.pivots * MAX_OP_GROWTH + FLOOR_PIVOTS => {
+                regressions += 1;
+                println!(
+                    "REGRESSION  {}: pivots {:.0} → {:.0} (allowed ≤ {:.0})",
+                    base.key,
+                    base.pivots,
+                    f.pivots,
+                    base.pivots * MAX_OP_GROWTH + FLOOR_PIVOTS
+                );
+            }
+            Some(f) if f.big_ops > base.big_ops * MAX_OP_GROWTH + FLOOR_BIG_OPS => {
+                regressions += 1;
+                println!(
+                    "REGRESSION  {}: big_ops {:.0} → {:.0} (allowed ≤ {:.0})",
+                    base.key,
+                    base.big_ops,
+                    f.big_ops,
+                    base.big_ops * MAX_OP_GROWTH + FLOOR_BIG_OPS
                 );
             }
             Some(f) => {

@@ -127,6 +127,7 @@ fn main() -> ExitCode {
         dispatch_min: ccmatic::synth::DEFAULT_DISPATCH_MIN,
         certify: false,
         region_pruning: true,
+        theory_sync: true,
     };
 
     let make_cfg = || SweepConfig {

@@ -43,6 +43,7 @@ fn verifies(spec: &CcaSpec, net: &NetConfig, thresholds: &Thresholds) -> bool {
         incremental: true,
         certify: false,
         search: ccmatic_smt::SearchConfig::default(),
+        theory_sync: true,
     });
     v.verify(spec).is_ok()
 }

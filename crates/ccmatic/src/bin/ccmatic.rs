@@ -58,6 +58,7 @@ impl Args {
 struct KernelSnapshot {
     arith: ccmatic_num::ArithStats,
     pivots: u64,
+    theory: ccmatic_smt::TheoryCounters,
 }
 
 impl KernelSnapshot {
@@ -65,6 +66,7 @@ impl KernelSnapshot {
         KernelSnapshot {
             arith: ccmatic_num::arith_snapshot(),
             pivots: ccmatic_smt::lra::pivots_total(),
+            theory: ccmatic_smt::theory_counters(),
         }
     }
 
@@ -73,6 +75,10 @@ impl KernelSnapshot {
     fn report(&self) {
         let arith = ccmatic_num::arith_snapshot().since(&self.arith);
         let pivots = ccmatic_smt::lra::pivots_total().saturating_sub(self.pivots);
+        let theory = ccmatic_smt::theory_counters();
+        let props = theory.theory_props.saturating_sub(self.theory.theory_props);
+        let asserted = theory.bounds_asserted.saturating_sub(self.theory.bounds_asserted);
+        let reused = theory.bounds_reused.saturating_sub(self.theory.bounds_reused);
         eprintln!(
             "kernel: pivots {} · promotions {} · fast-path {:.2}% ({} small / {} big ops)",
             pivots,
@@ -80,6 +86,15 @@ impl KernelSnapshot {
             arith.fast_fraction() * 100.0,
             arith.small_ops,
             arith.big_ops
+        );
+        // Trail-sync effectiveness: `reused` counts the atom bounds each
+        // fixpoint kept without re-assertion (the legacy bridge re-asserted
+        // every one of them), `props` the literals the theory decided for
+        // the SAT core.
+        let total = asserted + reused;
+        let pct = if total == 0 { 0.0 } else { reused as f64 / total as f64 * 100.0 };
+        eprintln!(
+            "theory: props {props} · bounds asserted {asserted} · reused {reused} ({pct:.2}%)"
         );
     }
 }
@@ -93,7 +108,9 @@ fn usage() -> ExitCode {
          \x20      --threads N  (portfolio width; default $CCMATIC_SYNTH_THREADS, else cores)\n\
          \x20      --seed N  (search diversification seed; default $CCMATIC_SEED, else 0)\n\
          \x20      --dispatch-min N  (run serially below N candidates; 0 forces the portfolio)\n\
-         \x20      --stats  (print kernel counters: pivots, promotions, fast-path coverage)\n\
+         \x20      --stats  (print kernel counters: pivots, promotions, fast-path coverage,\n\
+         \x20                theory props, bounds asserted/reused)\n\
+         \x20      --no-theory-sync  (legacy reset-and-reassert theory bridge; A/B timing)\n\
          \x20      --certify  (synth/verify: re-check every UNSAT verdict against a\n\
          \x20                  DRAT+Farkas certificate with the independent checker)\n\
          \x20      --cache-dir DIR  (enumerate/sweep: certificate-backed result cache)\n\
@@ -192,6 +209,7 @@ fn main() -> ExitCode {
             .unwrap_or(ccmatic::synth::DEFAULT_DISPATCH_MIN),
         certify,
         region_pruning: !args.has("--no-region-pruning"),
+        theory_sync: !args.has("--no-theory-sync"),
     };
 
     let kernel = args.has("--stats").then(KernelSnapshot::take);
@@ -265,6 +283,7 @@ fn main() -> ExitCode {
                 incremental: true,
                 certify,
                 search: Default::default(),
+                theory_sync: !args.has("--no-theory-sync"),
             });
             let result = v.verify(&spec);
             if certify {

@@ -99,6 +99,7 @@ pub fn brute_force_first(
         incremental: true,
         certify: false,
         search: ccmatic_smt::SearchConfig::default(),
+        theory_sync: true,
     });
     let mut tried = 0;
     for spec in CandidateIter::new(shape.clone()) {
@@ -164,6 +165,7 @@ mod tests {
             incremental: true,
             certify: false,
             search: ccmatic_smt::SearchConfig::default(),
+            theory_sync: true,
         });
         assert!(v.verify(&sol).is_ok());
         assert!(r.tried >= 1);

@@ -176,6 +176,7 @@ mod tests {
                     incremental: true,
                     certify: false,
                     search: ccmatic_smt::SearchConfig::default(),
+                    theory_sync: true,
                 });
                 v.verify(&spec).is_ok()
             };

@@ -114,6 +114,7 @@ pub fn separating_environment(
         incremental: true,
         certify: false,
         search: ccmatic_smt::SearchConfig::default(),
+        theory_sync: true,
     });
     // A must hold universally — the separator is only meaningful inside
     // A's proven envelope.

@@ -287,6 +287,7 @@ mod tests {
             dispatch_min: crate::synth::DEFAULT_DISPATCH_MIN,
             certify: false,
             region_pruning: true,
+            theory_sync: true,
         };
         let result = enumerate_all(&opts);
         assert!(result.complete, "tiny space must be exhausted within budget");
@@ -299,6 +300,7 @@ mod tests {
             incremental: true,
             certify: false,
             search: ccmatic_smt::SearchConfig::default(),
+            theory_sync: true,
         });
         for s in &result.solutions {
             assert!(v.verify(s).is_ok(), "enumerated non-solution {s}");

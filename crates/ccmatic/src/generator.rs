@@ -50,12 +50,34 @@ use ccmatic_smt::{Context, Interrupt, LinExpr, RealVar, SatResult, SearchConfig,
 use std::collections::VecDeque;
 use std::time::Instant;
 
-/// Replay checks the dominance BFS of [`SmtGenerator::learn_refuted`] may
-/// spend per learned trace. Each check is a few hundred exact rational
-/// operations — microseconds against the milliseconds a solver conflict
-/// costs — but an unbounded walk over the Large domains could still visit
-/// thousands of candidates per trace.
+/// Baseline number of replay checks the dominance BFS of
+/// [`SmtGenerator::learn_refuted`] may spend per learned trace. Each check
+/// is a few hundred exact rational operations — microseconds against the
+/// milliseconds a solver conflict costs — but an unbounded walk over the
+/// Large domains could still visit thousands of candidates per trace.
 const REGION_BFS_CAP: usize = 128;
+/// Hard ceiling for the adaptive cap: even free-looking replays must not
+/// let one trace's BFS wander the whole Large-domain grid.
+const REGION_BFS_CAP_MAX: usize = 4096;
+/// Per-trace replay budget the adaptive cap grows into. Two milliseconds
+/// is well under the cost of the single solver conflict each successful
+/// block saves, so growth can only trade cheap work for expensive work.
+const REGION_BFS_BUDGET_NS: u64 = 2_000_000;
+
+/// Grow the BFS probe cap from `base` by doubling while the *doubled* cap,
+/// at the observed mean [`TraceReplay::refutes`] cost, still fits the
+/// budget — so the walk widens exactly when replay kills are cheap (small
+/// nets, hot caches) and stays at `base` when they are not. A zero mean
+/// (no samples yet, or sub-resolution replays) grows straight to the
+/// ceiling, which is fine: the first traces on a tiny net are exactly
+/// where wide blocking is cheapest.
+fn adaptive_cap(mean_replay_ns: u64, base: usize, budget_ns: u64) -> usize {
+    let mut cap = base;
+    while cap < REGION_BFS_CAP_MAX && mean_replay_ns.saturating_mul(2 * cap as u64) <= budget_ns {
+        cap *= 2;
+    }
+    cap.min(REGION_BFS_CAP_MAX)
+}
 
 /// How much of the candidate space each counterexample eliminates.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -111,6 +133,12 @@ pub struct SmtGenerator {
     /// The certificate backing the most recent base-level exhaustion claim
     /// (`propose` → `None` / empty uninterrupted batch), when certifying.
     last_exhaustion_cert: Option<UnsatCertificate>,
+    /// Total nanoseconds spent in [`TraceReplay::refutes`] by the region
+    /// BFS, paired with `replay_samples` to yield the mean cost that
+    /// drives [`adaptive_cap`].
+    replay_ns: u64,
+    /// Number of timed `refutes` calls behind `replay_ns`.
+    replay_samples: u64,
     /// Counterexamples learned (kept for reporting).
     pub num_learned: u64,
     /// Blocking clauses asserted by the dominance/symmetry BFS of
@@ -224,6 +252,8 @@ impl SmtGenerator {
             shard_depth: 0,
             last_exhaustion_cert: None,
             region_pruning: true,
+            replay_ns: 0,
+            replay_samples: 0,
             num_learned: 0,
             regions_pruned: 0,
         }
@@ -254,6 +284,12 @@ impl SmtGenerator {
     /// response-variable encoding; production paths leave it on.
     pub fn set_region_pruning(&mut self, on: bool) {
         self.region_pruning = on;
+    }
+
+    /// Enable or disable trail-synchronized theory solving in the
+    /// generator's solver (the `--no-theory-sync` escape hatch).
+    pub fn set_theory_sync(&mut self, on: bool) {
+        self.solver.set_theory_sync(on);
     }
 
     fn coeff_names(shape: &TemplateShape) -> Vec<String> {
@@ -723,7 +759,7 @@ impl SmtGenerator {
                 let mut swapped = refuted.clone();
                 swapped.beta.swap(i, j);
                 let flat = swapped.flat();
-                if !seen.contains(&flat) && self.replay.refutes(&swapped, cex) {
+                if !seen.contains(&flat) && self.timed_refutes(&swapped, cex) {
                     self.block(&swapped);
                     self.regions_pruned += 1;
                     seen.push(flat.clone());
@@ -731,6 +767,11 @@ impl SmtGenerator {
                 }
             }
         }
+        // Size the walk to the observed replay cost: when kills are cheap
+        // (the Large-cell lever in ROADMAP), one trace may block a much
+        // wider region for the same wall spend.
+        let mean_ns = self.replay_ns.checked_div(self.replay_samples).unwrap_or(0);
+        let cap = adaptive_cap(mean_ns, REGION_BFS_CAP, REGION_BFS_BUDGET_NS);
         let mut checked = 0usize;
         'bfs: while let Some(flat) = queue.pop_front() {
             for p in 0..flat.len() {
@@ -747,17 +788,27 @@ impl SmtGenerator {
                     seen.push(nf.clone());
                     checked += 1;
                     let spec = self.spec_from_flat(&nf);
-                    if self.replay.refutes(&spec, cex) {
+                    if self.timed_refutes(&spec, cex) {
                         self.block(&spec);
                         self.regions_pruned += 1;
                         queue.push_back(nf);
                     }
-                    if checked >= REGION_BFS_CAP {
+                    if checked >= cap {
                         break 'bfs;
                     }
                 }
             }
         }
+    }
+
+    /// [`TraceReplay::refutes`] with the wall cost folded into the running
+    /// mean that sizes the next trace's BFS cap.
+    fn timed_refutes(&mut self, spec: &CcaSpec, cex: &Trace) -> bool {
+        let t0 = Instant::now();
+        let refuted = self.replay.refutes(spec, cex);
+        self.replay_ns += t0.elapsed().as_nanos() as u64;
+        self.replay_samples += 1;
+        refuted
     }
 
     /// Rebuild a [`CcaSpec`] from its [`CcaSpec::flat`] coefficient vector.
@@ -930,6 +981,7 @@ mod tests {
             incremental: true,
             certify: false,
             search: SearchConfig::default(),
+            theory_sync: true,
         });
         let mut g =
             SmtGenerator::new(shape, net, Thresholds::default(), FeasibilityMode::RangePruning);
@@ -967,6 +1019,7 @@ mod tests {
             incremental: true,
             certify: false,
             search: SearchConfig::default(),
+            theory_sync: true,
         });
         let broken = CcaSpec { alpha: vec![], beta: vec![int(0), int(0)], gamma: int(0) };
         let cex = verifier.verify(&broken).expect_err("refuted");
@@ -989,5 +1042,20 @@ mod tests {
             rp <= base,
             "range pruning ({rp}) must not keep more candidates than baseline ({base})"
         );
+    }
+
+    #[test]
+    fn adaptive_cap_grows_only_when_replays_are_cheap() {
+        // Expensive replays (1 ms each): doubling 128 → 256 would cost
+        // 512 ms against a 2 ms budget, so the cap stays at base.
+        assert_eq!(adaptive_cap(1_000_000, REGION_BFS_CAP, REGION_BFS_BUDGET_NS), REGION_BFS_CAP);
+        // 1 µs replays: doubling is allowed while 2·cap·mean ≤ 2 ms, i.e.
+        // through cap = 512 (2·512·1 µs ≈ 1 ms) and stops at 1024.
+        assert_eq!(adaptive_cap(1_000, REGION_BFS_CAP, REGION_BFS_BUDGET_NS), 1024);
+        // Free replays (sub-resolution timers) go straight to the ceiling,
+        // never past it.
+        assert_eq!(adaptive_cap(0, REGION_BFS_CAP, REGION_BFS_BUDGET_NS), REGION_BFS_CAP_MAX);
+        // A base already at the ceiling never moves.
+        assert_eq!(adaptive_cap(0, REGION_BFS_CAP_MAX, REGION_BFS_BUDGET_NS), REGION_BFS_CAP_MAX);
     }
 }

@@ -39,6 +39,13 @@ impl TraceReplay {
         TraceReplay { net, thresholds, mode }
     }
 
+    /// Rewrite `trace`'s waste schedule to the minimal one its service
+    /// schedule admits under this network configuration (see
+    /// [`Trace::canonicalize_waste`] for the construction and its limits).
+    pub fn canonicalize(&self, trace: &mut Trace) {
+        trace.canonicalize_waste(&self.net.link_rate, self.net.jitter);
+    }
+
     /// `true` iff `cex` concretely refutes `spec`: the candidate's
     /// behaviour on the trace's schedule is feasible yet undesired —
     /// exactly `¬σ(spec, cex)` from the generator's learned constraint.
@@ -194,6 +201,7 @@ mod tests {
             incremental: true,
             certify: false,
             search: ccmatic_smt::SearchConfig::default(),
+            theory_sync: true,
         })
     }
 

@@ -329,6 +329,7 @@ mod tests {
             dispatch_min: crate::synth::DEFAULT_DISPATCH_MIN,
             certify: false,
             region_pruning: true,
+            theory_sync: true,
         }
     }
 

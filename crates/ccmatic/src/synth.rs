@@ -106,6 +106,11 @@ pub struct SynthOptions {
     /// subsumption. On by default; the differential suite turns it off to
     /// pin pruned == unpruned outcomes.
     pub region_pruning: bool,
+    /// Trail-synchronized incremental theory solving in every solver this
+    /// run builds (verifier, generator, WCE probes). On by default; the
+    /// `--no-theory-sync` escape hatch exists for same-build A/B timing
+    /// and the trail-sync differential suite.
+    pub theory_sync: bool,
 }
 
 impl Default for SynthOptions {
@@ -123,6 +128,7 @@ impl Default for SynthOptions {
             dispatch_min: DEFAULT_DISPATCH_MIN,
             certify: false,
             region_pruning: true,
+            theory_sync: true,
         }
     }
 }
@@ -203,6 +209,16 @@ impl Generator for GenAdapter {
     }
 
     fn learn(&mut self, candidate: &CcaSpec, cex: &Trace) {
+        // Canonicalize the waste schedule so equal-service traces from
+        // distinct probes become comparable (subsumption requires waste
+        // domination, and solver models carry arbitrary waste slack). Keep
+        // the original when minimal waste no longer refutes the candidate
+        // — canonicalization can move waste points, and the learned
+        // constraint must exclude `candidate` for CEGIS to progress (see
+        // `Trace::canonicalize_waste`).
+        let mut canon = cex.clone();
+        self.replayer.canonicalize(&mut canon);
+        let cex = if self.replayer.refutes(candidate, &canon) { &canon } else { cex };
         if self.learned.iter().any(|t| t == cex) {
             return;
         }
@@ -276,6 +292,7 @@ fn make_generator(opts: &SynthOptions) -> GenAdapter {
         serial_search(opts),
     );
     inner.set_region_pruning(opts.region_pruning);
+    inner.set_theory_sync(opts.theory_sync);
     GenAdapter::new(inner, make_replay(opts), opts.region_pruning)
 }
 
@@ -288,6 +305,7 @@ fn verify_config(opts: &SynthOptions, search: SearchConfig) -> VerifyConfig {
         incremental: opts.incremental,
         certify: opts.certify,
         search,
+        theory_sync: opts.theory_sync,
     }
 }
 
@@ -369,6 +387,11 @@ impl CcaWorker {
     /// is already asserted there — or an asserted trace subsumes it, in
     /// which case the shard scope already excludes everything it would.
     fn learn_in_shard(&mut self, refuted: &CcaSpec, trace: Trace) {
+        // Same waste canonicalization (with the same refutation guard) as
+        // the serial path's `GenAdapter::learn`.
+        let mut canon = trace.clone();
+        self.replay.canonicalize(&mut canon);
+        let trace = if self.replay.refutes(refuted, &canon) { canon } else { trace };
         if self.shard_learned.contains(&trace) {
             return;
         }
@@ -608,7 +631,49 @@ mod tests {
             dispatch_min: DEFAULT_DISPATCH_MIN,
             certify: false,
             region_pruning: true,
+            theory_sync: true,
         }
+    }
+
+    #[test]
+    fn dominated_serial_trace_is_subsumed_before_assertion() {
+        use ccmatic_cegis::Generator as _;
+        let opts = quick_opts(OptMode::RangePruningWce);
+        let mut gen = make_generator(&opts);
+        let cand = CcaSpec::zero(&opts.shape);
+
+        // A hand-built counterexample to the zero CCA: nothing is ever
+        // sent or served, so the floors force the link to waste the whole
+        // token line (W(t) = C·(t+h)) and utilization is zero.
+        let (t_min, t_max) = (opts.net.t_min(), opts.net.t_max());
+        let h = opts.net.history as i64;
+        let len = (t_max - t_min + 1) as usize;
+        let zeros = vec![Rat::zero(); len];
+        let cex = Trace {
+            t_min,
+            t_max,
+            a: zeros.clone(),
+            s: zeros.clone(),
+            w: (t_min..=t_max).map(|t| int(t + h)).collect(),
+            l: zeros.clone(),
+            cwnd: zeros,
+        };
+        gen.learn(&cand, &cex);
+        assert_eq!(gen.cex_subsumed, 0);
+
+        // A second probe's trace: same service schedule and pre-history,
+        // different replayed arrivals, and a differently-slacked waste
+        // schedule — exactly how equal-service counterexamples from
+        // distinct candidates used to differ before canonicalization.
+        let mut other = cex.clone();
+        other.a[len - 1] = int(1);
+        let ceiling = int(t_max + h);
+        for i in (h as usize)..len {
+            other.w[i] = ceiling.clone();
+        }
+        assert_ne!(other, cex);
+        gen.learn(&cand, &other);
+        assert_eq!(gen.cex_subsumed, 1, "dominated serial trace must be dropped, not asserted");
     }
 
     #[test]
@@ -638,6 +703,7 @@ mod tests {
                     incremental: true,
                     certify: false,
                     search: SearchConfig::default(),
+                    theory_sync: true,
                 });
                 assert!(v.verify(&spec).is_ok(), "synthesized CCA failed re-verification: {spec}");
             }

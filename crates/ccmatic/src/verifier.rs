@@ -63,6 +63,10 @@ pub struct VerifyConfig {
     /// solver. The default is the solver's canonical behavior; portfolio
     /// workers get [`SearchConfig::diversified`] profiles.
     pub search: SearchConfig,
+    /// Trail-synchronized incremental theory solving with theory
+    /// propagation (default). Off = the legacy reset-and-reassert bridge;
+    /// kept as a same-build A/B escape hatch (`--no-theory-sync`).
+    pub theory_sync: bool,
 }
 
 impl Default for VerifyConfig {
@@ -75,6 +79,7 @@ impl Default for VerifyConfig {
             incremental: true,
             certify: false,
             search: SearchConfig::default(),
+            theory_sync: true,
         }
     }
 }
@@ -251,6 +256,7 @@ impl CcaVerifier {
             conflict_budget: None,
             interrupt: interrupt.clone(),
             certify: self.cfg.certify,
+            theory_sync: self.cfg.theory_sync,
         }
     }
 
@@ -334,6 +340,7 @@ impl CcaVerifier {
         } else {
             self.solver_probes += 1;
             let mut solver = Solver::new();
+            solver.set_theory_sync(self.cfg.theory_sync);
             solver.interrupt = interrupt.clone();
             if self.cfg.certify {
                 solver.enable_proofs();
@@ -380,6 +387,7 @@ impl CcaVerifier {
             let parts = desired_property(&mut ctx, &nv, &self.cfg.thresholds);
             let bad = ctx.not(parts.desired);
             let mut solver = Solver::new();
+            solver.set_theory_sync(self.cfg.theory_sync);
             if self.cfg.certify {
                 // Must be enabled before the base assertions so input
                 // clauses (and later atom definitions) reach the proof log.
@@ -501,6 +509,7 @@ mod tests {
             incremental: true,
             certify: false,
             search: SearchConfig::default(),
+            theory_sync: true,
         }
     }
 

@@ -38,6 +38,7 @@ fn base_opts(shape: TemplateShape, net: NetConfig, threads: usize) -> SynthOptio
         dispatch_min: 0,
         certify: false,
         region_pruning: true,
+        theory_sync: true,
     }
 }
 
@@ -66,6 +67,7 @@ fn reverify(opts: &SynthOptions, spec: &CcaSpec, threads: usize) {
         incremental: true,
         certify: false,
         search: Default::default(),
+        theory_sync: true,
     });
     assert!(
         v.verify(spec).is_ok(),

@@ -42,6 +42,7 @@ fn base_opts(
         dispatch_min: 0,
         certify: false,
         region_pruning,
+        theory_sync: true,
     }
 }
 
@@ -71,6 +72,7 @@ fn reverify(opts: &SynthOptions, spec: &CcaSpec, tag: &str) {
         incremental: true,
         certify: false,
         search: Default::default(),
+        theory_sync: true,
     });
     assert!(v.verify(spec).is_ok(), "solution from {tag} run failed re-verification: {spec}");
 }

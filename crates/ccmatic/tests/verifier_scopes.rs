@@ -20,6 +20,7 @@ fn cfg(worst_case: bool, incremental: bool) -> VerifyConfig {
         incremental,
         certify: false,
         search: Default::default(),
+        theory_sync: true,
     }
 }
 

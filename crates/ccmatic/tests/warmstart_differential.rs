@@ -30,6 +30,7 @@ fn tiny_base() -> SynthOptions {
         dispatch_min: ccmatic::synth::DEFAULT_DISPATCH_MIN,
         certify: false,
         region_pruning: true,
+        theory_sync: true,
     }
 }
 

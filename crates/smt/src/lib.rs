@@ -63,5 +63,7 @@ pub use linexpr::LinExpr;
 pub use opt::{maximize, maximize_scoped, MaximizeOutcome, MaximizeParams};
 pub use sat::{PhaseInit, RestartSchedule, SearchConfig};
 pub use share::{ClauseExchange, SharedClause};
-pub use solver::{Certified, Model, SatResult, Solver, SolverStats};
+pub use solver::{
+    theory_counters, Certified, Model, SatResult, Solver, SolverStats, TheoryCounters,
+};
 pub use term::{Context, RealVar, Term};

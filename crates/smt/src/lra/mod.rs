@@ -173,6 +173,11 @@ impl Row {
 /// SMT layer uses SAT literal codes.
 pub type Tag = u32;
 
+/// Result of [`Simplex::row_extreme`]: the reachable extreme value of a
+/// basic variable's row plus the `(tag, |scale·coeff|)` Farkas premises of
+/// each limiting bound.
+pub type RowExtreme = (DeltaRat, Vec<(Tag, Rat)>);
+
 /// An inconsistent set of asserted bounds, identified by their tags.
 #[derive(Clone, Debug)]
 pub struct TheoryConflict {
@@ -231,6 +236,23 @@ pub struct Simplex {
     pub pivots: u64,
     /// Reusable merge buffer for [`Row::add_scaled`].
     scratch: Vec<(SimVar, Rat)>,
+    /// Undo log for incremental bound retraction: every *actual* tightening
+    /// (the no-op weaker-bound early returns record nothing) pushes the
+    /// overwritten slot as `(var, is_upper, previous)`. [`Simplex::bound_mark`]
+    /// / [`Simplex::undo_bounds_to`] give the SMT bridge trail-synchronized
+    /// rollback without a full [`Simplex::reset_bounds`].
+    bound_undo: Vec<(u32, bool, Option<BoundVal>)>,
+    /// Basic variables that may violate one of their bounds — a superset of
+    /// the actually-violating set, maintained at every bound tightening and
+    /// value update so [`Simplex::check`] scans `O(dirty)` rows per call
+    /// instead of the whole tableau. Stale entries are dropped lazily.
+    dirty: Vec<u32>,
+    dirty_flag: Vec<bool>,
+    /// Variables whose bounds tightened since the last
+    /// [`Simplex::drain_touched`] — the bridge's theory-propagation scan
+    /// targets only these.
+    touched: Vec<u32>,
+    touched_flag: Vec<bool>,
 }
 
 impl Default for Simplex {
@@ -250,6 +272,11 @@ impl Simplex {
             frames: Vec::new(),
             pivots: 0,
             scratch: Vec::new(),
+            bound_undo: Vec::new(),
+            dirty: Vec::new(),
+            dirty_flag: Vec::new(),
+            touched: Vec::new(),
+            touched_flag: Vec::new(),
         }
     }
 
@@ -272,10 +299,14 @@ impl Simplex {
         let frame = self.frames.pop().expect("pop without matching push");
         self.rows = frame.rows;
         self.value = frame.value;
+        // Clear bookkeeping lists before truncating their flag vectors: the
+        // lists may hold indices of scope-local variables being dropped.
+        self.reset_bounds();
         let n = self.rows.len();
         self.lower.truncate(n);
         self.upper.truncate(n);
-        self.reset_bounds();
+        self.dirty_flag.truncate(n);
+        self.touched_flag.truncate(n);
     }
 
     /// Allocate a fresh (nonbasic, unbounded) variable with value 0.
@@ -285,6 +316,8 @@ impl Simplex {
         self.lower.push(None);
         self.upper.push(None);
         self.value.push(DeltaRat::zero());
+        self.dirty_flag.push(false);
+        self.touched_flag.push(false);
         v
     }
 
@@ -329,7 +362,9 @@ impl Simplex {
         s
     }
 
-    /// Drop all asserted bounds (tableau and values are kept).
+    /// Drop all asserted bounds (tableau and values are kept). Also clears
+    /// the incremental bookkeeping: the undo log, the dirty set, and the
+    /// touched set all describe bounds, which no longer exist.
     pub fn reset_bounds(&mut self) {
         for b in self.lower.iter_mut() {
             *b = None;
@@ -337,6 +372,110 @@ impl Simplex {
         for b in self.upper.iter_mut() {
             *b = None;
         }
+        self.bound_undo.clear();
+        for &i in &self.dirty {
+            self.dirty_flag[i as usize] = false;
+        }
+        self.dirty.clear();
+        for &i in &self.touched {
+            self.touched_flag[i as usize] = false;
+        }
+        self.touched.clear();
+    }
+
+    /// Position in the bound-undo log; pass to [`Simplex::undo_bounds_to`]
+    /// to retract every tightening made after this point.
+    pub fn bound_mark(&self) -> usize {
+        self.bound_undo.len()
+    }
+
+    /// Retract bound tightenings back to `mark`, restoring each overwritten
+    /// slot. Values are deliberately *not* rolled back: every restored bound
+    /// is weaker than (or equal to) the one it replaces, so nonbasic
+    /// variables stay within their own bounds, and any basic-row violation
+    /// relaxation could have cured is dropped lazily from the dirty set by
+    /// the next [`Simplex::check`].
+    pub fn undo_bounds_to(&mut self, mark: usize) {
+        while self.bound_undo.len() > mark {
+            let (v, is_upper, old) = self.bound_undo.pop().expect("len checked");
+            let i = v as usize;
+            if is_upper {
+                self.upper[i] = old;
+            } else {
+                self.lower[i] = old;
+            }
+        }
+    }
+
+    fn mark_dirty(&mut self, i: usize) {
+        if !self.dirty_flag[i] {
+            self.dirty_flag[i] = true;
+            self.dirty.push(i as u32);
+        }
+    }
+
+    fn mark_touched(&mut self, i: usize) {
+        if !self.touched_flag[i] {
+            self.touched_flag[i] = true;
+            self.touched.push(i as u32);
+        }
+    }
+
+    /// Move the set of variables whose bounds tightened since the previous
+    /// drain into `out` (cleared first). The theory-propagation scan uses
+    /// this to look only at constraints a new bound can actually affect.
+    pub fn drain_touched(&mut self, out: &mut Vec<SimVar>) {
+        out.clear();
+        for &i in &self.touched {
+            self.touched_flag[i as usize] = false;
+            out.push(SimVar(i));
+        }
+        self.touched.clear();
+    }
+
+    /// Current upper bound on `v` with the tag of the literal asserting it.
+    pub fn upper_bound(&self, v: SimVar) -> Option<(&DeltaRat, Tag)> {
+        self.upper[v.0 as usize].as_ref().map(|b| (&b.value, b.tag))
+    }
+
+    /// Current lower bound on `v` with the tag of the literal asserting it.
+    pub fn lower_bound(&self, v: SimVar) -> Option<(&DeltaRat, Tag)> {
+        self.lower[v.0 as usize].as_ref().map(|b| (&b.value, b.tag))
+    }
+
+    /// Whether `v` currently owns a tableau row.
+    pub fn is_basic_var(&self, v: SimVar) -> bool {
+        self.is_basic(v)
+    }
+
+    /// Whether basic `b`'s row mentions `v` (false if `b` is nonbasic).
+    pub fn row_mentions(&self, b: SimVar, v: SimVar) -> bool {
+        match &self.rows[b.0 as usize] {
+            Some(row) => row.get(v).is_some(),
+            None => false,
+        }
+    }
+
+    /// Bound-propagated extreme of basic `v`: the largest (`toward_upper`)
+    /// or smallest value its row can reach given the current bounds on its
+    /// nonbasic variables, together with `(tag, |scale·coeff|)` Farkas
+    /// premises for each limiting bound — the same accumulation
+    /// [`Simplex::check`] uses for propagation conflicts. `None` if `v` is
+    /// nonbasic or the row is unbounded in that direction.
+    pub fn row_extreme(&self, v: SimVar, toward_upper: bool) -> Option<RowExtreme> {
+        let row = self.rows[v.0 as usize].as_ref()?;
+        let scale = &row.scale;
+        let mut acc = DeltaRat::zero();
+        let mut lams = Vec::with_capacity(row.entries.len());
+        for (j, c) in row.iter() {
+            let ji = j.0 as usize;
+            let wants_upper = toward_upper == c.is_positive();
+            let bv = if wants_upper { self.upper[ji].as_ref() } else { self.lower[ji].as_ref() }?;
+            let eff = scale * c;
+            acc = &acc + &bv.value.scale(&eff);
+            lams.push((bv.tag, eff.abs()));
+        }
+        Some((acc, lams))
     }
 
     /// Assert `v ≤ bound`. Returns a conflict if it contradicts the current
@@ -361,8 +500,12 @@ impl Simplex {
                 ]));
             }
         }
+        self.bound_undo.push((v.0, true, self.upper[i].take()));
         self.upper[i] = Some(BoundVal { value: bound.clone(), tag });
-        if !self.is_basic(v) && self.value[i] > bound {
+        self.mark_touched(i);
+        if self.is_basic(v) {
+            self.mark_dirty(i);
+        } else if self.value[i] > bound {
             self.update_nonbasic(v, bound);
         }
         Ok(())
@@ -390,8 +533,12 @@ impl Simplex {
                 ]));
             }
         }
+        self.bound_undo.push((v.0, false, self.lower[i].take()));
         self.lower[i] = Some(BoundVal { value: bound.clone(), tag });
-        if !self.is_basic(v) && self.value[i] < bound {
+        self.mark_touched(i);
+        if self.is_basic(v) {
+            self.mark_dirty(i);
+        } else if self.value[i] < bound {
             self.update_nonbasic(v, bound);
         }
         Ok(())
@@ -401,11 +548,14 @@ impl Simplex {
     fn update_nonbasic(&mut self, v: SimVar, new_val: DeltaRat) {
         let delta = &new_val - &self.value[v.0 as usize];
         for b in 0..self.rows.len() {
-            if let Some(row) = &self.rows[b] {
-                if let Some(c) = row.effective(v) {
-                    let adj = delta.scale(&c);
-                    self.value[b] = &self.value[b] + &adj;
-                }
+            let c = match &self.rows[b] {
+                Some(row) => row.effective(v),
+                None => None,
+            };
+            if let Some(c) = c {
+                let adj = delta.scale(&c);
+                self.value[b] = &self.value[b] + &adj;
+                self.mark_dirty(b);
             }
         }
         self.value[v.0 as usize] = new_val;
@@ -414,23 +564,40 @@ impl Simplex {
     /// Pivot to feasibility or produce a conflict.
     pub fn check(&mut self) -> Result<(), TheoryConflict> {
         loop {
-            // Bland's rule: lowest-index violating basic variable.
+            // Bland's rule: lowest-index violating basic variable. The dirty
+            // set is a superset of the violating basics (every bound
+            // tightening and value update marks the rows it may have broken),
+            // so scanning it — dropping entries that turn out fine — selects
+            // exactly the variable the old full-tableau scan would have.
             let mut violating: Option<(SimVar, bool)> = None; // (var, below_lower)
-            for i in 0..self.rows.len() {
-                if self.rows[i].is_none() {
-                    continue;
-                }
-                let v = SimVar(i as u32);
-                if let Some(l) = &self.lower[i] {
-                    if self.value[i] < l.value {
-                        violating = Some((v, true));
-                        break;
+            let mut k = 0;
+            while k < self.dirty.len() {
+                let i = self.dirty[k] as usize;
+                let mut viol: Option<bool> = None;
+                if self.rows[i].is_some() {
+                    if let Some(l) = &self.lower[i] {
+                        if self.value[i] < l.value {
+                            viol = Some(true);
+                        }
+                    }
+                    if viol.is_none() {
+                        if let Some(u) = &self.upper[i] {
+                            if self.value[i] > u.value {
+                                viol = Some(false);
+                            }
+                        }
                     }
                 }
-                if let Some(u) = &self.upper[i] {
-                    if self.value[i] > u.value {
-                        violating = Some((v, false));
-                        break;
+                match viol {
+                    Some(below) => {
+                        if violating.is_none_or(|(v, _)| SimVar(i as u32) < v) {
+                            violating = Some((SimVar(i as u32), below));
+                        }
+                        k += 1;
+                    }
+                    None => {
+                        self.dirty_flag[i] = false;
+                        self.dirty.swap_remove(k);
                     }
                 }
             }
@@ -579,12 +746,18 @@ impl Simplex {
         let theta = (&target - &self.value[bi]).scale(&inv_eff);
         self.value[bi] = target;
         self.value[ji] = &self.value[ji] + &theta;
+        // j is about to become basic with a changed value; its row (and
+        // every row whose value shifts below) may now violate a bound.
+        self.mark_dirty(ji);
         for i in 0..self.rows.len() {
-            if let Some(row) = &self.rows[i] {
-                if let Some(c) = row.effective(j) {
-                    let adj = theta.scale(&c);
-                    self.value[i] = &self.value[i] + &adj;
-                }
+            let c = match &self.rows[i] {
+                Some(row) => row.effective(j),
+                None => None,
+            };
+            if let Some(c) = c {
+                let adj = theta.scale(&c);
+                self.value[i] = &self.value[i] + &adj;
+                self.mark_dirty(i);
             }
         }
         // Row for j: from b = s·Σ a_k x_k, with σ = sign(a_bj),

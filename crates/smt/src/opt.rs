@@ -38,6 +38,10 @@ pub struct MaximizeParams {
     /// [`Solver::enable_proofs`] before asserting the base (snapshots are
     /// taken here, logging happens there).
     pub certify: bool,
+    /// Trail-synchronized incremental theory solving on the per-probe
+    /// solvers built by [`maximize`] (the escape-hatch A/B switch;
+    /// [`maximize_scoped`] inherits whatever the caller's solver uses).
+    pub theory_sync: bool,
 }
 
 impl Default for MaximizeParams {
@@ -49,6 +53,7 @@ impl Default for MaximizeParams {
             conflict_budget: None,
             interrupt: Interrupt::none(),
             certify: false,
+            theory_sync: true,
         }
     }
 }
@@ -115,6 +120,7 @@ pub fn maximize(
     let mut probe = |ctx: &mut Context, threshold: &Rat| -> Probe {
         probes += 1;
         let mut solver = Solver::new();
+        solver.set_theory_sync(params.theory_sync);
         if params.certify {
             solver.enable_proofs();
         }
@@ -297,6 +303,7 @@ mod tests {
             conflict_budget: None,
             interrupt: Interrupt::none(),
             certify: false,
+            theory_sync: true,
         };
         match maximize(&mut ctx, base, &LinExpr::var(x), &params) {
             MaximizeOutcome::Feasible { value, model, .. } => {
@@ -338,6 +345,7 @@ mod tests {
             conflict_budget: None,
             interrupt: Interrupt::none(),
             certify: false,
+            theory_sync: true,
         };
         match maximize(&mut ctx, base, &LinExpr::var(x), &params) {
             MaximizeOutcome::Feasible { value, .. } => {
@@ -365,6 +373,7 @@ mod tests {
             conflict_budget: None,
             interrupt: Interrupt::none(),
             certify: false,
+            theory_sync: true,
         };
         let mut solver = Solver::new();
         solver.assert(&ctx, base);
@@ -428,6 +437,7 @@ mod tests {
             conflict_budget: None,
             interrupt: Interrupt::none(),
             certify: false,
+            theory_sync: true,
         };
         match maximize(&mut ctx, base, &LinExpr::var(x), &params) {
             MaximizeOutcome::Feasible { value, .. } => assert_eq!(value, int(5)),

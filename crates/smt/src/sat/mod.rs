@@ -142,6 +142,38 @@ pub trait TheoryHook {
     ) -> Result<(), TheoryLemma> {
         Ok(())
     }
+
+    /// Trail-synchronized replacement for [`TheoryHook::partial_check`],
+    /// used instead of it when [`TheoryHook::supports_trail_sync`] is true.
+    ///
+    /// `trail` is the solver's full assignment trail; `low` is the length of
+    /// its longest prefix guaranteed unchanged since the previous call this
+    /// `solve` (0 on the first call). The hook retracts theory state for
+    /// entries it processed beyond `low` and asserts `trail[low..]` — so a
+    /// fixpoint check pays for the assignments made since the last one, not
+    /// for the whole trail.
+    ///
+    /// On a consistent check, the hook may append *implied literals* to
+    /// `implied`: each lemma's first literal must be unassigned and entailed
+    /// by the theory under the current trail, the remaining literals are
+    /// currently-false premises, and the full clause is theory-valid (with
+    /// an optional Farkas witness, exactly like a conflict lemma — it enters
+    /// the proof log the same way). The solver stores each clause and
+    /// enqueues the implied literal with it as reason.
+    fn trail_check(
+        &mut self,
+        _trail: &[Lit],
+        _low: usize,
+        _assignment: &dyn Fn(Var) -> Option<bool>,
+        _implied: &mut Vec<TheoryLemma>,
+    ) -> Result<(), TheoryLemma> {
+        Ok(())
+    }
+
+    /// Whether this hook implements [`TheoryHook::trail_check`].
+    fn supports_trail_sync(&self) -> bool {
+        false
+    }
 }
 
 /// A no-op hook for pure SAT solving.
@@ -198,6 +230,8 @@ pub struct SatStats {
     pub theory_checks: u64,
     /// Number of theory-originated conflict clauses.
     pub theory_conflicts: u64,
+    /// Literals implied into the trail by theory propagation.
+    pub theory_props: u64,
     /// Clauses handed out through `take_shared_exports`.
     pub shared_exported: u64,
     /// Shared clauses admitted into this solver's clause database.
@@ -328,6 +362,11 @@ pub struct SatSolver {
     trail: Vec<Lit>,
     trail_lim: Vec<usize>,
     prop_head: usize,
+    /// Length of the longest trail prefix guaranteed unchanged since the
+    /// last `trail_check` handed to a trail-synchronized theory hook.
+    /// Clamped on every backtrack, zeroed on `pop` (which filters the
+    /// level-0 trail non-prefix-wise) and at the start of each `solve`.
+    theory_low: usize,
     activity: Vec<f64>,
     act_inc: f64,
     order: ActivityHeap,
@@ -403,6 +442,7 @@ impl SatSolver {
             trail: Vec::new(),
             trail_lim: Vec::new(),
             prop_head: 0,
+            theory_low: 0,
             activity: Vec::new(),
             act_inc: 1.0,
             order: ActivityHeap::new(),
@@ -706,6 +746,9 @@ impl SatSolver {
         let frame = self.frames.pop().expect("pop without matching push");
         let new_depth = self.frames.len() as u32;
         self.backtrack_to(0);
+        // The level-0 trail is filtered (not truncated) below, so no prefix
+        // is guaranteed stable for a synchronized theory hook.
+        self.theory_low = 0;
         // Filter the level-0 trail: keep facts about surviving variables
         // whose derivations survive.
         let trail = std::mem::take(&mut self.trail);
@@ -1070,6 +1113,7 @@ impl SatSolver {
             }
         }
         self.prop_head = self.trail.len().min(self.prop_head);
+        self.theory_low = self.theory_low.min(self.trail.len());
         if target_level == 0 {
             self.prop_head = 0;
         }
@@ -1346,6 +1390,63 @@ impl SatSolver {
         true
     }
 
+    /// Integrate theory-implied literals from a `trail_check` scan. Each
+    /// lemma's first literal is the implied one; the rest are its
+    /// currently-false premises. The clause is stored (entering the proof
+    /// log as a theory lemma with its Farkas witness) and the implied
+    /// literal enqueued with it as reason, so conflict analysis can resolve
+    /// across it like any propagation. Returns `(progressed, consistent)`;
+    /// `consistent == false` means unsat was derived.
+    fn integrate_theory_implications(&mut self, implied: Vec<TheoryLemma>) -> (bool, bool) {
+        let mut progressed = false;
+        for lemma in implied {
+            if lemma.lits.len() < 2 {
+                // The bridge never emits premise-free implications; a unit
+                // here could not be watched, so drop it defensively.
+                debug_assert!(false, "premise-free theory implication");
+                continue;
+            }
+            match self.lit_value(lemma.lits[0]) {
+                // An earlier clause in this batch already propagated it.
+                LBool::True => continue,
+                LBool::False => {
+                    // The whole clause is false: a genuine theory conflict.
+                    // Route it through the standard path; the backjump
+                    // invalidates the premises of the remaining batch, so
+                    // drop it (the next scan re-derives anything still due).
+                    let ok = self.handle_theory_conflict(lemma);
+                    return (true, ok);
+                }
+                LBool::Undef => {}
+            }
+            let TheoryLemma { lits: mut clause, farkas } = lemma;
+            debug_assert!(
+                clause[1..].iter().all(|&l| self.lit_value(l) == LBool::False),
+                "implication premises must be false under the current assignment"
+            );
+            let theory_id = self.plog_theory(&clause, &farkas);
+            // Same epoch rule as conflict lemmas: valid whenever its atoms
+            // exist (bounds are re-derived from the live atom set).
+            let epoch = clause
+                .iter()
+                .map(|l| self.var_epoch[l.var().0 as usize])
+                .max()
+                .expect("len checked");
+            // Watch the implied literal and the deepest premise so the
+            // clause re-propagates correctly after backtracking.
+            clause[1..].sort_by_key(|l| std::cmp::Reverse(self.level[l.var().0 as usize]));
+            let idx = self.clauses.len();
+            self.watches[clause[0].index()].push(idx);
+            self.watches[clause[1].index()].push(idx);
+            let implied_lit = clause[0];
+            self.clauses.push(Clause { lits: clause, epoch, proof_id: theory_id });
+            self.enqueue(implied_lit, Some(idx));
+            self.stats.theory_props += 1;
+            progressed = true;
+        }
+        (progressed, true)
+    }
+
     /// Integrate a conflict clause reported by the theory: backjump to the
     /// clause's maximum decision level, store it, and run standard
     /// first-UIP analysis from it. Returns `false` if this proves unsat.
@@ -1413,6 +1514,9 @@ impl SatSolver {
             return Some(SolveResult::Unsat);
         }
         self.backtrack_to(0);
+        // A synchronized theory hook starts each solve with empty bound
+        // state, so nothing of the trail has been processed yet.
+        self.theory_low = 0;
         // Flush pending level-0 units.
         let units = std::mem::take(&mut self.pending_units);
         for (u, epoch) in units {
@@ -1477,13 +1581,50 @@ impl SatSolver {
             // the partial assignment (CDCL(T) eager pruning).
             {
                 self.stats.theory_checks += 1;
-                let assign = &self.assign;
-                let lookup = |v: Var| match assign[v.0 as usize] {
-                    LBool::True => Some(true),
-                    LBool::False => Some(false),
-                    LBool::Undef => None,
+                let verdict = if theory.supports_trail_sync() {
+                    // Hand over only the trail suffix assigned since the
+                    // last check; advance the watermark *before* integrating
+                    // implications (backtracks clamp it back down, and the
+                    // hook's own cursor is authoritative on conflict exits).
+                    let low = self.theory_low;
+                    self.theory_low = self.trail.len();
+                    let mut implied = Vec::new();
+                    let assign = &self.assign;
+                    let lookup = |v: Var| match assign[v.0 as usize] {
+                        LBool::True => Some(true),
+                        LBool::False => Some(false),
+                        LBool::Undef => None,
+                    };
+                    let r = theory.trail_check(&self.trail, low, &lookup, &mut implied);
+                    match r {
+                        Ok(()) if !implied.is_empty() => {
+                            let (progressed, consistent) =
+                                self.integrate_theory_implications(implied);
+                            if !consistent {
+                                return Some(SolveResult::Unsat);
+                            }
+                            if let Some(budget) = self.conflict_budget {
+                                if self.stats.conflicts > budget {
+                                    return None;
+                                }
+                            }
+                            if progressed {
+                                continue;
+                            }
+                            Ok(())
+                        }
+                        other => other,
+                    }
+                } else {
+                    let assign = &self.assign;
+                    let lookup = |v: Var| match assign[v.0 as usize] {
+                        LBool::True => Some(true),
+                        LBool::False => Some(false),
+                        LBool::Undef => None,
+                    };
+                    theory.partial_check(&lookup)
                 };
-                if let Err(clause) = theory.partial_check(&lookup) {
+                if let Err(clause) = verdict {
                     if !self.handle_theory_conflict(clause) {
                         return Some(SolveResult::Unsat);
                     }

@@ -3,11 +3,40 @@
 use crate::cnf::CnfBuilder;
 use crate::interrupt::Interrupt;
 use crate::linexpr::LinExpr;
-use crate::lra::{SimVar, Simplex, TheoryConflict};
+use crate::lra::{RowExtreme, SimVar, Simplex, TheoryConflict};
 use crate::sat::{Lit, SatSolver, SolveResult, TheoryHook, TheoryLemma, Var};
 use crate::term::{BoolVar, Context, RealVar, Term, TermData};
 use ccmatic_num::{DeltaRat, Rat};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
+
+/// Process-wide trail-sync counters across every [`Solver`] instance
+/// (including worker-thread verifiers), in the mold of
+/// `ccmatic_smt::pivots_total` / `ccmatic_num::arith_snapshot`: benches
+/// bracket a region of interest with snapshots and report the deltas.
+static THEORY_PROPS_TOTAL: AtomicU64 = AtomicU64::new(0);
+static BOUNDS_ASSERTED_TOTAL: AtomicU64 = AtomicU64::new(0);
+static BOUNDS_REUSED_TOTAL: AtomicU64 = AtomicU64::new(0);
+
+/// Process-wide snapshot of the trail-synchronized theory-solving counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TheoryCounters {
+    /// Literals implied into SAT trails by theory propagation.
+    pub theory_props: u64,
+    /// Atom bounds asserted into simplex solvers at theory fixpoints.
+    pub bounds_asserted: u64,
+    /// Atom bounds retained across theory fixpoints instead of re-asserted.
+    pub bounds_reused: u64,
+}
+
+/// Read the process-wide trail-sync counters.
+pub fn theory_counters() -> TheoryCounters {
+    TheoryCounters {
+        theory_props: THEORY_PROPS_TOTAL.load(AtomicOrdering::Relaxed),
+        bounds_asserted: BOUNDS_ASSERTED_TOTAL.load(AtomicOrdering::Relaxed),
+        bounds_reused: BOUNDS_REUSED_TOTAL.load(AtomicOrdering::Relaxed),
+    }
+}
 
 /// Result of a satisfiability check.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -108,6 +137,13 @@ pub struct SolverStats {
     pub shared_exported: u64,
     /// Shared clauses admitted from sibling portfolio workers.
     pub shared_imported: u64,
+    /// Literals implied into the SAT trail by theory propagation.
+    pub theory_props: u64,
+    /// Atom bounds asserted into the simplex at theory fixpoints.
+    pub bounds_asserted: u64,
+    /// Atom bounds retained across theory fixpoints instead of re-asserted
+    /// (only nonzero on the trail-synchronized path).
+    pub bounds_reused: u64,
 }
 
 /// An incremental SMT solver for QF-LRA.
@@ -124,6 +160,11 @@ pub struct Solver {
     atom_slacks: Vec<SimVar>,
     /// `atom_slacks` length at each open `push`.
     scope_marks: Vec<usize>,
+    /// Memo: multi-variable atom expression (in simplex-variable terms) →
+    /// its slack, so atoms differing only in the bound share one slack.
+    /// Sharing is what lets a bound on one atom propagate the truth value
+    /// of its siblings. Stale entries are retired on `pop`.
+    expr_slacks: HashMap<Vec<(SimVar, Rat)>, SimVar>,
     /// Every term passed to [`Solver::assert`], in order, for exact model
     /// auditing; truncated by `pop` in lockstep with the SAT scopes.
     asserted: Vec<Term>,
@@ -132,6 +173,16 @@ pub struct Solver {
     model: Option<Model>,
     /// `check` invocations over the solver's lifetime.
     checks: u64,
+    /// Trail-synchronized incremental theory solving (default on); when
+    /// off, every theory fixpoint resets and re-asserts all atom bounds.
+    theory_sync: bool,
+    /// Theory propagation on top of trail sync (default on; no effect
+    /// when `theory_sync` is off).
+    theory_propagation: bool,
+    /// Lifetime atom bounds asserted at theory fixpoints.
+    bounds_asserted: u64,
+    /// Lifetime atom bounds retained across theory fixpoints.
+    bounds_reused: u64,
     /// Optional conflict budget for `check` (None = unlimited).
     pub conflict_budget: Option<u64>,
     /// Optional deadline/cancellation for `check`; fires as
@@ -155,13 +206,31 @@ impl Solver {
             real_to_sim: HashMap::new(),
             atom_slacks: Vec::new(),
             scope_marks: Vec::new(),
+            expr_slacks: HashMap::new(),
             asserted: Vec::new(),
             asserted_marks: Vec::new(),
             model: None,
             checks: 0,
+            theory_sync: true,
+            theory_propagation: true,
+            bounds_asserted: 0,
+            bounds_reused: 0,
             conflict_budget: None,
             interrupt: Interrupt::none(),
         }
+    }
+
+    /// Enable or disable trail-synchronized incremental theory solving
+    /// (default on). Off restores the historical reset-and-reassert bridge —
+    /// the reference behavior the differential suite pins against.
+    pub fn set_theory_sync(&mut self, enabled: bool) {
+        self.theory_sync = enabled;
+    }
+
+    /// Enable or disable theory propagation (default on). Only meaningful
+    /// while trail sync is on.
+    pub fn set_theory_propagation(&mut self, enabled: bool) {
+        self.theory_propagation = enabled;
     }
 
     /// Assert a term.
@@ -251,6 +320,9 @@ impl Solver {
         // that no longer exist; forget them so a later assert re-allocates.
         let live = self.simplex.num_vars() as u32;
         self.real_to_sim.retain(|_, s| s.0 < live);
+        // Same for memoized slacks: a surviving slack only references
+        // variables older than itself, so `slack < live` is exact.
+        self.expr_slacks.retain(|_, s| s.0 < live);
     }
 
     /// Number of open scopes.
@@ -264,7 +336,10 @@ impl Solver {
             let (sat_var, atom_id) = self.cnf.atom_bindings()[self.atom_slacks.len()];
             let data = ctx.atom(atom_id).clone();
             // Single-variable unit-coefficient atoms bound the variable
-            // itself; anything else gets a shared slack per expression.
+            // itself; anything else gets a shared slack per expression
+            // (memoized so atoms differing only in the bound — e.g. the
+            // probes of a WCE binary search — land on one slack, letting a
+            // bound asserted for one atom fix the truth value of another).
             let slack = if data.expr.num_vars() == 1 {
                 let (v, c) = data.expr.iter().next().map(|(v, c)| (v, c.clone())).unwrap();
                 debug_assert_eq!(c, Rat::one(), "canonical atoms have leading coefficient 1");
@@ -272,7 +347,14 @@ impl Solver {
             } else {
                 let terms: Vec<(SimVar, Rat)> =
                     data.expr.iter().map(|(v, c)| (self.sim_var(v), c.clone())).collect();
-                self.simplex.define_slack(&terms)
+                match self.expr_slacks.get(&terms) {
+                    Some(&s) => s,
+                    None => {
+                        let s = self.simplex.define_slack(&terms);
+                        self.expr_slacks.insert(terms, s);
+                        s
+                    }
+                }
             };
             self.atom_slacks.push(slack);
             if self.sat.proofs_enabled() {
@@ -306,6 +388,27 @@ impl Solver {
             simplex: &'a mut Simplex,
             /// (sat var, slack var, bound, strict) per atom.
             atoms: Vec<(Var, SimVar, Rat, bool)>,
+            /// Trail-synchronized incremental mode (Dutertre–de Moura).
+            sync: bool,
+            /// Theory propagation on top of sync.
+            propagate: bool,
+            /// SAT variable → atom index (sync mode only).
+            var_to_atom: HashMap<u32, usize>,
+            /// Slack variable → indices of the atoms bounding it.
+            slack_atoms: HashMap<u32, Vec<usize>>,
+            /// Sorted slack ids; the propagation scan walks this instead of
+            /// the map so lemma emission order is deterministic.
+            slack_order: Vec<u32>,
+            /// One entry per processed trail position: the simplex undo-log
+            /// mark taken *before* that entry was handled (so positions stay
+            /// trail-aligned even when an assert conflicts) and the number
+            /// of atom entries in the trail prefix up to and including it.
+            synced: Vec<(usize, u64)>,
+            /// Scratch for `Simplex::drain_touched`.
+            touched: Vec<SimVar>,
+            /// Lifetime counters, merged into the solver after the solve.
+            bounds_asserted: u64,
+            bounds_reused: u64,
         }
         /// Re-tag a simplex conflict as a SAT clause: the tags already are
         /// literal codes, and the Farkas multipliers ride along so the proof
@@ -316,8 +419,170 @@ impl Solver {
                 farkas: conflict.farkas.into_iter().map(|(t, c)| (Lit(t), c)).collect(),
             }
         }
+        impl Bridge<'_> {
+            /// Assert atom `ai`'s bound for polarity `holds`. The conflict
+            /// clause must falsify the asserted literal, so the tag is the
+            /// *negation* of what is currently true.
+            fn assert_atom(&mut self, ai: usize, holds: bool) -> Result<(), TheoryConflict> {
+                let (sat_var, slack, bound, strict) = &self.atoms[ai];
+                if holds {
+                    // expr ≤ bound (or < bound).
+                    let b = if *strict {
+                        DeltaRat::strictly_below(bound.clone())
+                    } else {
+                        DeltaRat::from(bound.clone())
+                    };
+                    let tag = Lit::neg(*sat_var).0;
+                    self.simplex.assert_upper(*slack, b, tag)
+                } else {
+                    // ¬(expr ≤ bound) ⇒ expr > bound;
+                    // ¬(expr < bound) ⇒ expr ≥ bound.
+                    let b = if *strict {
+                        DeltaRat::from(bound.clone())
+                    } else {
+                        DeltaRat::strictly_above(bound.clone())
+                    };
+                    let tag = Lit::pos(*sat_var).0;
+                    self.simplex.assert_lower(*slack, b, tag)
+                }
+            }
+
+            /// The upper bound on an atom's slack equivalent to the atom
+            /// being true: `expr ≤ b` (`<` when strict).
+            fn atom_true_bound(&self, ai: usize) -> DeltaRat {
+                let (_, _, bound, strict) = &self.atoms[ai];
+                if *strict {
+                    DeltaRat::strictly_below(bound.clone())
+                } else {
+                    DeltaRat::from(bound.clone())
+                }
+            }
+
+            /// Theory propagation: after a feasible check, scan the atoms
+            /// whose slacks the latest bound tightenings can decide and emit
+            /// implied literals with Farkas explanations. Best-effort — a
+            /// missed implication costs a decision, never soundness.
+            fn scan_propagations(
+                &mut self,
+                assignment: &dyn Fn(Var) -> Option<bool>,
+                implied: &mut Vec<TheoryLemma>,
+            ) {
+                let mut touched = std::mem::take(&mut self.touched);
+                self.simplex.drain_touched(&mut touched);
+                if touched.is_empty() {
+                    self.touched = touched;
+                    return;
+                }
+                let mut emitted: Vec<u32> = Vec::new();
+                // Direct propagation: atoms sharing a touched slack compare
+                // their bound against the slack's tightened interval.
+                for &tv in &touched {
+                    let Some(atom_idxs) = self.slack_atoms.get(&tv.0) else {
+                        continue;
+                    };
+                    for &ai in atom_idxs {
+                        let (sat_var, slack, _, _) = self.atoms[ai];
+                        if assignment(sat_var).is_some() || emitted.contains(&sat_var.0) {
+                            continue;
+                        }
+                        let tb = self.atom_true_bound(ai);
+                        if let Some((u, tag)) = self.simplex.upper_bound(slack) {
+                            // expr ≤ u ≤ b ⇒ the atom must be true.
+                            if *u <= tb {
+                                emitted.push(sat_var.0);
+                                implied.push(TheoryLemma {
+                                    lits: vec![Lit::pos(sat_var), Lit(tag)],
+                                    farkas: vec![
+                                        (Lit::pos(sat_var), Rat::one()),
+                                        (Lit(tag), Rat::one()),
+                                    ],
+                                });
+                                continue;
+                            }
+                        }
+                        if let Some((l, tag)) = self.simplex.lower_bound(slack) {
+                            // expr ≥ l > b ⇒ the atom must be false.
+                            if tb < *l {
+                                emitted.push(sat_var.0);
+                                implied.push(TheoryLemma {
+                                    lits: vec![Lit::neg(sat_var), Lit(tag)],
+                                    farkas: vec![
+                                        (Lit::neg(sat_var), Rat::one()),
+                                        (Lit(tag), Rat::one()),
+                                    ],
+                                });
+                            }
+                        }
+                    }
+                }
+                // Row propagation: a basic atom slack whose row mentions a
+                // touched variable may have its reachable interval pinned on
+                // one side of the atom bound. Guarded by a work cap so the
+                // scan can never dominate the fixpoint it accelerates.
+                const ROW_SCAN_CAP: usize = 16_384;
+                if self.slack_atoms.len().saturating_mul(touched.len()) <= ROW_SCAN_CAP {
+                    for &sv in &self.slack_order {
+                        let atom_idxs = &self.slack_atoms[&sv];
+                        let slack = SimVar(sv);
+                        if !self.simplex.is_basic_var(slack)
+                            || !touched.iter().any(|&t| self.simplex.row_mentions(slack, t))
+                        {
+                            continue;
+                        }
+                        let mut hi: Option<Option<RowExtreme>> = None;
+                        let mut lo: Option<Option<RowExtreme>> = None;
+                        for &ai in atom_idxs {
+                            let (sat_var, _, _, _) = self.atoms[ai];
+                            if assignment(sat_var).is_some() || emitted.contains(&sat_var.0) {
+                                continue;
+                            }
+                            let tb = self.atom_true_bound(ai);
+                            // Reachable maximum ≤ b ⇒ atom true.
+                            let hi =
+                                hi.get_or_insert_with(|| self.simplex.row_extreme(slack, true));
+                            if let Some((reach, lams)) = hi {
+                                if !lams.is_empty() && *reach <= tb {
+                                    emitted.push(sat_var.0);
+                                    let mut lits = vec![Lit::pos(sat_var)];
+                                    let mut farkas = vec![(Lit::pos(sat_var), Rat::one())];
+                                    for (tag, lam) in lams.iter() {
+                                        lits.push(Lit(*tag));
+                                        farkas.push((Lit(*tag), lam.clone()));
+                                    }
+                                    implied.push(TheoryLemma { lits, farkas });
+                                    continue;
+                                }
+                            }
+                            // Reachable minimum > b ⇒ atom false.
+                            let lo =
+                                lo.get_or_insert_with(|| self.simplex.row_extreme(slack, false));
+                            if let Some((reach, lams)) = lo {
+                                if !lams.is_empty() && tb < *reach {
+                                    emitted.push(sat_var.0);
+                                    let mut lits = vec![Lit::neg(sat_var)];
+                                    let mut farkas = vec![(Lit::neg(sat_var), Rat::one())];
+                                    for (tag, lam) in lams.iter() {
+                                        lits.push(Lit(*tag));
+                                        farkas.push((Lit(*tag), lam.clone()));
+                                    }
+                                    implied.push(TheoryLemma { lits, farkas });
+                                }
+                            }
+                        }
+                    }
+                }
+                self.touched = touched;
+            }
+        }
         impl TheoryHook for Bridge<'_> {
             fn final_check(&mut self, assignment: &dyn Fn(Var) -> bool) -> Result<(), TheoryLemma> {
+                if self.sync {
+                    // The solve loop guarantees a `trail_check` ran at this
+                    // same fixpoint (no trail change in between), so every
+                    // asserted atom bound is already in the simplex; just
+                    // confirm feasibility.
+                    return self.simplex.check().map_err(lemma);
+                }
                 self.partial_check(&|v| Some(assignment(v)))
             }
 
@@ -326,33 +591,12 @@ impl Solver {
                 assignment: &dyn Fn(Var) -> Option<bool>,
             ) -> Result<(), TheoryLemma> {
                 self.simplex.reset_bounds();
-                for (sat_var, slack, bound, strict) in &self.atoms {
-                    let Some(holds) = assignment(*sat_var) else {
+                for ai in 0..self.atoms.len() {
+                    let Some(holds) = assignment(self.atoms[ai].0) else {
                         continue;
                     };
-                    // The conflict clause must falsify the asserted literal,
-                    // so the tag is the *negation* of what is currently true.
-                    let result = if holds {
-                        // expr ≤ bound (or < bound).
-                        let b = if *strict {
-                            DeltaRat::strictly_below(bound.clone())
-                        } else {
-                            DeltaRat::from(bound.clone())
-                        };
-                        let tag = Lit::neg(*sat_var).0;
-                        self.simplex.assert_upper(*slack, b, tag)
-                    } else {
-                        // ¬(expr ≤ bound) ⇒ expr > bound;
-                        // ¬(expr < bound) ⇒ expr ≥ bound.
-                        let b = if *strict {
-                            DeltaRat::from(bound.clone())
-                        } else {
-                            DeltaRat::strictly_above(bound.clone())
-                        };
-                        let tag = Lit::pos(*sat_var).0;
-                        self.simplex.assert_lower(*slack, b, tag)
-                    };
-                    if let Err(conflict) = result {
+                    self.bounds_asserted += 1;
+                    if let Err(conflict) = self.assert_atom(ai, holds) {
                         return Err(lemma(conflict));
                     }
                 }
@@ -360,6 +604,53 @@ impl Solver {
                     Ok(()) => Ok(()),
                     Err(conflict) => Err(lemma(conflict)),
                 }
+            }
+
+            fn supports_trail_sync(&self) -> bool {
+                self.sync
+            }
+
+            fn trail_check(
+                &mut self,
+                trail: &[Lit],
+                low: usize,
+                assignment: &dyn Fn(Var) -> Option<bool>,
+                implied: &mut Vec<TheoryLemma>,
+            ) -> Result<(), TheoryLemma> {
+                // Retract bounds for trail entries beyond the stable prefix.
+                // Our own cursor is authoritative: an earlier conflict exit
+                // may have left it short of the watermark the SAT core
+                // reported, in which case the missing entries are simply
+                // (re-)asserted below.
+                let keep = self.synced.len().min(low);
+                if let Some(&(mark, _)) = self.synced.get(keep) {
+                    self.simplex.undo_bounds_to(mark);
+                }
+                self.synced.truncate(keep);
+                self.bounds_reused += self.synced.last().map_or(0, |&(_, n)| n);
+                // Assert the suffix added since the last fixpoint.
+                for &l in &trail[keep..] {
+                    let mark = self.simplex.bound_mark();
+                    let mut atoms = self.synced.last().map_or(0, |&(_, n)| n);
+                    let ai = self.var_to_atom.get(&l.var().0).copied();
+                    if ai.is_some() {
+                        atoms += 1;
+                        self.bounds_asserted += 1;
+                    }
+                    self.synced.push((mark, atoms));
+                    if let Some(ai) = ai {
+                        if let Err(conflict) = self.assert_atom(ai, !l.is_neg()) {
+                            return Err(lemma(conflict));
+                        }
+                    }
+                }
+                if let Err(conflict) = self.simplex.check() {
+                    return Err(lemma(conflict));
+                }
+                if self.propagate {
+                    self.scan_propagations(assignment, implied);
+                }
+                Ok(())
             }
         }
 
@@ -373,8 +664,45 @@ impl Solver {
                 (sat_var, slack, data.bound.clone(), data.strict)
             })
             .collect();
-        let mut bridge = Bridge { simplex: &mut self.simplex, atoms };
+        let mut var_to_atom = HashMap::new();
+        let mut slack_atoms: HashMap<u32, Vec<usize>> = HashMap::new();
+        let mut slack_order: Vec<u32> = Vec::new();
+        if self.theory_sync {
+            // Bounds from a previous check's trail must not leak into this
+            // one: the trail persists across solves, but the bridge's sync
+            // cursor starts empty, so start the simplex empty too.
+            self.simplex.reset_bounds();
+            for (ai, (sat_var, slack, _, _)) in atoms.iter().enumerate() {
+                var_to_atom.insert(sat_var.0, ai);
+                slack_atoms.entry(slack.0).or_default().push(ai);
+            }
+            slack_order.extend(slack_atoms.keys().copied());
+            slack_order.sort_unstable();
+        }
+        let stats_before = self.sat.stats;
+        let mut bridge = Bridge {
+            simplex: &mut self.simplex,
+            atoms,
+            sync: self.theory_sync,
+            propagate: self.theory_propagation,
+            var_to_atom,
+            slack_atoms,
+            slack_order,
+            synced: Vec::new(),
+            touched: Vec::new(),
+            bounds_asserted: 0,
+            bounds_reused: 0,
+        };
         let result = self.sat.solve(&mut bridge);
+        let (ba, br) = (bridge.bounds_asserted, bridge.bounds_reused);
+        self.bounds_asserted += ba;
+        self.bounds_reused += br;
+        BOUNDS_ASSERTED_TOTAL.fetch_add(ba, AtomicOrdering::Relaxed);
+        BOUNDS_REUSED_TOTAL.fetch_add(br, AtomicOrdering::Relaxed);
+        THEORY_PROPS_TOTAL.fetch_add(
+            self.sat.stats.theory_props - stats_before.theory_props,
+            AtomicOrdering::Relaxed,
+        );
         match result {
             Some(SolveResult::Sat) => {
                 self.extract_model(ctx);
@@ -459,6 +787,9 @@ impl Solver {
             proof_bytes,
             shared_exported: self.sat.stats.shared_exported,
             shared_imported: self.sat.stats.shared_imported,
+            theory_props: self.sat.stats.theory_props,
+            bounds_asserted: self.bounds_asserted,
+            bounds_reused: self.bounds_reused,
         }
     }
 }

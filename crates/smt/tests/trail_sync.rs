@@ -1,0 +1,244 @@
+//! Differential tests for trail-synchronized incremental theory solving.
+//!
+//! The trail-sync bridge (simplex bounds asserted/undone in lockstep with
+//! the SAT trail) and theory propagation (implied atom literals with lazy
+//! Farkas explanations) are pure performance features: every verdict must
+//! match the legacy reset-and-reassert path bit for bit, certificates must
+//! keep replaying through the independent checker, and a corrupted
+//! propagation explanation must be rejected by that checker.
+
+use ccmatic_num::{int, rat, Rat, SmallRng};
+use ccmatic_proof::ProofStep;
+use ccmatic_smt::{Context, LinExpr, SatResult, Solver, Term};
+
+/// A randomly generated formula AST we can both encode and evaluate
+/// (same shape as the grid-oracle suite in `random_qflra.rs`).
+#[derive(Debug, Clone)]
+enum F {
+    Atom { a: i64, b: i64, c: i64, rel: u8 }, // a·x + b·y REL c, rel in 0..4
+    Not(Box<F>),
+    And(Vec<F>),
+    Or(Vec<F>),
+}
+
+fn gen_formula(rng: &mut SmallRng, depth: u32) -> F {
+    if depth == 0 || rng.gen_bool(0.45) {
+        return F::Atom {
+            a: rng.gen_range_i64(-2, 3),
+            b: rng.gen_range_i64(-2, 3),
+            c: rng.gen_range_i64(-4, 5),
+            rel: rng.gen_range_i64(0, 4) as u8,
+        };
+    }
+    match rng.gen_range_i64(0, 3) {
+        0 => F::Not(Box::new(gen_formula(rng, depth - 1))),
+        1 => F::And((0..rng.gen_range_usize(2, 4)).map(|_| gen_formula(rng, depth - 1)).collect()),
+        _ => F::Or((0..rng.gen_range_usize(2, 4)).map(|_| gen_formula(rng, depth - 1)).collect()),
+    }
+}
+
+fn encode(ctx: &mut Context, f: &F, x: ccmatic_smt::RealVar, y: ccmatic_smt::RealVar) -> Term {
+    match f {
+        F::Atom { a, b, c, rel } => {
+            let lhs = LinExpr::term(x, int(*a)) + LinExpr::term(y, int(*b));
+            let rhs = LinExpr::constant(int(*c));
+            match rel {
+                0 => ctx.le(lhs, rhs),
+                1 => ctx.lt(lhs, rhs),
+                2 => ctx.ge(lhs, rhs),
+                _ => ctx.gt(lhs, rhs),
+            }
+        }
+        F::Not(g) => {
+            let t = encode(ctx, g, x, y);
+            ctx.not(t)
+        }
+        F::And(gs) => {
+            let ts: Vec<Term> = gs.iter().map(|g| encode(ctx, g, x, y)).collect();
+            ctx.and(ts)
+        }
+        F::Or(gs) => {
+            let ts: Vec<Term> = gs.iter().map(|g| encode(ctx, g, x, y)).collect();
+            ctx.or(ts)
+        }
+    }
+}
+
+fn eval(f: &F, x: &Rat, y: &Rat) -> bool {
+    match f {
+        F::Atom { a, b, c, rel } => {
+            let lhs = &(x * &int(*a)) + &(y * &int(*b));
+            let rhs = int(*c);
+            match rel {
+                0 => lhs <= rhs,
+                1 => lhs < rhs,
+                2 => lhs >= rhs,
+                _ => lhs > rhs,
+            }
+        }
+        F::Not(g) => !eval(g, x, y),
+        F::And(gs) => gs.iter().all(|g| eval(g, x, y)),
+        F::Or(gs) => gs.iter().any(|g| eval(g, x, y)),
+    }
+}
+
+/// Solve one formula under a given (sync, propagation) configuration and
+/// return the verdict, exact-auditing any model against the formula.
+fn solve(f: &F, sync: bool, propagate: bool) -> SatResult {
+    let mut ctx = Context::new();
+    let x = ctx.real_var("x");
+    let y = ctx.real_var("y");
+    let t = encode(&mut ctx, f, x, y);
+    let mut solver = Solver::new();
+    solver.set_theory_sync(sync);
+    solver.set_theory_propagation(propagate);
+    solver.assert(&ctx, t);
+    let res = solver.check(&ctx);
+    if res == SatResult::Sat {
+        let m = solver.model().unwrap();
+        let (xv, yv) = (m.real(x), m.real(y));
+        assert!(
+            eval(f, &xv, &yv),
+            "model (x={xv}, y={yv}) does not satisfy {f:?} (sync={sync}, prop={propagate})"
+        );
+    }
+    res
+}
+
+#[test]
+fn random_formulas_agree_across_sync_and_propagation_modes() {
+    let mut rng = SmallRng::seed_from_u64(20260808);
+    let mut sat = 0;
+    let mut unsat = 0;
+    for round in 0..150 {
+        let f = gen_formula(&mut rng, 3);
+        let reference = solve(&f, false, false); // legacy reset-and-reassert
+        let sync_prop = solve(&f, true, true); // default configuration
+        let sync_only = solve(&f, true, false);
+        assert_eq!(reference, sync_prop, "round {round}: sync+prop diverged on {f:?}");
+        assert_eq!(reference, sync_only, "round {round}: sync-only diverged on {f:?}");
+        match reference {
+            SatResult::Sat => sat += 1,
+            SatResult::Unsat => unsat += 1,
+            SatResult::Unknown => panic!("round {round}: unexpected Unknown (no budget set)"),
+        }
+    }
+    // Guard against a degenerate generator that only exercises one path.
+    assert!(sat > 20, "only {sat} sat instances");
+    assert!(unsat > 5, "only {unsat} unsat instances");
+}
+
+/// An unsat instance built so theory propagation must fire: `x ≤ 0` fixes
+/// the (weaker / sibling) atoms `x ≥ 1` and `x ≥ 2` false, which unit-forces
+/// the `y` atoms into the contradiction `y ≤ 0 ∧ y ≥ 1`.
+fn propagation_unsat(ctx: &mut Context) -> Term {
+    let x = ctx.real_var("x");
+    let y = ctx.real_var("y");
+    let x_low = ctx.le(ctx.var(x), ctx.constant(int(0)));
+    let x_ge1 = ctx.ge(ctx.var(x), ctx.constant(int(1)));
+    let x_ge2 = ctx.ge(ctx.var(x), ctx.constant(int(2)));
+    let y_low = ctx.le(ctx.var(y), ctx.constant(int(0)));
+    let y_high = ctx.ge(ctx.var(y), ctx.constant(int(1)));
+    let c1 = ctx.or(vec![x_ge1, y_low]);
+    let c2 = ctx.or(vec![x_ge2, y_high]);
+    ctx.and(vec![x_low, c1, c2])
+}
+
+#[test]
+fn certified_unsat_with_propagation_replays_clean() {
+    let mut ctx = Context::new();
+    let t = propagation_unsat(&mut ctx);
+    let mut solver = Solver::new();
+    solver.enable_proofs();
+    solver.assert(&ctx, t);
+    let out = solver.check_certified(&ctx);
+    assert_eq!(out.result, SatResult::Unsat);
+    let stats = solver.stats();
+    assert!(stats.theory_props > 0, "propagation never fired: {stats:?}");
+    assert!(stats.bounds_asserted > 0);
+    let cert = out.certificate.expect("unsat must carry a certificate");
+    // The propagation lemmas are in the log as theory steps with their
+    // lazily generated Farkas explanations; the independent checker must
+    // accept the whole refutation.
+    let has_theory_step = cert
+        .steps
+        .iter()
+        .any(|s| matches!(s, ProofStep::Theory { farkas, .. } if !farkas.is_empty()));
+    assert!(has_theory_step, "no Farkas-witnessed theory lemma in the certificate");
+    ccmatic_proof::check(&cert).expect("certificate must replay through the checker");
+}
+
+#[test]
+fn corrupted_propagation_explanation_is_rejected() {
+    let mut ctx = Context::new();
+    let t = propagation_unsat(&mut ctx);
+    let mut solver = Solver::new();
+    solver.enable_proofs();
+    solver.assert(&ctx, t);
+    let out = solver.check_certified(&ctx);
+    assert_eq!(out.result, SatResult::Unsat);
+    let cert = out.certificate.expect("unsat must carry a certificate");
+    ccmatic_proof::check(&cert).expect("uncorrupted certificate must replay");
+
+    // Corrupt every theory step's Farkas witness in turn; each mutant must
+    // be rejected (a negated coefficient can no longer witness
+    // infeasibility of a conjunction of ≤/< rows).
+    let mut corrupted = 0;
+    for (i, step) in cert.steps.iter().enumerate() {
+        let ProofStep::Theory { farkas, .. } = step else { continue };
+        if farkas.is_empty() {
+            continue;
+        }
+        let mut bad = cert.clone();
+        let ProofStep::Theory { farkas, .. } = &mut bad.steps[i] else { unreachable!() };
+        farkas[0].1 = -farkas[0].1.clone();
+        assert!(
+            ccmatic_proof::check(&bad).is_err(),
+            "checker accepted a corrupted Farkas witness in step {i}"
+        );
+        corrupted += 1;
+    }
+    assert!(corrupted > 0, "no theory steps to corrupt — propagation produced no lemmas?");
+}
+
+#[test]
+fn incremental_scopes_agree_across_sync_modes() {
+    // Push/pop interleaved with checks: the synced-bounds cursor must
+    // survive scope churn. Mirror every operation on a no-sync solver and
+    // compare verdicts at each step.
+    let mut ctx = Context::new();
+    let x = ctx.real_var("x");
+    let y = ctx.real_var("y");
+    let base = {
+        let le = ctx.le(ctx.var(x) + ctx.var(y), ctx.constant(int(10)));
+        let ge = ctx.ge(ctx.var(x), ctx.constant(int(0)));
+        ctx.and(vec![le, ge])
+    };
+    let mut synced = Solver::new();
+    synced.set_theory_sync(true);
+    let mut legacy = Solver::new();
+    legacy.set_theory_sync(false);
+    for s in [&mut synced, &mut legacy] {
+        s.assert(&ctx, base);
+    }
+    assert_eq!(synced.check(&ctx), legacy.check(&ctx));
+
+    for k in 0..6i64 {
+        let scoped = {
+            let lo = ctx.ge(ctx.var(y), ctx.constant(int(k)));
+            let hi = ctx.le(ctx.var(y), ctx.constant(rat(2 * k + 1, 2)));
+            let cap = ctx.ge(ctx.var(x), ctx.constant(int(11 - k)));
+            let either = ctx.or(vec![hi, cap]);
+            ctx.and(vec![lo, either])
+        };
+        for s in [&mut synced, &mut legacy] {
+            s.push();
+            s.assert(&ctx, scoped);
+        }
+        assert_eq!(synced.check(&ctx), legacy.check(&ctx), "diverged in scope {k}");
+        for s in [&mut synced, &mut legacy] {
+            s.pop();
+        }
+        assert_eq!(synced.check(&ctx), legacy.check(&ctx), "diverged after pop {k}");
+    }
+}

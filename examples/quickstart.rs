@@ -30,6 +30,7 @@ fn main() {
         dispatch_min: ccmatic::synth::DEFAULT_DISPATCH_MIN,
         certify: false,
         region_pruning: true,
+        theory_sync: true,
     };
     println!(
         "Synthesizing a CCA: search space {} candidates, targets util ≥ {} / queue ≤ {} BDP\n",

@@ -38,6 +38,7 @@ fn main() {
         incremental: true,
         certify: false,
         search: Default::default(),
+        theory_sync: true,
     });
     let rocc = known::rocc();
     match verifier.verify(&rocc) {

@@ -31,6 +31,7 @@ fn main() {
         dispatch_min: ccmatic::synth::DEFAULT_DISPATCH_MIN,
         certify: false,
         region_pruning: true,
+        theory_sync: true,
     };
 
     println!("## Delay sweep (util ≥ 1/2 fixed)\n");

@@ -26,6 +26,7 @@ fn synthesize_then_simulate() {
         dispatch_min: ccmatic::synth::DEFAULT_DISPATCH_MIN,
         certify: false,
         region_pruning: true,
+        theory_sync: true,
     };
     let result = synthesize(&opts);
     let Outcome::Solution(spec) = result.outcome else {

@@ -17,6 +17,7 @@ fn paper_verifier() -> CcaVerifier {
         incremental: true,
         certify: false,
         search: Default::default(),
+        theory_sync: true,
     })
 }
 

@@ -22,6 +22,7 @@ fn verifier() -> CcaVerifier {
         incremental: true,
         certify: false,
         search: Default::default(),
+        theory_sync: true,
     })
 }
 
