@@ -59,7 +59,9 @@
 pub mod model;
 pub mod property;
 pub mod trace;
+pub mod validate;
 
 pub use model::{alloc_net_vars, network_constraints, sender_constraints, NetConfig, NetVars};
 pub use property::{desired_property, DesiredParts, Thresholds};
 pub use trace::Trace;
+pub use validate::{check_sender_rule, check_trace};

@@ -1,0 +1,202 @@
+//! Native (non-SMT) feasibility checking of concrete traces.
+//!
+//! [`check_trace`] re-states every constraint of
+//! [`network_constraints`](crate::model) as an exact rational check over a
+//! concrete [`Trace`], and [`check_sender_rule`] does the same for
+//! [`sender_constraints`](crate::model). They share no solver code, so a
+//! trace accepted here *and* produced outside the SMT pipeline (e.g. lifted
+//! from the simulator) is an independent witness that the model admits it —
+//! the foundation of the fuzzer's model-gap detector: a concrete,
+//! network-feasible trace violating the objective that the verifier's
+//! UNSAT verdict claims cannot exist exposes a bug in the encoding.
+
+use crate::model::NetConfig;
+use crate::trace::Trace;
+use ccmatic_num::Rat;
+
+/// Check every *network* constraint (the adversarial link's feasibility
+/// band) against a concrete trace. Returns the first violated constraint,
+/// described in the model's own vocabulary.
+pub fn check_trace(trace: &Trace, cfg: &NetConfig) -> Result<(), String> {
+    if trace.t_min != cfg.t_min() || trace.t_max != cfg.t_max() {
+        return Err(format!(
+            "trace shape [{}, {}] does not match net [{}, {}]",
+            trace.t_min,
+            trace.t_max,
+            cfg.t_min(),
+            cfg.t_max()
+        ));
+    }
+    let t0 = cfg.t_min();
+    let t_end = cfg.t_max();
+    let h = cfg.history as i64;
+    let rate = &cfg.link_rate;
+    let tokens = |t: i64| -> Rat { &(rate * &Rat::from(t + h)) - trace.w_at(t) };
+
+    // Anchors.
+    if !trace.s_at(t0).is_zero() {
+        return Err(format!("S({t0}) = {} ≠ 0", trace.s_at(t0)));
+    }
+    if !trace.w_at(t0).is_zero() {
+        return Err(format!("W({t0}) = {} ≠ 0", trace.w_at(t0)));
+    }
+    if trace.a_at(t0).is_negative() {
+        return Err(format!("A({t0}) = {} < 0", trace.a_at(t0)));
+    }
+
+    for t in t0..=t_end {
+        // Monotone cumulatives.
+        if t > t0 {
+            for (name, col) in [("A", &trace.a), ("S", &trace.s), ("W", &trace.w)] {
+                let i = (t - t0) as usize;
+                if col[i] < col[i - 1] {
+                    return Err(format!("{name} not monotone at t={t}"));
+                }
+            }
+        }
+        // Can't serve unsent (or lost) data.
+        let delivered_cap = trace.a_at(t) - trace.l_at(t);
+        if trace.s_at(t) > &delivered_cap {
+            return Err(format!("S({t}) = {} > A−L = {delivered_cap}", trace.s_at(t)));
+        }
+        // Token bucket cap.
+        let cap = tokens(t);
+        if trace.s_at(t) > &cap {
+            return Err(format!("S({t}) = {} > tokens {cap}", trace.s_at(t)));
+        }
+        // Bounded non-congestive delay.
+        let lag = t - cfg.jitter as i64;
+        if lag >= t0 {
+            let floor = &(rate * &Rat::from(lag + h)) - trace.w_at(lag);
+            if trace.s_at(t) < &floor {
+                return Err(format!("S({t}) = {} < service floor {floor}", trace.s_at(t)));
+            }
+        }
+        // Waste only while idle.
+        if trace.waste_increased(t) {
+            let backlog = trace.a_at(t) - trace.l_at(t);
+            if backlog > cap {
+                return Err(format!(
+                    "W grew at t={t} while backlogged (A−L = {backlog} > tokens {cap})"
+                ));
+            }
+        }
+        // Loss process.
+        match &cfg.buffer {
+            None => {
+                if !trace.l_at(t).is_zero() {
+                    return Err(format!("L({t}) = {} ≠ 0 in the lossless scope", trace.l_at(t)));
+                }
+            }
+            Some(buffer) => {
+                if t == t0 {
+                    if !trace.l_at(t).is_zero() {
+                        return Err(format!("L({t0}) = {} ≠ 0", trace.l_at(t)));
+                    }
+                } else {
+                    if trace.l_at(t) < trace.l_at(t - 1) {
+                        return Err(format!("L not monotone at t={t}"));
+                    }
+                    if trace.l_at(t) > trace.a_at(t) {
+                        return Err(format!("L({t}) exceeds arrivals"));
+                    }
+                    let backlog = trace.a_at(t) - trace.l_at(t);
+                    let cap_b = &cap + buffer;
+                    if backlog > cap_b {
+                        return Err(format!("backlog {backlog} over buffer cap {cap_b} at t={t}"));
+                    }
+                    if trace.l_at(t) > trace.l_at(t - 1) && backlog < cap_b {
+                        return Err(format!("drop at t={t} without a full buffer"));
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Check the aggressive cwnd-limited sender rule
+/// `A(t) = max(A(t−1), S(t−1) + cwnd(t))` on the enforced window
+/// `t ∈ [0, T]` against the trace's recorded arrival/cwnd columns.
+pub fn check_sender_rule(trace: &Trace) -> Result<(), String> {
+    for t in 0..=trace.t_max {
+        let window = trace.s_at(t - 1) + trace.cwnd_at(t);
+        let expected = trace.a_at(t - 1).clone().max(window);
+        if trace.a_at(t) != &expected {
+            return Err(format!(
+                "A({t}) = {} ≠ max(A({}) = {}, S({}) + cwnd({t}) = {})",
+                trace.a_at(t),
+                t - 1,
+                trace.a_at(t - 1),
+                t - 1,
+                expected
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{alloc_net_vars, network_constraints, sender_constraints};
+    use ccmatic_num::int;
+    use ccmatic_smt::{Context, SatResult, Solver};
+
+    fn cfg() -> NetConfig {
+        NetConfig { horizon: 5, history: 2, link_rate: Rat::one(), jitter: 1, buffer: None }
+    }
+
+    /// Every model the SMT solver accepts must pass the native checker —
+    /// the two encodings of the same constraints agree on the accept side.
+    #[test]
+    fn smt_models_pass_the_native_checker() {
+        let cfg = cfg();
+        let mut ctx = Context::new();
+        let nv = alloc_net_vars(&mut ctx, &cfg);
+        let net = network_constraints(&mut ctx, &nv);
+        let snd = sender_constraints(&mut ctx, &nv);
+        let mut s = Solver::new();
+        s.assert(&ctx, net);
+        s.assert(&ctx, snd);
+        assert_eq!(s.check(&ctx), SatResult::Sat);
+        let trace = Trace::from_model(s.model().unwrap(), &nv);
+        check_trace(&trace, &cfg).expect("SMT-feasible trace rejected natively");
+        check_sender_rule(&trace).expect("SMT sender rule rejected natively");
+    }
+
+    #[test]
+    fn violations_are_caught_and_named() {
+        let cfg = cfg();
+        let mut ctx = Context::new();
+        let nv = alloc_net_vars(&mut ctx, &cfg);
+        let net = network_constraints(&mut ctx, &nv);
+        let mut s = Solver::new();
+        s.assert(&ctx, net);
+        assert_eq!(s.check(&ctx), SatResult::Sat);
+        let good = Trace::from_model(s.model().unwrap(), &nv);
+
+        // Token-bucket violation.
+        let mut bad = good.clone();
+        let i = bad.s.len() - 1;
+        bad.s[i] = int(1000);
+        let err = check_trace(&bad, &cfg).unwrap_err();
+        assert!(err.contains("tokens") || err.contains("A−L"), "got: {err}");
+
+        // Service anchor violation.
+        let mut bad = good.clone();
+        bad.s[0] = int(1);
+        assert!(check_trace(&bad, &cfg).is_err());
+
+        // Waste while backlogged.
+        let mut bad = good.clone();
+        let last = bad.w.len() - 1;
+        bad.a[last] = int(1000); // huge backlog …
+        bad.w[last] = &bad.w[last - 1] + &int(1); // … yet waste grows
+        assert!(check_trace(&bad, &cfg).is_err());
+
+        // Shape mismatch.
+        let other = NetConfig { horizon: 7, ..cfg.clone() };
+        assert!(check_trace(&good, &other).is_err());
+    }
+}

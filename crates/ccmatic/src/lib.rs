@@ -62,6 +62,7 @@ pub mod fingerprint;
 pub mod generator;
 pub mod json;
 pub mod known;
+pub mod lift;
 pub mod replay;
 pub mod sweep;
 pub mod synth;

@@ -601,6 +601,66 @@ pub fn synthesize(opts: &SynthOptions) -> SynthResult {
     }
 }
 
+/// Serial CEGIS warm-started from externally found counterexamples —
+/// the fuzzer's feedback path. Each `(refuted, trace)` seed is re-gated
+/// through the replay semantics of *this* configuration: seeds that still
+/// refute their candidate are asserted into the generator before the first
+/// proposal (counted in `stats.warm_traces_seeded`), the rest are demoted
+/// to the replay prefilter (`stats.warm_traces_rejected`). This mirrors
+/// the sweep's cross-point warm start ([`crate::enumerate`]), so a seed
+/// can come from a different threshold point — or from a simulator — and
+/// still be used soundly.
+pub fn synthesize_seeded(opts: &SynthOptions, seeds: &[(CcaSpec, Trace)]) -> SynthResult {
+    use ccmatic_cegis::Generator as _;
+    let mut generator = make_generator(opts);
+    let replayer = make_replay(opts);
+    let mut verifier = VerAdapter::new(make_verifier(opts));
+    let mut warm_seeded = 0u64;
+    let mut warm_rejected = 0u64;
+    let mut replay_seeds: Vec<Trace> = Vec::new();
+    // Fuzz targets need not live in this run's search space (e.g. a broken
+    // γ outside the coefficient domain); the region-pruning BFS around a
+    // refuted point only makes sense for representable candidates, so
+    // off-grid seeds assert their trace constraint alone.
+    let domain = opts.shape.domain.values();
+    let on_grid = |c: &CcaSpec| {
+        let flat = c.flat();
+        flat.len() == opts.shape.num_coefficients() && flat.iter().all(|v| domain.contains(v))
+    };
+    for (refuted, trace) in seeds {
+        if replayer.refutes(refuted, trace) {
+            if on_grid(refuted) {
+                generator.learn(refuted, trace);
+            } else {
+                generator.inner.learn(trace);
+            }
+            warm_seeded += 1;
+        } else {
+            warm_rejected += 1;
+            replay_seeds.push(trace.clone());
+        }
+    }
+    let replay = |c: &CcaSpec, cex: &Trace| replayer.refutes(c, cex);
+    let mut run = ccmatic_cegis::run_with_replay_seeded(
+        &mut generator,
+        &mut verifier,
+        replay,
+        &opts.budget,
+        replay_seeds,
+    );
+    run.stats.warm_traces_seeded = warm_seeded;
+    run.stats.warm_traces_rejected = warm_rejected;
+    run.stats.regions_pruned = generator.inner.regions_pruned;
+    run.stats.cex_subsumed = generator.cex_subsumed;
+    SynthResult {
+        outcome: run.outcome,
+        stats: run.stats,
+        verifier_probes: verifier.inner.solver_probes,
+        cert_audit: verifier.inner.cert_audit,
+        workers: Vec::new(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

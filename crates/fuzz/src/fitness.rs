@@ -1,0 +1,238 @@
+//! The `f64` screening tier: run a genome through the simulator and score
+//! how close the trajectory comes to violating the verifier's desired
+//! property on the model window.
+//!
+//! Scores are *screens*, not verdicts — float arithmetic drifts once band
+//! positions compound (denominators grow as `16^t`), so every flagged
+//! genome is re-derived in exact rationals and judged by
+//! [`TraceReplay::refutes`](ccmatic::replay::TraceReplay) before anything
+//! is claimed. The screen's job is cheap gradient: continuous violation
+//! margins the genetic search can climb even while every genome in the
+//! population still satisfies the property.
+
+use ccac_model::{NetConfig, Thresholds};
+use ccmatic::template::CcaSpec;
+use ccmatic_simnet::{
+    run_simulation_with_hook, Cca, LinkConfig, Observation, SimConfig, StepRecord, WastePolicy,
+};
+
+/// A [`CcaSpec`] evaluated under the *model's* observation convention:
+/// `cwnd(t) = γ + Σᵢ αᵢ·cwnd(t−i−1) + Σᵢ βᵢ·S(t−i−2)`, with lookback past
+/// the trace start reading the model anchors (`S = 0`) instead of the
+/// simulator's saturate-at-oldest. [`ccmatic_simnet::LinearCca`] taps one
+/// step fresher (`S(t−i−1)`); using it here would make the screen disagree
+/// with the exact lift on every ack-driven candidate.
+pub struct ModelCca {
+    alpha: Vec<f64>,
+    beta: Vec<f64>,
+    gamma: f64,
+}
+
+impl ModelCca {
+    /// Lower a spec's coefficients to `f64` (exact for the integer and
+    /// dyadic coefficient domains the synthesizer searches).
+    pub fn new(spec: &CcaSpec) -> Self {
+        let (alpha, beta, gamma) = spec.coefficients_f64();
+        ModelCca { alpha, beta, gamma }
+    }
+}
+
+impl Cca for ModelCca {
+    fn on_round(&mut self, obs: &Observation) -> f64 {
+        let mut cwnd = self.gamma;
+        for (i, a) in self.alpha.iter().enumerate() {
+            cwnd += a * obs.cwnd_back(i + 1);
+        }
+        for (i, b) in self.beta.iter().enumerate() {
+            // Model tap S(t−i−2); rounds before 0 read the anchor S = 0.
+            let back = i + 2;
+            let s = if back <= obs.t { obs.ack_back(back) } else { 0.0 };
+            cwnd += b * s;
+        }
+        cwnd
+    }
+
+    fn name(&self) -> String {
+        "model-template".into()
+    }
+}
+
+/// Which disjunct of the desired property a trajectory violates.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Violation {
+    /// Utilization shortfall without cwnd growth (first clause).
+    Starvation,
+    /// Delay overshoot without queue drain or cwnd backoff (second clause).
+    DelayOvershoot,
+}
+
+/// Screening outcome for one genome.
+#[derive(Clone, Copy, Debug)]
+pub struct Fitness {
+    /// Selection score: the violation margin (higher = closer to breaking
+    /// the property), plus a large bonus when a clause is fully violated.
+    pub score: f64,
+    /// `Some` iff the trajectory violates the property in `f64`.
+    pub violated: Option<Violation>,
+}
+
+/// Bonus added once a clause is fully violated, so any violating genome
+/// outranks every non-violating one.
+const VIOLATION_BONUS: f64 = 1.0e3;
+
+/// Network/threshold context for the screen (mirrors the verifier's).
+#[derive(Clone, Debug)]
+pub struct FitnessConfig {
+    /// Network shape — fixes the simulated window to `history + horizon`
+    /// rounds, with the property read on the model window `[0, T]`.
+    pub net: NetConfig,
+    /// The objective being fuzzed against.
+    pub thresholds: Thresholds,
+    /// Round-0 cwnd floor (mirrors `SimConfig::initial_cwnd`).
+    pub initial_cwnd: f64,
+}
+
+impl FitnessConfig {
+    fn sim_config(&self, initial_backlog: f64) -> SimConfig {
+        SimConfig {
+            rounds: self.net.history + self.net.horizon,
+            warmup: 0,
+            link: LinkConfig {
+                rate: self.net.link_rate.to_f64(),
+                jitter: self.net.jitter,
+                waste: WastePolicy::Eager,
+            },
+            initial_backlog,
+            initial_cwnd: self.initial_cwnd,
+        }
+    }
+}
+
+/// Run one genome's schedule against `cca` and score the trajectory
+/// against the desired property on the model window.
+///
+/// Simulator round `u` is model time `t = u + 1 − h`, so the enforced
+/// window `t ∈ [0, T]` is rounds `[h−1, h+T−1]`; `t = 0` state comes from
+/// round `h−1` and `t = T` from the last round. Queue is `A − S` (the
+/// lossless scope). The fold runs in the per-step hook, so the screen
+/// never re-scans the finished trajectory.
+pub fn evaluate(
+    cca: &mut dyn Cca,
+    schedule: &mut dyn ccmatic_simnet::LinkSchedule,
+    initial_backlog: f64,
+    cfg: &FitnessConfig,
+) -> Fitness {
+    let h = cfg.net.history;
+    let t_end = cfg.net.horizon;
+    let sim = cfg.sim_config(initial_backlog);
+    let first = h - 1; // round holding model t = 0
+    let last = h + t_end - 1; // round holding t = T
+
+    let mut s0 = 0.0;
+    let mut s_t = 0.0;
+    let mut cwnd0 = 0.0;
+    let mut cwnd_t = 0.0;
+    let mut q0 = 0.0;
+    let mut q_t = 0.0;
+    let mut max_q = f64::NEG_INFINITY;
+    run_simulation_with_hook(cca, schedule, &sim, &mut |r: &StepRecord| {
+        if r.t < first {
+            return;
+        }
+        if r.t == first {
+            s0 = r.served;
+            cwnd0 = r.cwnd;
+            q0 = r.queue;
+        }
+        max_q = max_q.max(r.queue);
+        s_t = r.served;
+        cwnd_t = r.cwnd;
+        q_t = r.queue;
+    });
+    debug_assert!(last >= first);
+
+    let th_util = cfg.thresholds.util.to_f64();
+    let th_delay = cfg.thresholds.delay.to_f64();
+    let rate = cfg.net.link_rate.to_f64();
+    let target = th_util * rate * t_end as f64;
+
+    // Clause 1 (¬util_ok ∧ ¬cwnd_up): margins must *all* be met, so the
+    // binding one — the minimum — is the score.
+    let score_a = (target - (s_t - s0)).min(cwnd0 - cwnd_t);
+    let violated_a = target - (s_t - s0) > 0.0 && cwnd0 - cwnd_t >= 0.0;
+
+    // Clause 2 (¬queue_ok ∧ ¬queue_down ∧ ¬cwnd_down).
+    let score_b = (max_q - th_delay).min(q_t - q0).min(cwnd_t - cwnd0);
+    let violated_b = max_q - th_delay > 0.0 && q_t - q0 >= 0.0 && cwnd_t - cwnd0 >= 0.0;
+
+    let (score, violated) = if violated_a && (!violated_b || score_a >= score_b) {
+        (score_a + VIOLATION_BONUS, Some(Violation::Starvation))
+    } else if violated_b {
+        (score_b + VIOLATION_BONUS, Some(Violation::DelayOvershoot))
+    } else {
+        (score_a.max(score_b), None)
+    };
+    Fitness { score, violated }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccmatic::known;
+    use ccmatic_num::{int, Rat};
+    use ccmatic_simnet::{IdealLink, TableSchedule};
+
+    fn cfg(history: usize) -> FitnessConfig {
+        FitnessConfig {
+            net: NetConfig { horizon: 6, history, link_rate: Rat::one(), jitter: 1, buffer: None },
+            thresholds: Thresholds::default(),
+            initial_cwnd: 1.0,
+        }
+    }
+
+    #[test]
+    fn rocc_on_ideal_schedule_is_not_flagged() {
+        let cfg = cfg(5);
+        let mut cca = ModelCca::new(&known::rocc());
+        let fit = evaluate(&mut cca, &mut IdealLink, 0.0, &cfg);
+        assert!(fit.violated.is_none(), "RoCC flagged on the ideal link: {fit:?}");
+    }
+
+    #[test]
+    fn oversized_const_window_overshoots_delay() {
+        let cfg = cfg(5);
+        let mut cca = ModelCca::new(&known::const_cwnd(int(8)));
+        // Standing queue cwnd − BDP = 7 > 4 with a big initial backlog and
+        // an ideal link; flat queue, flat cwnd.
+        let fit = evaluate(&mut cca, &mut IdealLink, 7.0, &cfg);
+        assert_eq!(fit.violated, Some(Violation::DelayOvershoot), "{fit:?}");
+        assert!(fit.score > VIOLATION_BONUS - 10.0);
+    }
+
+    #[test]
+    fn stalled_link_starves_the_zero_cca() {
+        let cfg = cfg(5);
+        let mut cca = ModelCca::new(&known::const_cwnd(Rat::zero()));
+        let mut stall = TableSchedule { lambdas: vec![0.0], omegas: vec![1.0] };
+        let fit = evaluate(&mut cca, &mut stall, 0.0, &cfg);
+        assert_eq!(fit.violated, Some(Violation::Starvation), "{fit:?}");
+    }
+
+    #[test]
+    fn margins_rank_near_misses_above_far_misses() {
+        let cfg = cfg(5);
+        // Steady queue = cwnd − BDP: 3 (far from the delay bound 4) vs
+        // 3¾ (near). Both satisfy the property; the nearer miss must score
+        // higher so selection has a gradient to climb.
+        let far =
+            evaluate(&mut ModelCca::new(&known::const_cwnd(int(4))), &mut IdealLink, 0.0, &cfg);
+        let near = evaluate(
+            &mut ModelCca::new(&known::const_cwnd(ccmatic_num::rat(19, 4))),
+            &mut IdealLink,
+            0.0,
+            &cfg,
+        );
+        assert!(far.violated.is_none() && near.violated.is_none());
+        assert!(near.score > far.score, "near {near:?} vs far {far:?}");
+    }
+}

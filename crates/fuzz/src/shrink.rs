@@ -1,0 +1,135 @@
+//! Schedule shrinking: reduce a failing genome to (nearly) the minimal
+//! adversarial content that still triggers the failure.
+//!
+//! Model-gap reports are only actionable if a human can read the schedule,
+//! so before a gap is dumped the genome is greedily normalized toward the
+//! benign baseline (ideal band position λ = 1, eager waste ω = 1, empty
+//! initial queue) — delta-debugging style, coarse spans first, single
+//! genes last, re-checking the failure predicate after every candidate
+//! edit. The predicate is the caller's full pipeline (exact lift →
+//! feasibility gate → replay verdict), so a shrink can never "simplify"
+//! its way to a different bug.
+
+use crate::genome::{ScheduleGenome, GENE_STEPS};
+
+/// Greedily minimize `genome` under `still_fails` (which must return
+/// `true` for the input). Every accepted edit moves genes to the benign
+/// baseline; the result still satisfies `still_fails`.
+pub fn shrink(
+    genome: &ScheduleGenome,
+    still_fails: &mut dyn FnMut(&ScheduleGenome) -> bool,
+) -> ScheduleGenome {
+    debug_assert!(still_fails(genome), "shrinking a non-failure");
+    let mut best = genome.clone();
+
+    // Backlog first: a zero initial queue is the biggest readability win.
+    if best.backlog_q != 0 {
+        let mut cand = best.clone();
+        cand.backlog_q = 0;
+        if still_fails(&cand) {
+            best = cand;
+        }
+    }
+
+    // Coarse-to-fine span resets, per gene track.
+    let n = best.lambdas.len();
+    let mut width = n;
+    while width >= 1 {
+        for track in 0..2 {
+            let mut start = 0;
+            while start < n {
+                let end = (start + width).min(n);
+                let mut cand = best.clone();
+                let genes = if track == 0 {
+                    &mut cand.lambdas[start..end]
+                } else {
+                    &mut cand.omegas[start..end]
+                };
+                if genes.iter().all(|&g| g == GENE_STEPS) {
+                    start = end;
+                    continue;
+                }
+                genes.fill(GENE_STEPS);
+                if still_fails(&cand) {
+                    best = cand;
+                }
+                start = end;
+            }
+        }
+        if width == 1 {
+            break;
+        }
+        width /= 2;
+    }
+
+    // Last pass: nudge surviving non-baseline genes as close to baseline
+    // as the failure allows (halving the deviation), which often turns a
+    // noisy λ-value into a clean 0 or ½.
+    for track in 0..2 {
+        for i in 0..n {
+            loop {
+                let g = if track == 0 { best.lambdas[i] } else { best.omegas[i] };
+                if g == GENE_STEPS {
+                    break;
+                }
+                let nudged = g + (GENE_STEPS - g) / 2;
+                if nudged == g {
+                    break;
+                }
+                let mut cand = best.clone();
+                if track == 0 {
+                    cand.lambdas[i] = nudged;
+                } else {
+                    cand.omegas[i] = nudged;
+                }
+                if still_fails(&cand) {
+                    best = cand;
+                } else {
+                    break;
+                }
+            }
+        }
+    }
+
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A synthetic failure predicate: "fails iff λ[3] ≤ 4 and backlog ≥ 8"
+    /// — the shrinker must strip everything else.
+    #[test]
+    fn shrinks_to_the_load_bearing_genes() {
+        let mut rng = ccmatic_num::SmallRng::seed_from_u64(5);
+        let mut noisy = ScheduleGenome::random(&mut rng, 12);
+        noisy.lambdas[3] = 2;
+        noisy.backlog_q = 20;
+        let mut fails = |g: &ScheduleGenome| g.lambdas[3] <= 4 && g.backlog_q >= 8;
+        assert!(fails(&noisy));
+        let small = shrink(&noisy, &mut fails);
+        assert!(fails(&small), "shrinking must preserve the failure");
+        for (i, &l) in small.lambdas.iter().enumerate() {
+            if i != 3 {
+                assert_eq!(l, GENE_STEPS, "non-load-bearing λ[{i}] not reset");
+            }
+        }
+        assert!(small.omegas.iter().all(|&o| o == GENE_STEPS), "ω track not reset");
+        assert!(small.lambdas[3] <= 4, "λ[3] is load-bearing and kept in the failing range");
+        assert_eq!(small.backlog_q, 20, "backlog is load-bearing and kept");
+    }
+
+    /// An always-failing predicate shrinks all the way to the baseline.
+    #[test]
+    fn unconditional_failure_shrinks_to_baseline() {
+        let mut rng = ccmatic_num::SmallRng::seed_from_u64(9);
+        let noisy = ScheduleGenome::random(&mut rng, 8);
+        let small = shrink(&noisy, &mut |_| true);
+        assert_eq!(small, {
+            let mut g = ScheduleGenome::ideal(8);
+            g.backlog_q = 0;
+            g
+        });
+    }
+}

@@ -28,7 +28,8 @@ pub mod runner;
 
 pub use cca::{AimdCca, Cca, ConstCwnd, LinearCca, Observation, ThresholdCca};
 pub use link::{
-    AdversarialSawtooth, IdealLink, LinkConfig, LinkSchedule, RandomJitter, WastePolicy,
+    AdversarialSawtooth, IdealLink, LinkConfig, LinkSchedule, RandomJitter, TableSchedule,
+    WastePolicy,
 };
 pub use multiflow::{run_shared_link, FlowResult, MultiFlowConfig, MultiFlowResult};
-pub use runner::{run_simulation, SimConfig, SimResult, StepRecord};
+pub use runner::{run_simulation, run_simulation_with_hook, SimConfig, SimResult, StepRecord};

@@ -40,8 +40,58 @@ pub trait LinkSchedule {
     /// Return λ ∈ [0, 1]: 0 serves the minimum, 1 the maximum.
     fn lambda(&mut self, t: usize) -> f64;
 
+    /// Fraction ω ∈ [0, 1] of this step's surplus tokens the link discards
+    /// under [`WastePolicy::Eager`] (1 = classic eager waste, 0 = keep them
+    /// all for later). The CCAC model admits any monotone waste process
+    /// whose growth happens only while the queue sits at or under the token
+    /// line, so a schedule may place waste anywhere in that band — but
+    /// under-wasting raises later service floors above the arrival curve,
+    /// which the model forbids; callers lifting partial-waste traces must
+    /// re-check feasibility (`ccac_model::check_trace`).
+    fn waste_fraction(&mut self, _t: usize) -> f64 {
+        1.0
+    }
+
     /// Diagnostic name.
     fn name(&self) -> String;
+}
+
+/// A fully explicit schedule: per-step λ (and optionally ω) read from
+/// tables — the executable form of a fuzzer genome. Steps are 1-based as
+/// in [`LinkState::step`]; beyond the table the last entry holds (an empty
+/// λ table means the ideal link, an empty ω table means eager waste).
+#[derive(Clone, Debug, Default)]
+pub struct TableSchedule {
+    /// Band position per step (`lambdas[t−1]` for step `t`).
+    pub lambdas: Vec<f64>,
+    /// Waste fraction per step (`omegas[t−1]` for step `t`).
+    pub omegas: Vec<f64>,
+}
+
+impl TableSchedule {
+    /// A schedule serving at band position λ everywhere with eager waste.
+    pub fn uniform(lambda: f64, len: usize) -> Self {
+        TableSchedule { lambdas: vec![lambda; len], omegas: Vec::new() }
+    }
+}
+
+fn table_at(table: &[f64], t: usize, default: f64) -> f64 {
+    let i = t.saturating_sub(1);
+    table.get(i).copied().or_else(|| table.last().copied()).unwrap_or(default)
+}
+
+impl LinkSchedule for TableSchedule {
+    fn lambda(&mut self, t: usize) -> f64 {
+        table_at(&self.lambdas, t, 1.0)
+    }
+
+    fn waste_fraction(&mut self, t: usize) -> f64 {
+        table_at(&self.omegas, t, 1.0)
+    }
+
+    fn name(&self) -> String {
+        format!("table({} steps)", self.lambdas.len())
+    }
 }
 
 /// Always serve as much as allowed — an ideal, jitter-free link.
@@ -147,12 +197,13 @@ impl LinkState {
         let lambda = schedule.lambda(t).clamp(0.0, 1.0);
         let served_now = lo + lambda * (hi - lo);
         self.served = served_now;
-        // Waste: under the eager policy the link discards every token the
-        // sender has no data for.
+        // Waste: under the eager policy the link discards the schedule's
+        // chosen fraction of every token the sender has no data for
+        // (built-in schedules waste all of them).
         if cfg.waste == WastePolicy::Eager {
             let surplus = cfg.rate * t as f64 - self.wasted - arrivals;
             if surplus > 0.0 {
-                self.wasted += surplus;
+                self.wasted += schedule.waste_fraction(t).clamp(0.0, 1.0) * surplus;
             }
         }
         self.waste_history.push(self.wasted);
@@ -234,6 +285,33 @@ mod tests {
             let s = link.step(t, arrivals, &cfg, &mut sched);
             assert!(s <= arrivals + 1e-9);
         }
+    }
+
+    #[test]
+    fn table_schedule_indexes_steps_and_holds_last_entry() {
+        let mut sched = TableSchedule { lambdas: vec![0.0, 1.0, 0.5], omegas: vec![0.25] };
+        assert_eq!(sched.lambda(1), 0.0);
+        assert_eq!(sched.lambda(2), 1.0);
+        assert_eq!(sched.lambda(3), 0.5);
+        assert_eq!(sched.lambda(9), 0.5, "holds the last entry");
+        assert_eq!(sched.waste_fraction(1), 0.25);
+        assert_eq!(sched.waste_fraction(7), 0.25);
+        let mut empty = TableSchedule::default();
+        assert_eq!(empty.lambda(1), 1.0, "empty table = ideal link");
+        assert_eq!(empty.waste_fraction(1), 1.0, "empty table = eager waste");
+    }
+
+    #[test]
+    fn partial_waste_keeps_tokens_for_later() {
+        let cfg = LinkConfig::default();
+        let mut link = LinkState::new();
+        // Waste only half the surplus each idle step.
+        let mut sched = TableSchedule { lambdas: vec![1.0], omegas: vec![0.5] };
+        link.step(1, 0.0, &cfg, &mut sched);
+        assert!((link.wasted - 0.5).abs() < 1e-9, "half of 1 surplus token, got {}", link.wasted);
+        link.step(2, 0.0, &cfg, &mut sched);
+        // Surplus at step 2: 2 − 0.5 − 0 = 1.5; waste grows by 0.75.
+        assert!((link.wasted - 1.25).abs() < 1e-9, "got {}", link.wasted);
     }
 
     #[test]

@@ -67,6 +67,19 @@ pub fn run_simulation(
     schedule: &mut dyn LinkSchedule,
     cfg: &SimConfig,
 ) -> SimResult {
+    run_simulation_with_hook(cca, schedule, cfg, &mut |_| {})
+}
+
+/// [`run_simulation`] with a per-step observer: `hook` sees every
+/// [`StepRecord`] as it is produced, before the next round runs — letting
+/// callers (fitness functions, live plotters) fold over the trajectory
+/// without waiting for, or re-scanning, the finished result.
+pub fn run_simulation_with_hook(
+    cca: &mut dyn Cca,
+    schedule: &mut dyn LinkSchedule,
+    cfg: &SimConfig,
+    hook: &mut dyn FnMut(&StepRecord),
+) -> SimResult {
     let mut link = LinkState::new();
     let mut arrivals = cfg.initial_backlog;
     let mut ack_history: Vec<f64> = Vec::new(); // newest first
@@ -87,14 +100,10 @@ pub fn run_simulation(
         arrivals = arrivals.max(window_target);
         // Link serves within its band (simulator steps are 1-based).
         let served = link.step(t + 1, arrivals, &cfg.link, schedule);
-        steps.push(StepRecord {
-            t,
-            cwnd,
-            arrivals,
-            served,
-            queue: arrivals - served,
-            wasted: link.wasted,
-        });
+        let record =
+            StepRecord { t, cwnd, arrivals, served, queue: arrivals - served, wasted: link.wasted };
+        hook(&record);
+        steps.push(record);
         // Shift histories (newest first).
         ack_history.insert(0, served_prev);
         cwnd_history.insert(0, cwnd);

@@ -19,6 +19,12 @@
 //!                 [--cache-dir DIR] [--sweep-budget-secs N]
 //! ccmatic assume  --cca "…"
 //! ccmatic diff    --cca "…" --cca-b "…"
+//! ccmatic fuzz    --cca "…" | --target aimd|const:X   (the CCA under attack)
+//!                 [--fuzz-seed N] [--generations N] [--population N]
+//!                 [--initial-cwnd F] [--out FILE.json]
+//!                 [--fail-on-gap]     (exit non-zero if a model gap is found)
+//!                 [--expect-failure]  (exit non-zero unless a failure is found)
+//!                 [--seed-cegis]      (feed the corpus into a seeded CEGIS run)
 //! ```
 //!
 //! Flags use simple `--key value` parsing (no external argument-parser
@@ -117,7 +123,10 @@ fn usage() -> ExitCode {
          \x20      --axis delay|util --values \"8,4,3.6,3\"  (sweep points)\n\
          \x20      --no-warm-start  (sweep: parallel cold points instead of carry-over)\n\
          \x20      --sweep-budget-secs N  (wall budget for the whole sweep)\n\
-         \x20      --cca \"b1,b2,…,g\"  --cca-b \"…\"  (β taps then γ)"
+         \x20      --cca \"b1,b2,…,g\"  --cca-b \"…\"  (β taps then γ)\n\
+         \x20      --target aimd|const:X  (fuzz: simulator-only target instead of --cca)\n\
+         \x20      --fuzz-seed N --generations N --population N --initial-cwnd F\n\
+         \x20      --out FILE.json --fail-on-gap --expect-failure --seed-cegis  (fuzz)"
     );
     ExitCode::FAILURE
 }
@@ -406,6 +415,115 @@ fn main() -> ExitCode {
                 }
             }
             ExitCode::SUCCESS
+        }
+        "fuzz" => {
+            use ccmatic_fuzz::{run_fuzz, FuzzConfig, FuzzTarget};
+            // Target: a linear-template spec (full pipeline: exact
+            // confirmation + verifier cross-check + CEGIS seeding) or a
+            // simulator-only CCA (screen tier alone).
+            let target = if let Some(spec) = args.get("--cca").and_then(parse_spec) {
+                FuzzTarget::Spec(spec)
+            } else {
+                match args.get("--target") {
+                    Some("aimd") => FuzzTarget::Aimd,
+                    Some(t) if t.starts_with("const:") => {
+                        let Some(c) = t["const:".len()..].parse::<f64>().ok() else {
+                            eprintln!("--target const:X needs a numeric window");
+                            return usage();
+                        };
+                        FuzzTarget::ConstSim(c)
+                    }
+                    _ => {
+                        eprintln!("fuzz needs --cca \"b1,…,g\" or --target aimd|const:X");
+                        return usage();
+                    }
+                }
+            };
+            let mut net = net;
+            if let FuzzTarget::Spec(spec) = &target {
+                net.history = spec.beta.len() + 1;
+                if args.has("--seed-cegis") {
+                    // The seeded synthesis space needs history > lookback;
+                    // fuzz at the same net so lifted traces replay 1:1.
+                    net.history = net.history.max(shape.lookback + 1);
+                }
+            }
+            let cfg = FuzzConfig {
+                seed: args.get("--fuzz-seed").and_then(|v| v.parse().ok()).unwrap_or(0),
+                generations: args.get("--generations").and_then(|v| v.parse().ok()).unwrap_or(30),
+                population: args.get("--population").and_then(|v| v.parse().ok()).unwrap_or(24),
+                net: net.clone(),
+                thresholds: th.clone(),
+                initial_cwnd: args.rat("--initial-cwnd").unwrap_or_else(Rat::one),
+                target: target.clone(),
+                skip_verify: false,
+            };
+            eprintln!(
+                "fuzzing {} for {} generations × {} genomes (seed {})…",
+                target.name(),
+                cfg.generations,
+                cfg.population,
+                cfg.seed
+            );
+            let mut report = run_fuzz(&cfg);
+
+            // Optional CEGIS feedback: warm-start a synthesis run of the
+            // selected space with the fuzz-found refutations.
+            if args.has("--seed-cegis") {
+                if let FuzzTarget::Spec(spec) = &target {
+                    let mut seed_opts = opts.clone();
+                    seed_opts.net = net.clone();
+                    let seeds = report.corpus.cegis_seeds(spec);
+                    let r = ccmatic::synth::synthesize_seeded(&seed_opts, &seeds);
+                    report.counters.cex_seeded = r.stats.warm_traces_seeded;
+                    eprintln!(
+                        "seeded cegis: {} traces seeded · {} rejected · {} iterations · {:?}",
+                        r.stats.warm_traces_seeded,
+                        r.stats.warm_traces_rejected,
+                        r.stats.iterations,
+                        r.outcome
+                    );
+                } else {
+                    eprintln!("--seed-cegis needs a --cca target (skipped)");
+                }
+            }
+
+            match report.verifier_passed {
+                Some(true) => println!("VERIFIED  {}", target.name()),
+                Some(false) => println!("REFUTED   {} (by the verifier)", target.name()),
+                None => println!("SIM-ONLY  {}", target.name()),
+            }
+            println!(
+                "failures {} · model gaps {} · corpus {} · best fitness {:.3}",
+                report.counters.failures_found,
+                report.counters.model_gaps,
+                report.corpus.len(),
+                report.best_fitness.last().copied().unwrap_or(f64::NEG_INFINITY)
+            );
+            for gap in &report.gaps {
+                println!(
+                    "MODEL GAP: verifier certified {} but a feasible trace refutes it",
+                    gap.spec
+                );
+            }
+            if kernel.is_some() {
+                eprintln!("{}", report.stats_line());
+            }
+            if let Some(path) = args.get("--out") {
+                if let Err(e) = std::fs::write(path, report.to_json().render()) {
+                    eprintln!("cannot write {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                eprintln!("report written to {path}");
+            }
+            if args.has("--fail-on-gap") && report.counters.model_gaps > 0 {
+                ExitCode::FAILURE
+            } else if args.has("--expect-failure") && report.counters.failures_found == 0 {
+                eprintln!("expected an objective violation; none found");
+                ExitCode::FAILURE
+            } else {
+                ExitCode::SUCCESS
+            }
         }
         "assume" => {
             let Some(spec) = args.get("--cca").and_then(parse_spec) else {

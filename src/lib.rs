@@ -9,11 +9,13 @@
 //! * [`ccmatic_cegis`] — the generic CEGIS engine
 //! * [`ccmatic_simnet`] — the concrete network simulator
 //! * [`ccmatic_abr`] — the ABR generalization (§5)
+//! * [`ccmatic_fuzz`] — adversarial trace fuzzing + model-gap detection
 
 pub use ccac_model as ccac;
 pub use ccmatic as synth;
 pub use ccmatic_abr as abr;
 pub use ccmatic_cegis as cegis;
+pub use ccmatic_fuzz as fuzz;
 pub use ccmatic_num as num;
 pub use ccmatic_simnet as simnet;
 pub use ccmatic_smt as smt;
